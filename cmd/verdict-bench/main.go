@@ -1,0 +1,221 @@
+// Command verdict-bench regenerates every table and figure from the
+// paper's evaluation:
+//
+//	verdict-bench -exp table1   # Table 1: incident-study aggregation
+//	verdict-bench -exp fig2     # Figure 2: descheduler oscillation series
+//	verdict-bench -exp fig5     # Figure 5: rollout counterexample
+//	verdict-bench -exp synth    # §4.2: safe p ∈ {1,2} for k=1, m=1
+//	verdict-bench -exp lbecmp   # §4.2 case study 2: oscillation lassos
+//	verdict-bench -exp fig6     # Figure 6: scalability sweep
+//	verdict-bench -exp all
+//
+// Absolute runtimes differ from the paper's NuXMV-on-a-MacBook setup;
+// the shapes (violation ≪ verification, exponential growth in topology
+// size and failure budget k, timeouts on the largest fat trees) are
+// the reproduction targets. See EXPERIMENTS.md for recorded runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"verdict"
+	"verdict/internal/incidents"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("verdict-bench: ")
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1, fig2, fig5, synth, lbecmp, fig6, all")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-verification budget for fig6 (paper used 1h)")
+		maxK    = flag.Int("max-fattree", 8, "largest fat-tree parameter for fig6 (paper: 12)")
+		engine  = flag.String("verify-engine", "kind", "fig6 verification engine: kind (k-induction; fast, the property is 2-inductive) or bdd (exhaustive reachability, reproducing the paper's NuXMV behavior)")
+	)
+	flag.Parse()
+
+	run := map[string]func(){
+		"table1": table1,
+		"fig2":   fig2,
+		"fig5":   fig5,
+		"synth":  synth,
+		"lbecmp": lbecmp,
+		"fig6":   func() { fig6(*timeout, *maxK, *engine) },
+	}
+	if *exp == "all" {
+		for _, name := range []string{"table1", "fig2", "fig5", "synth", "lbecmp", "fig6"} {
+			banner(name)
+			run[name]()
+		}
+		return
+	}
+	f, ok := run[*exp]
+	if !ok {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+	banner(*exp)
+	f()
+}
+
+func banner(name string) {
+	fmt.Printf("\n===== %s =====\n", name)
+}
+
+// table1 regenerates the incident-study aggregation.
+func table1() {
+	fmt.Print(incidents.FormatTable1(incidents.Table1(incidents.Dataset())))
+	fmt.Println("(53 studied incidents: 42 Google Cloud 2017-2019, 11 Amazon AWS 2011-2019)")
+}
+
+// fig2 regenerates the pod-placement oscillation series.
+func fig2() {
+	series, cluster := verdict.SimulateFigure2(verdict.Figure2Config{})
+	fmt.Println("minute worker")
+	for _, s := range series {
+		fmt.Printf("%6d %6d\n", s.Minute, s.Worker)
+	}
+	evicts := 0
+	for _, e := range cluster.Events {
+		if e.Action == "evict" {
+			evicts++
+		}
+	}
+	fmt.Printf("transitions=%d evictions=%d (descheduler every 2 min, request 50%%, threshold 45%%)\n",
+		verdict.SimTransitions(series), evicts)
+}
+
+// fig5 regenerates the case-study-1 counterexample.
+func fig5() {
+	m, err := verdict.BuildRollout(verdict.RolloutConfig{
+		Topo: verdict.TestTopology(), P: 1, K: 2, M: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	res, err := verdict.FindCounterexample(m.Sys, m.Property, verdict.Options{MaxDepth: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("G(converged -> available >= 1), p=1 k=2: %s\n", res)
+	if res.Trace == nil {
+		log.Fatal("expected a counterexample")
+	}
+	if err := verdict.ValidateTrace(m.Sys, res.Trace); err != nil {
+		log.Fatal(err)
+	}
+	// The figure's caption row: available per step.
+	var avail []string
+	for _, st := range res.Trace.States {
+		v, _ := st.Get("available")
+		avail = append(avail, v.String())
+	}
+	fmt.Printf("available per step (cf. Figure 5): %s\n", strings.Join(avail, ", "))
+	fmt.Printf("found in %v; trace:\n%s", time.Since(start).Round(time.Millisecond), res.Trace)
+}
+
+// synth regenerates the parameter-synthesis result.
+func synth() {
+	m, err := verdict.BuildRollout(verdict.RolloutConfig{
+		Topo: verdict.TestTopology(), SynthP: true, PMax: 4, K: 1, M: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := verdict.SynthesizeParams(m.Sys, m.Property, verdict.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("safe non-zero p for k=1, m=1: %v (paper: p ∈ {1, 2})\n", res.Safe)
+	fmt.Printf("unsafe: %v\n", res.Unsafe)
+}
+
+// lbecmp regenerates case study 2: both liveness properties violated
+// with synthesized rational traffic parameters.
+func lbecmp() {
+	m := verdict.BuildLBECMP(verdict.DefaultLBECMP())
+	for _, c := range []struct {
+		name string
+		phi  *verdict.LTL
+	}{
+		{"F(G(stable))", m.PropertyFG},
+		{"stable -> F(G(stable))", m.PropertyCond},
+	} {
+		res, err := verdict.FindCounterexample(m.Sys, c.phi, verdict.Options{MaxDepth: 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s -> %s\n", c.name, res)
+		if res.Trace != nil {
+			if err := verdict.ValidateTrace(m.Sys, res.Trace); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  params: ta=%s tb=%s e=%s, lasso length %d (loop at %d)\n",
+				res.Trace.Params["ta"], res.Trace.Params["tb"], res.Trace.Params["e"],
+				res.Trace.Len(), res.Trace.LoopStart)
+		}
+	}
+}
+
+// fig6 regenerates the scalability sweep: per topology, the time to
+// find the violation at the critical k, and verification times for
+// k = 0, 1, 2 under a wall-clock budget.
+func fig6(budget time.Duration, maxFatTree int, engine string) {
+	type tc struct {
+		name  string
+		topo  *verdict.Topology
+		kViol int // failures needed to isolate the front-end
+	}
+	cases := []tc{{"test", verdict.TestTopology(), 2}}
+	for k := 4; k <= maxFatTree; k += 2 {
+		cases = append(cases, tc{fmt.Sprintf("fattree%d", k), verdict.FatTree(k), k / 2})
+	}
+	fmt.Printf("%-10s %8s %8s | %-14s | %s\n", "topology", "nodes", "links", "violation(kv)", "verification k=0,1,2")
+	for _, c := range cases {
+		nodes := len(c.topo.Nodes)
+		links := len(c.topo.Links)
+
+		// Violation run at the critical k.
+		m, err := verdict.BuildRollout(verdict.RolloutConfig{Topo: c.topo, P: 1, K: c.kViol, M: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		res, err := verdict.FindCounterexample(m.Sys, m.Property, verdict.Options{MaxDepth: 10, Timeout: budget})
+		if err != nil {
+			log.Fatal(err)
+		}
+		viol := fmt.Sprintf("%v k=%d %s", time.Since(start).Round(time.Millisecond), c.kViol, res.Status)
+
+		// Verification runs for k = 0, 1, 2 (property holds below the
+		// critical k for every topology here except test/fattree4 at
+		// k=2, mirroring the paper's footnote 6).
+		var ver []string
+		for k := 0; k <= 2; k++ {
+			m, err := verdict.BuildRollout(verdict.RolloutConfig{Topo: c.topo, P: 1, K: k, M: 1})
+			if err != nil {
+				log.Fatal(err)
+			}
+			start := time.Now()
+			var r *verdict.Result
+			if engine == "bdd" {
+				r, err = verdict.CheckInvariantBDD(m.Sys, m.SafetyPredicate(), verdict.Options{Timeout: budget})
+			} else {
+				r, err = verdict.Check(m.Sys, m.Property, verdict.Options{MaxDepth: 30, Timeout: budget})
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			el := time.Since(start).Round(time.Millisecond)
+			if r.Status == verdict.Unknown {
+				ver = append(ver, fmt.Sprintf("k=%d timeout(>%v)", k, budget))
+			} else {
+				ver = append(ver, fmt.Sprintf("k=%d %v %s", k, el, r.Status))
+			}
+		}
+		fmt.Printf("%-10s %8d %8d | %-14s | %s\n", c.name, nodes, links, viol, strings.Join(ver, ", "))
+	}
+}

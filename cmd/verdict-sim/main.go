@@ -1,0 +1,83 @@
+// Command verdict-sim runs the executable cluster simulator on the
+// paper's dynamic scenarios:
+//
+//	verdict-sim -scenario fig2        # Figure 2 descheduler oscillation
+//	verdict-sim -scenario taint-loop  # Kubernetes issue #75913
+//	verdict-sim -scenario hpa-runaway # Kubernetes issue #90461
+//
+// Use -events to dump the full controller event log.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"verdict"
+	"verdict/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("verdict-sim: ")
+	var (
+		scenario  = flag.String("scenario", "fig2", "fig2, taint-loop, or hpa-runaway")
+		minutes   = flag.Int("minutes", 30, "simulated minutes")
+		threshold = flag.Int("threshold", 45, "fig2: descheduler LowNodeUtilization threshold (%)")
+		request   = flag.Int("request", 50, "fig2: app pod CPU request (%)")
+		buggyHPA  = flag.Bool("buggy-hpa", true, "hpa-runaway: enable the issue #90461 defect")
+		events    = flag.Bool("events", false, "dump the controller event log")
+	)
+	flag.Parse()
+
+	switch *scenario {
+	case "fig2":
+		series, cluster := verdict.SimulateFigure2(verdict.Figure2Config{
+			Minutes: *minutes, Threshold: *threshold, RequestCPU: *request,
+		})
+		fmt.Printf("pod placement over %d minutes (request %d%%, threshold %d%%):\n",
+			*minutes, *request, *threshold)
+		plot(series)
+		fmt.Printf("placement transitions: %d\n", verdict.SimTransitions(series))
+		dump(cluster, *events)
+	case "taint-loop":
+		creates, cluster := sim.TaintLoop(*minutes)
+		fmt.Printf("taint loop over %d minutes: %d pods created and destroyed\n", *minutes, creates)
+		dump(cluster, *events)
+	case "hpa-runaway":
+		series, cluster := sim.HPARunaway(*minutes, 10, *buggyHPA)
+		fmt.Printf("deployment spec replicas per minute (defect=%v):\n  ", *buggyHPA)
+		for _, r := range series {
+			fmt.Printf("%d ", r)
+		}
+		fmt.Println()
+		dump(cluster, *events)
+	default:
+		log.Fatalf("unknown scenario %q", *scenario)
+	}
+}
+
+func plot(series []verdict.PlacementSample) {
+	for w := 3; w >= 1; w-- {
+		var b strings.Builder
+		for _, s := range series {
+			if s.Worker == w {
+				b.WriteString("█")
+			} else {
+				b.WriteString("·")
+			}
+		}
+		fmt.Printf("  worker%d %s\n", w, b.String())
+	}
+}
+
+func dump(c *verdict.Cluster, on bool) {
+	if !on {
+		return
+	}
+	fmt.Println("events:")
+	for _, e := range c.Events {
+		fmt.Println(" ", e)
+	}
+}

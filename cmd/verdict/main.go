@@ -1,0 +1,218 @@
+// Command verdict checks models of self-driving infrastructure
+// control loops.
+//
+// Check every spec of a textual model:
+//
+//	verdict -model cluster.vsmv
+//
+// Synthesize safe parameter values instead of checking:
+//
+//	verdict -model cluster.vsmv -synth
+//
+// Run a built-in scenario from the paper:
+//
+//	verdict -scenario rollout     # case study 1 (Figure 5)
+//	verdict -scenario lbecmp      # case study 2 (LB+ECMP oscillation)
+//	verdict -scenario taint       # Kubernetes issue #75913
+//	verdict -scenario hpa         # Kubernetes issue #90461
+//	verdict -scenario descheduler # §3.3 oscillation
+//	verdict -scenario bigquery    # Google incident #18037
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"verdict"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("verdict: ")
+	var (
+		modelPath = flag.String("model", "", "path to a .vsmv model file")
+		scenario  = flag.String("scenario", "", "built-in scenario: rollout, lbecmp, taint, hpa, descheduler, bigquery")
+		synth     = flag.Bool("synth", false, "synthesize safe parameter values instead of checking")
+		depth     = flag.Int("depth", 25, "maximum BMC/induction depth")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
+		fullTrace = flag.Bool("full-trace", false, "print every variable in every trace state")
+		verify    = flag.Bool("verify", true, "replay counterexample traces through the semantics")
+	)
+	flag.Parse()
+
+	opts := verdict.Options{MaxDepth: *depth, Timeout: *timeout}
+	switch {
+	case *modelPath != "":
+		runModel(*modelPath, *synth, *fullTrace, *verify, opts)
+	case *scenario != "":
+		runScenario(*scenario, *synth, *fullTrace, *verify, opts)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runModel(path string, synth, fullTrace, verify bool, opts verdict.Options) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := verdict.ParseModel(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(prog.LTLSpecs) == 0 && len(prog.CTLSpecs) == 0 {
+		log.Fatal("model has no LTLSPEC or CTLSPEC sections")
+	}
+	for i, spec := range prog.LTLSpecs {
+		if synth {
+			res, err := verdict.SynthesizeParams(prog.Sys, spec, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("LTLSPEC %d: %s\n  safe  : %v\n  unsafe: %v\n", i, spec, res.Safe, res.Unsafe)
+			continue
+		}
+		res, err := verdict.Check(prog.Sys, spec, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(prog.Sys, fmt.Sprintf("LTLSPEC %d: %s", i, spec), res, fullTrace, verify)
+	}
+	for i, spec := range prog.CTLSpecs {
+		res, err := verdict.CheckCTL(prog.Sys, spec, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(prog.Sys, fmt.Sprintf("CTLSPEC %d: %s", i, spec), res, fullTrace, verify)
+	}
+}
+
+func runScenario(name string, synth, fullTrace, verify bool, opts verdict.Options) {
+	switch name {
+	case "rollout":
+		cfg := verdict.RolloutConfig{Topo: verdict.TestTopology(), P: 1, K: 2, M: 1}
+		if synth {
+			cfg = verdict.RolloutConfig{Topo: verdict.TestTopology(), SynthP: true, PMax: 4, K: 1, M: 1}
+		}
+		m, err := verdict.BuildRollout(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if synth {
+			res, err := verdict.SynthesizeParams(m.Sys, m.Property, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("safe p: %v\nunsafe p: %v\n", res.Safe, res.Unsafe)
+			return
+		}
+		res, err := verdict.FindCounterexample(m.Sys, m.Property, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(m.Sys, "G(converged -> available >= 1) [p=1, k=2]", res, fullTrace, verify)
+	case "lbecmp":
+		m := verdict.BuildLBECMP(verdict.DefaultLBECMP())
+		res, err := verdict.FindCounterexample(m.Sys, m.PropertyCond, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(m.Sys, "stable -> F(G(stable))", res, fullTrace, verify)
+	case "taint":
+		m := verdict.BuildTaintLoop(verdict.TaintLoopConfig{SynthRespect: synth})
+		if synth {
+			res, err := verdict.SynthesizeParams(m.Sys, m.Property, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("safe: %v\nunsafe: %v\n", res.Safe, res.Unsafe)
+			return
+		}
+		res, err := verdict.Check(m.Sys, m.Property, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(m.Sys, "F(G(stable)) — issue #75913", res, fullTrace, verify)
+	case "hpa":
+		m, err := verdict.BuildHPASurge(verdict.HPASurgeConfig{
+			MaxReplicas: 8, InitialDesired: 2, MaxSurge: 1, HPABug: !synth, SynthBug: synth,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if synth {
+			res, err := verdict.SynthesizeParams(m.Sys, m.Property, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("safe: %v\nunsafe: %v\n", res.Safe, res.Unsafe)
+			return
+		}
+		res, err := verdict.ProveInvariant(m.Sys, m.Bound, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(m.Sys, "G(desired <= 2) — issue #90461", res, fullTrace, verify)
+	case "bigquery":
+		m, err := verdict.BuildIncident18037(verdict.Incident18037Config{
+			AbuseThreshold: 1, SynthThreshold: synth,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if synth {
+			res, err := verdict.SynthesizeParams(m.Sys, m.Property, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("safe abuse thresholds: %v\nunsafe: %v\n", res.Safe, res.Unsafe)
+			return
+		}
+		res, err := verdict.Check(m.Sys, m.Property, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(m.Sys, "G(!rejecting) — Google incident #18037", res, fullTrace, verify)
+	case "descheduler":
+		m := verdict.BuildDescheduler(verdict.DeschedulerConfig{
+			RequestCPU: 50, Threshold: 45, SynthThreshold: synth,
+		})
+		if synth {
+			res, err := verdict.SynthesizeParams(m.Sys, m.Property, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%d safe thresholds, %d unsafe\n", len(res.Safe), len(res.Unsafe))
+			return
+		}
+		res, err := verdict.Check(m.Sys, m.Property, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(m.Sys, "F(G(stable)) — §3.3 oscillation", res, fullTrace, verify)
+	default:
+		log.Fatalf("unknown scenario %q", name)
+	}
+}
+
+func report(sys *verdict.System, what string, res *verdict.Result, fullTrace, verify bool) {
+	fmt.Printf("%s\n  -> %s\n", what, res)
+	if res.Trace == nil {
+		return
+	}
+	fmt.Println("counterexample:")
+	if fullTrace {
+		fmt.Print(res.Trace.Full())
+	} else {
+		fmt.Print(res.Trace)
+	}
+	if verify {
+		if err := verdict.ValidateTrace(sys, res.Trace); err != nil {
+			log.Fatalf("trace failed validation: %v", err)
+		}
+		fmt.Println("-- trace validated against the system semantics")
+	}
+}

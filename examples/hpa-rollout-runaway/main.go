@@ -1,0 +1,75 @@
+// Command hpa-rollout-runaway reproduces Kubernetes issue #90461
+// (§3.2): a rolling-update controller with maxSurge = 1 interacting
+// with a defective horizontal pod autoscaler that reports the expected
+// replica count as the current one. Verification shows the expected
+// count is unbounded exactly when the defect is present; parameter
+// synthesis isolates the defect; and the executable simulator shows
+// the ratchet live.
+//
+//	go run ./examples/hpa-rollout-runaway
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"verdict"
+)
+
+func main() {
+	for _, buggy := range []bool{true, false} {
+		m, err := verdict.BuildHPASurge(verdict.HPASurgeConfig{
+			MaxReplicas: 8, InitialDesired: 2, MaxSurge: 1, HPABug: buggy,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := verdict.ProveInvariant(m.Sys, m.Bound, verdict.Options{MaxDepth: 15})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("HPA defect=%v: G(desired <= 2) -> %s\n", buggy, res)
+		if res.Status == verdict.Violated {
+			fmt.Println("  runaway trace (desired ratchets up):")
+			fmt.Print(indent(res.Trace.String()))
+		}
+	}
+
+	// Synthesis pinpoints the defective configuration.
+	m, err := verdict.BuildHPASurge(verdict.HPASurgeConfig{
+		MaxReplicas: 8, InitialDesired: 2, MaxSurge: 1, SynthBug: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := verdict.SynthesizeParams(m.Sys, m.Property, verdict.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsynthesis over the HPA-defect parameter:")
+	fmt.Println("  safe  :", res.Safe)
+	fmt.Println("  unsafe:", res.Unsafe)
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

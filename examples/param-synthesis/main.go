@@ -1,0 +1,61 @@
+// Command param-synthesis reproduces the paper's parameter-synthesis
+// result: for the rollout case study with k = 1 and m = 1, the safe
+// non-zero values of the simultaneous-update budget are p ∈ {1, 2}.
+// It also synthesizes the safe descheduler eviction thresholds for the
+// §3.3 oscillation scenario (everything at or above the pod's CPU
+// request).
+//
+//	go run ./examples/param-synthesis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"verdict"
+)
+
+func main() {
+	// Rollout case study: p becomes a parameter over [1, 4].
+	m, err := verdict.BuildRollout(verdict.RolloutConfig{
+		Topo:   verdict.TestTopology(),
+		SynthP: true,
+		PMax:   4,
+		K:      1,
+		M:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := verdict.SynthesizeParams(m.Sys, m.Property, verdict.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rollout case study (k=1, m=1):")
+	fmt.Println("  safe  :", res.Safe)
+	fmt.Println("  unsafe:", res.Unsafe)
+	fmt.Printf("  (%s in %v)\n\n", res.Engine, res.Elapsed)
+
+	// Descheduler threshold synthesis: request 50%, threshold free.
+	d := verdict.BuildDescheduler(verdict.DeschedulerConfig{
+		RequestCPU:     50,
+		SynthThreshold: true,
+	})
+	dres, err := verdict.SynthesizeParams(d.Sys, d.Property, verdict.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("descheduler LowNodeUtilization threshold (request = 50%):")
+	fmt.Printf("  safe thresholds  : %d values (>= pod request)\n", len(dres.Safe))
+	fmt.Printf("  unsafe thresholds: %d values (oscillation)\n", len(dres.Unsafe))
+	lo, hi := dres.Safe[0], dres.Safe[0]
+	for _, a := range dres.Safe {
+		if a.String() < lo.String() {
+			lo = a
+		}
+		if a.String() > hi.String() {
+			hi = a
+		}
+	}
+	fmt.Println("  sample safe      :", dres.Safe[0])
+}

@@ -1,0 +1,74 @@
+// Command quickstart is the smallest end-to-end verdict program: it
+// models a two-controller interaction — an autoscaler adding replicas
+// under load and a cost controller removing them — and checks whether
+// the pair can fight forever.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"verdict"
+)
+
+func main() {
+	sys := verdict.NewSystem("autoscaler-vs-cost")
+
+	// replicas: how many instances run; load: observed demand level.
+	replicas := sys.Int("replicas", 1, 6)
+	load := sys.Int("load", 0, 2) // 0 low, 1 medium, 2 high
+
+	sys.Init(replicas, verdict.IntConst(2))
+	sys.Init(load, verdict.IntConst(1))
+
+	// Environment: load drifts by at most one level per step.
+	sys.AddTrans(verdict.And(
+		verdict.Le(load.Next(), verdict.Add(load.Ref(), verdict.IntConst(1))),
+		verdict.Ge(load.Next(), verdict.Sub(load.Ref(), verdict.IntConst(1))),
+	))
+
+	// Autoscaler: high load adds a replica. Cost controller: low load
+	// removes one. Medium load leaves the count alone.
+	up := verdict.And(verdict.Eq(load.Ref(), verdict.IntConst(2)),
+		verdict.Lt(replicas.Ref(), verdict.IntConst(6)))
+	down := verdict.And(verdict.Eq(load.Ref(), verdict.IntConst(0)),
+		verdict.Gt(replicas.Ref(), verdict.IntConst(1)))
+	sys.Assign(replicas, verdict.Ite(up,
+		verdict.Add(replicas.Ref(), verdict.IntConst(1)),
+		verdict.Ite(down,
+			verdict.Sub(replicas.Ref(), verdict.IntConst(1)),
+			replicas.Ref())))
+
+	// Safety: the replica count never collapses to zero capacity
+	// while load is high.
+	safety := verdict.G(verdict.Atom(verdict.Implies(
+		verdict.Eq(load.Ref(), verdict.IntConst(2)),
+		verdict.Ge(replicas.Ref(), verdict.IntConst(1)),
+	)))
+	res, err := verdict.Check(sys, safety, verdict.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("safety  %-40s -> %s\n", safety, res)
+
+	// Liveness: does the system eventually calm down? With load free
+	// to oscillate, it does not — the checker shows the controllers
+	// chasing the environment forever.
+	calm := verdict.Atom(verdict.Ne(load.Ref(), verdict.IntConst(2)))
+	liveness := verdict.F(verdict.G(calm))
+	res, err = verdict.FindCounterexample(sys, liveness, verdict.Options{MaxDepth: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("liveness F(G(load not high))                 -> %s\n", res)
+	if res.Trace != nil {
+		fmt.Println("\ncounterexample (lasso):")
+		fmt.Print(res.Trace)
+		if err := verdict.ValidateTrace(sys, res.Trace); err != nil {
+			log.Fatalf("trace failed validation: %v", err)
+		}
+		fmt.Println("trace validated against the system semantics ✓")
+	}
+}

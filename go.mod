@@ -1,0 +1,3 @@
+module verdict
+
+go 1.22

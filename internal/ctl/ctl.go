@@ -1,0 +1,151 @@
+// Package ctl defines computation tree logic formulas over expr atoms.
+// Evaluation happens in internal/mc via BDD fixpoints; this package
+// provides the AST and the normalization into the existential basis
+// {EX, EU, EG}.
+package ctl
+
+import (
+	"fmt"
+
+	"verdict/internal/expr"
+)
+
+// Kind enumerates CTL constructors.
+type Kind int
+
+// Formula kinds. The existential basis is EX/EU/EG; everything else
+// normalizes into it.
+const (
+	KindAtom Kind = iota
+	KindNot
+	KindAnd
+	KindOr
+	KindEX
+	KindEU
+	KindEG
+	KindEF
+	KindAX
+	KindAF
+	KindAG
+	KindAU
+)
+
+// Formula is an immutable CTL formula.
+type Formula struct {
+	Kind Kind
+	Atom *expr.Expr
+	L, R *Formula
+}
+
+// Atom wraps a boolean state predicate.
+func Atom(e *expr.Expr) *Formula {
+	if e.Type().Kind != expr.KindBool {
+		panic(fmt.Sprintf("ctl: atom of type %s, want bool", e.Type()))
+	}
+	if expr.HasNext(e) {
+		panic("ctl: atom mentions next()")
+	}
+	return &Formula{Kind: KindAtom, Atom: e}
+}
+
+// True is the constant-true formula.
+func True() *Formula { return Atom(expr.True()) }
+
+// Not negates f.
+func Not(f *Formula) *Formula { return &Formula{Kind: KindNot, L: f} }
+
+// And conjoins a and b.
+func And(a, b *Formula) *Formula { return &Formula{Kind: KindAnd, L: a, R: b} }
+
+// Or disjoins a and b.
+func Or(a, b *Formula) *Formula { return &Formula{Kind: KindOr, L: a, R: b} }
+
+// Implies returns ¬a ∨ b.
+func Implies(a, b *Formula) *Formula { return Or(Not(a), b) }
+
+// EX returns "some successor satisfies f".
+func EX(f *Formula) *Formula { return &Formula{Kind: KindEX, L: f} }
+
+// EF returns "some path eventually reaches f".
+func EF(f *Formula) *Formula { return &Formula{Kind: KindEF, L: f} }
+
+// EG returns "some path satisfies f forever".
+func EG(f *Formula) *Formula { return &Formula{Kind: KindEG, L: f} }
+
+// EU returns "some path satisfies a until b".
+func EU(a, b *Formula) *Formula { return &Formula{Kind: KindEU, L: a, R: b} }
+
+// AX returns "every successor satisfies f".
+func AX(f *Formula) *Formula { return &Formula{Kind: KindAX, L: f} }
+
+// AF returns "every path eventually reaches f".
+func AF(f *Formula) *Formula { return &Formula{Kind: KindAF, L: f} }
+
+// AG returns "every path satisfies f forever" — CTL's safety shape.
+func AG(f *Formula) *Formula { return &Formula{Kind: KindAG, L: f} }
+
+// AU returns "every path satisfies a until b".
+func AU(a, b *Formula) *Formula { return &Formula{Kind: KindAU, L: a, R: b} }
+
+// Normalize rewrites f into the existential basis: only Atom, Not,
+// And, Or, EX, EU, EG remain.
+func Normalize(f *Formula) *Formula {
+	switch f.Kind {
+	case KindAtom:
+		return f
+	case KindNot:
+		return Not(Normalize(f.L))
+	case KindAnd:
+		return And(Normalize(f.L), Normalize(f.R))
+	case KindOr:
+		return Or(Normalize(f.L), Normalize(f.R))
+	case KindEX:
+		return EX(Normalize(f.L))
+	case KindEU:
+		return EU(Normalize(f.L), Normalize(f.R))
+	case KindEG:
+		return EG(Normalize(f.L))
+	case KindEF: // EF f = E[true U f]
+		return EU(True(), Normalize(f.L))
+	case KindAX: // AX f = ¬EX ¬f
+		return Not(EX(Not(Normalize(f.L))))
+	case KindAF: // AF f = ¬EG ¬f
+		return Not(EG(Not(Normalize(f.L))))
+	case KindAG: // AG f = ¬EF ¬f
+		return Not(EU(True(), Not(Normalize(f.L))))
+	case KindAU: // A[a U b] = ¬(E[¬b U (¬a ∧ ¬b)] ∨ EG ¬b)
+		a, b := Normalize(f.L), Normalize(f.R)
+		return Not(Or(EU(Not(b), And(Not(a), Not(b))), EG(Not(b))))
+	}
+	panic("ctl: bad kind")
+}
+
+func (f *Formula) String() string {
+	switch f.Kind {
+	case KindAtom:
+		return "(" + f.Atom.String() + ")"
+	case KindNot:
+		return "!" + f.L.String()
+	case KindAnd:
+		return "(" + f.L.String() + " & " + f.R.String() + ")"
+	case KindOr:
+		return "(" + f.L.String() + " | " + f.R.String() + ")"
+	case KindEX:
+		return "EX " + f.L.String()
+	case KindEU:
+		return "E[" + f.L.String() + " U " + f.R.String() + "]"
+	case KindEG:
+		return "EG " + f.L.String()
+	case KindEF:
+		return "EF " + f.L.String()
+	case KindAX:
+		return "AX " + f.L.String()
+	case KindAF:
+		return "AF " + f.L.String()
+	case KindAG:
+		return "AG " + f.L.String()
+	case KindAU:
+		return "A[" + f.L.String() + " U " + f.R.String() + "]"
+	}
+	return "?"
+}

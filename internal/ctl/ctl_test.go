@@ -1,0 +1,91 @@
+package ctl
+
+import (
+	"strings"
+	"testing"
+
+	"verdict/internal/expr"
+)
+
+func atomP() *Formula {
+	return Atom((&expr.Var{Name: "p", T: expr.Bool()}).Ref())
+}
+
+// normalizedOnly checks the Normalize postcondition: only the
+// existential basis remains.
+func normalizedOnly(t *testing.T, f *Formula) {
+	t.Helper()
+	switch f.Kind {
+	case KindAtom, KindNot, KindAnd, KindOr, KindEX, KindEU, KindEG:
+	default:
+		t.Errorf("normalized formula contains %v", f.Kind)
+	}
+	if f.L != nil {
+		normalizedOnly(t, f.L)
+	}
+	if f.R != nil {
+		normalizedOnly(t, f.R)
+	}
+}
+
+func TestNormalizeBasis(t *testing.T) {
+	p, q := atomP(), atomP()
+	cases := []*Formula{
+		AG(p),
+		AF(p),
+		AX(p),
+		AU(p, q),
+		EF(p),
+		Implies(AG(p), EF(And(p, Not(q)))),
+		AG(AF(EG(p))),
+	}
+	for _, f := range cases {
+		normalizedOnly(t, Normalize(f))
+	}
+}
+
+func TestNormalizeIdentities(t *testing.T) {
+	p := atomP()
+	// EF p = E[true U p]
+	f := Normalize(EF(p))
+	if f.Kind != KindEU || !f.L.Atom.IsTrue() {
+		t.Errorf("EF normalization = %s", f)
+	}
+	// AX p = ¬EX¬p
+	f = Normalize(AX(p))
+	if f.Kind != KindNot || f.L.Kind != KindEX || f.L.L.Kind != KindNot {
+		t.Errorf("AX normalization = %s", f)
+	}
+	// AG p = ¬E[true U ¬p]
+	f = Normalize(AG(p))
+	if f.Kind != KindNot || f.L.Kind != KindEU {
+		t.Errorf("AG normalization = %s", f)
+	}
+}
+
+func TestAtomValidation(t *testing.T) {
+	x := &expr.Var{Name: "x", T: expr.Int(0, 3)}
+	assertPanics(t, func() { Atom(x.Ref()) })
+	b := &expr.Var{Name: "b", T: expr.Bool()}
+	assertPanics(t, func() { Atom(expr.Iff(b.Next(), b.Ref())) })
+}
+
+func TestString(t *testing.T) {
+	p := atomP()
+	s := AU(p, EG(p)).String()
+	for _, frag := range []string{"A[", "U", "EG"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("%q missing %q", s, frag)
+		}
+	}
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

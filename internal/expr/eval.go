@@ -1,0 +1,212 @@
+package expr
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Env supplies concrete values for variables during evaluation.
+type Env interface {
+	// Value returns the value bound to v, and whether a binding exists.
+	Value(v *Var) (Value, bool)
+}
+
+// MapEnv is the map-backed Env used throughout the engines.
+type MapEnv map[*Var]Value
+
+// Value implements Env.
+func (m MapEnv) Value(v *Var) (Value, bool) {
+	val, ok := m[v]
+	return val, ok
+}
+
+// EmptyEnv binds nothing.
+var EmptyEnv Env = MapEnv(nil)
+
+// Eval evaluates e with cur binding current-state variables and next
+// binding next-state variables (next may be nil when e contains no
+// OpNext nodes). It returns an error when a referenced variable is
+// unbound or a division by zero occurs.
+func Eval(e *Expr, cur, next Env) (Value, error) {
+	switch e.Op {
+	case OpConst:
+		return e.Val, nil
+	case OpVar:
+		if v, ok := cur.Value(e.V); ok {
+			return v, nil
+		}
+		return Value{}, fmt.Errorf("expr: unbound variable %s", e.V.Name)
+	case OpNext:
+		if next == nil {
+			return Value{}, fmt.Errorf("expr: next(%s) evaluated without next-state env", e.V.Name)
+		}
+		if v, ok := next.Value(e.V); ok {
+			return v, nil
+		}
+		return Value{}, fmt.Errorf("expr: unbound next-state variable %s", e.V.Name)
+	case OpNot:
+		a, err := Eval(e.Args[0], cur, next)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolValue(!a.B), nil
+	case OpAnd:
+		for _, arg := range e.Args {
+			a, err := Eval(arg, cur, next)
+			if err != nil {
+				return Value{}, err
+			}
+			if !a.B {
+				return BoolValue(false), nil
+			}
+		}
+		return BoolValue(true), nil
+	case OpOr:
+		for _, arg := range e.Args {
+			a, err := Eval(arg, cur, next)
+			if err != nil {
+				return Value{}, err
+			}
+			if a.B {
+				return BoolValue(true), nil
+			}
+		}
+		return BoolValue(false), nil
+	case OpImplies:
+		a, err := Eval(e.Args[0], cur, next)
+		if err != nil {
+			return Value{}, err
+		}
+		if !a.B {
+			return BoolValue(true), nil
+		}
+		return Eval(e.Args[1], cur, next)
+	case OpIff:
+		a, err := Eval(e.Args[0], cur, next)
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := Eval(e.Args[1], cur, next)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolValue(a.B == b.B), nil
+	case OpXor:
+		a, err := Eval(e.Args[0], cur, next)
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := Eval(e.Args[1], cur, next)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolValue(a.B != b.B), nil
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		a, err := Eval(e.Args[0], cur, next)
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := Eval(e.Args[1], cur, next)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolValue(evalCompare(e.Op, a, b)), nil
+	case OpAdd, OpSub, OpNeg, OpMul:
+		vals := make([]Value, len(e.Args))
+		allInt := true
+		for i, arg := range e.Args {
+			v, err := Eval(arg, cur, next)
+			if err != nil {
+				return Value{}, err
+			}
+			vals[i] = v
+			if v.Kind != KindInt {
+				allInt = false
+			}
+		}
+		if allInt {
+			var acc int64
+			switch e.Op {
+			case OpAdd:
+				for _, v := range vals {
+					acc += v.I
+				}
+			case OpSub:
+				acc = vals[0].I - vals[1].I
+			case OpNeg:
+				acc = -vals[0].I
+			case OpMul:
+				acc = 1
+				for _, v := range vals {
+					acc *= v.I
+				}
+			}
+			return IntValue(acc), nil
+		}
+		acc := new(big.Rat)
+		switch e.Op {
+		case OpAdd:
+			for _, v := range vals {
+				acc.Add(acc, v.Rat())
+			}
+		case OpSub:
+			acc.Sub(vals[0].Rat(), vals[1].Rat())
+		case OpNeg:
+			acc.Neg(vals[0].Rat())
+		case OpMul:
+			acc.SetInt64(1)
+			for _, v := range vals {
+				acc.Mul(acc, v.Rat())
+			}
+		}
+		return RealValue(acc), nil
+	case OpDiv:
+		a, err := Eval(e.Args[0], cur, next)
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := Eval(e.Args[1], cur, next)
+		if err != nil {
+			return Value{}, err
+		}
+		br := b.Rat()
+		if br.Sign() == 0 {
+			return Value{}, fmt.Errorf("expr: division by zero in %s", e)
+		}
+		return RealValue(new(big.Rat).Quo(a.Rat(), br)), nil
+	case OpIte:
+		c, err := Eval(e.Args[0], cur, next)
+		if err != nil {
+			return Value{}, err
+		}
+		if c.B {
+			return Eval(e.Args[1], cur, next)
+		}
+		return Eval(e.Args[2], cur, next)
+	case OpCount:
+		var n int64
+		for _, arg := range e.Args {
+			v, err := Eval(arg, cur, next)
+			if err != nil {
+				return Value{}, err
+			}
+			if v.B {
+				n++
+			}
+		}
+		return IntValue(n), nil
+	}
+	return Value{}, fmt.Errorf("expr: cannot evaluate op %v", e.Op)
+}
+
+// EvalBool evaluates a boolean expression, returning its truth value.
+func EvalBool(e *Expr, cur, next Env) (bool, error) {
+	if e.T.Kind != KindBool {
+		return false, fmt.Errorf("expr: EvalBool on %s-typed expression", e.T)
+	}
+	v, err := Eval(e, cur, next)
+	if err != nil {
+		return false, err
+	}
+	return v.B, nil
+}

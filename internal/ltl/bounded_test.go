@@ -1,0 +1,248 @@
+package ltl
+
+import (
+	"math/rand"
+	"testing"
+
+	"verdict/internal/cnf"
+	"verdict/internal/expr"
+	"verdict/internal/sat"
+)
+
+// refLasso evaluates an NNF formula at position 0 of the infinite
+// lasso path states[0..k] with loop back to l, by fixpoint iteration
+// over the finite position set (least fixpoint for U/F, greatest for
+// R/G). It is the independent referee for the bounded encoding.
+func refLasso(f *Formula, states []map[*expr.Var]expr.Value, l int) bool {
+	n := len(states)
+	succ := func(i int) int {
+		if i+1 < n {
+			return i + 1
+		}
+		return l
+	}
+	memo := map[*Formula][]bool{}
+	var eval func(g *Formula) []bool
+	eval = func(g *Formula) []bool {
+		if v, ok := memo[g]; ok {
+			return v
+		}
+		out := make([]bool, n)
+		switch g.Kind {
+		case KindAtom:
+			for i := range out {
+				v, err := expr.EvalBool(g.Atom, expr.MapEnv(states[i]), nil)
+				if err != nil {
+					panic(err)
+				}
+				out[i] = v
+			}
+		case KindNot:
+			sub := eval(g.L)
+			for i := range out {
+				out[i] = !sub[i]
+			}
+		case KindAnd:
+			a, b := eval(g.L), eval(g.R)
+			for i := range out {
+				out[i] = a[i] && b[i]
+			}
+		case KindOr:
+			a, b := eval(g.L), eval(g.R)
+			for i := range out {
+				out[i] = a[i] || b[i]
+			}
+		case KindX:
+			sub := eval(g.L)
+			for i := range out {
+				out[i] = sub[succ(i)]
+			}
+		case KindU, KindF:
+			var a, b []bool
+			if g.Kind == KindF {
+				a = make([]bool, n)
+				for i := range a {
+					a[i] = true
+				}
+				b = eval(g.L)
+			} else {
+				a, b = eval(g.L), eval(g.R)
+			}
+			// Least fixpoint from false.
+			for iter := 0; iter <= n; iter++ {
+				for i := n - 1; i >= 0; i-- {
+					out[i] = b[i] || (a[i] && out[succ(i)])
+				}
+			}
+		case KindR, KindG:
+			var a, b []bool
+			if g.Kind == KindG {
+				a = make([]bool, n) // all false (never released)
+				b = eval(g.L)
+			} else {
+				a, b = eval(g.L), eval(g.R)
+			}
+			// Greatest fixpoint from true.
+			for i := range out {
+				out[i] = true
+			}
+			for iter := 0; iter <= n; iter++ {
+				for i := n - 1; i >= 0; i-- {
+					out[i] = b[i] && (a[i] || out[succ(i)])
+				}
+			}
+		default:
+			panic("refLasso: bad kind")
+		}
+		memo[g] = out
+		return out
+	}
+	return eval(f)[0]
+}
+
+// TestBoundedLoopEncodingMatchesReference pins concrete lasso paths
+// into SAT frames and compares EncodeLoop against refLasso on random
+// NNF formulas.
+func TestBoundedLoopEncodingMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2718))
+	b1 := &expr.Var{Name: "b1", T: expr.Bool()}
+	b2 := &expr.Var{Name: "b2", T: expr.Bool()}
+	vars := []*expr.Var{b1, b2}
+
+	var genF func(d int) *Formula
+	genF = func(d int) *Formula {
+		if d == 0 {
+			v := vars[rng.Intn(2)]
+			if rng.Intn(2) == 0 {
+				return Atom(v.Ref())
+			}
+			return Atom(expr.Not(v.Ref()))
+		}
+		switch rng.Intn(7) {
+		case 0:
+			return And(genF(d-1), genF(d-1))
+		case 1:
+			return Or(genF(d-1), genF(d-1))
+		case 2:
+			return X(genF(d - 1))
+		case 3:
+			return U(genF(d-1), genF(d-1))
+		case 4:
+			return R(genF(d-1), genF(d-1))
+		case 5:
+			return F(genF(d - 1))
+		default:
+			return G(genF(d - 1))
+		}
+	}
+
+	for trial := 0; trial < 150; trial++ {
+		k := 1 + rng.Intn(4) // path length k+1
+		l := rng.Intn(k + 1)
+		states := make([]map[*expr.Var]expr.Value, k+1)
+		for i := range states {
+			states[i] = map[*expr.Var]expr.Value{
+				b1: expr.BoolValue(rng.Intn(2) == 0),
+				b2: expr.BoolValue(rng.Intn(2) == 0),
+			}
+		}
+		f := genF(2)
+
+		s := sat.New()
+		enc := cnf.NewEncoder(s)
+		frames := make([]*cnf.Frame, k+1)
+		for i := range frames {
+			frames[i] = enc.NewFrame(vars)
+			// Pin the frame to the concrete state.
+			for _, v := range vars {
+				lit := enc.Lit(v.Ref(), frames[i], nil)
+				if !states[i][v].B {
+					lit = lit.Not()
+				}
+				s.AddClause(lit)
+			}
+		}
+		benc := NewBoundedEncoder(enc, frames)
+		w := benc.EncodeLoop(f, l)
+		got := s.Solve(w) == sat.Sat
+		want := refLasso(f, states, l)
+		if got != want {
+			t.Fatalf("trial %d: k=%d l=%d formula %s: encoded=%v ref=%v",
+				trial, k, l, f, got, want)
+		}
+	}
+}
+
+// TestBoundedNoLoopSoundness: a no-loop witness implies every lasso
+// completion of the prefix... for co-safety formulas the no-loop
+// witness must agree with the reference on the lasso that stutters the
+// last state (appending a self-loop can only add future positions,
+// which preserves co-safety witnesses).
+func TestBoundedNoLoopCoSafety(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	b1 := &expr.Var{Name: "b1", T: expr.Bool()}
+	vars := []*expr.Var{b1}
+
+	var genCoSafe func(d int) *Formula
+	genCoSafe = func(d int) *Formula {
+		if d == 0 {
+			if rng.Intn(2) == 0 {
+				return Atom(b1.Ref())
+			}
+			return Atom(expr.Not(b1.Ref()))
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return And(genCoSafe(d-1), genCoSafe(d-1))
+		case 1:
+			return Or(genCoSafe(d-1), genCoSafe(d-1))
+		case 2:
+			return X(genCoSafe(d - 1))
+		default:
+			return F(genCoSafe(d - 1))
+		}
+	}
+
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(4)
+		states := make([]map[*expr.Var]expr.Value, k+1)
+		for i := range states {
+			states[i] = map[*expr.Var]expr.Value{b1: expr.BoolValue(rng.Intn(2) == 0)}
+		}
+		f := genCoSafe(2)
+
+		s := sat.New()
+		enc := cnf.NewEncoder(s)
+		frames := make([]*cnf.Frame, k+1)
+		for i := range frames {
+			frames[i] = enc.NewFrame(vars)
+			lit := enc.Lit(b1.Ref(), frames[i], nil)
+			if !states[i][b1].B {
+				lit = lit.Not()
+			}
+			s.AddClause(lit)
+		}
+		benc := NewBoundedEncoder(enc, frames)
+		w := benc.EncodeNoLoop(f)
+		got := s.Solve(w) == sat.Sat
+		// Reference on the stuttering lasso (loop at k).
+		want := refLasso(f, states, k)
+		if got && !want {
+			t.Fatalf("trial %d: no-loop witness unsound for %s", trial, f)
+		}
+	}
+}
+
+func TestEncodeLoopRangeChecks(t *testing.T) {
+	b1 := &expr.Var{Name: "b1", T: expr.Bool()}
+	s := sat.New()
+	enc := cnf.NewEncoder(s)
+	frames := []*cnf.Frame{enc.NewFrame([]*expr.Var{b1})}
+	benc := NewBoundedEncoder(enc, frames)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range loop index")
+		}
+	}()
+	benc.EncodeLoop(Atom(b1.Ref()), 5)
+}

@@ -1,0 +1,154 @@
+package ltl
+
+import (
+	"strings"
+	"testing"
+
+	"verdict/internal/expr"
+)
+
+func boolVar(name string) *expr.Var { return &expr.Var{Name: name, T: expr.Bool()} }
+
+func TestConstructorsAndString(t *testing.T) {
+	p := Atom(boolVar("p").Ref())
+	q := Atom(boolVar("q").Ref())
+	f := Implies(G(p), U(p, F(q)))
+	s := f.String()
+	for _, frag := range []string{"G", "U", "F", "p", "q"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("%q missing %q", s, frag)
+		}
+	}
+}
+
+func TestAtomRejectsNonBool(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	x := &expr.Var{Name: "x", T: expr.Int(0, 3)}
+	Atom(x.Ref())
+}
+
+func TestAtomRejectsNext(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := boolVar("b")
+	Atom(expr.Eq(b.Next(), b.Ref()))
+}
+
+// nnfNoFGNot checks the NNF postcondition: no F, G, and Not only above
+// atoms.
+func nnfNoFGNot(t *testing.T, f *Formula) {
+	t.Helper()
+	switch f.Kind {
+	case KindF, KindG:
+		t.Errorf("NNF contains %v", f.Kind)
+	case KindNot:
+		if f.L.Kind != KindAtom {
+			t.Errorf("NNF negation above non-atom: %s", f)
+		}
+	}
+	if f.L != nil {
+		nnfNoFGNot(t, f.L)
+	}
+	if f.R != nil {
+		nnfNoFGNot(t, f.R)
+	}
+}
+
+func TestNNFShapes(t *testing.T) {
+	p := Atom(boolVar("p").Ref())
+	q := Atom(boolVar("q").Ref())
+	cases := []*Formula{
+		Not(G(p)),
+		Not(F(G(p))),
+		Not(U(p, q)),
+		Not(R(p, q)),
+		Not(And(p, Not(Or(q, X(p))))),
+		Implies(p, F(G(q))),
+		Not(Implies(G(F(p)), G(F(q)))),
+	}
+	for _, f := range cases {
+		nnfNoFGNot(t, f.NNF())
+	}
+}
+
+func TestNNFDualities(t *testing.T) {
+	p := Atom(boolVar("p").Ref())
+	// ¬G p  =>  true U ¬p
+	f := Not(G(p)).NNF()
+	if f.Kind != KindU {
+		t.Errorf("¬G p NNF kind = %v, want U", f.Kind)
+	}
+	// ¬F p  =>  false R ¬p
+	f = Not(F(p)).NNF()
+	if f.Kind != KindR {
+		t.Errorf("¬F p NNF kind = %v, want R", f.Kind)
+	}
+	// Double negation cancels.
+	f = Not(Not(p)).NNF()
+	if f.Kind != KindAtom {
+		t.Errorf("¬¬p NNF kind = %v, want atom", f.Kind)
+	}
+}
+
+func TestSubformulasPostOrder(t *testing.T) {
+	p := Atom(boolVar("p").Ref())
+	q := Atom(boolVar("q").Ref())
+	f := U(p, And(q, X(p)))
+	subs := Subformulas(f)
+	if subs[len(subs)-1] != f {
+		t.Error("root must come last in post-order")
+	}
+	if len(subs) != 5 { // p, q, X p, q & X p, U
+		t.Errorf("got %d subformulas, want 5", len(subs))
+	}
+}
+
+func TestAtoms(t *testing.T) {
+	pe := boolVar("p").Ref()
+	qe := boolVar("q").Ref()
+	f := And(Atom(pe), U(Atom(pe), Atom(qe)))
+	atoms := Atoms(f)
+	if len(atoms) != 2 {
+		t.Errorf("Atoms = %d, want 2 (deduplicated)", len(atoms))
+	}
+}
+
+func TestIsSafetyInvariant(t *testing.T) {
+	p := boolVar("p")
+	q := boolVar("q")
+	if _, ok := IsSafetyInvariant(G(Atom(p.Ref()))); !ok {
+		t.Error("G(atom) not recognized")
+	}
+	if e, ok := IsSafetyInvariant(G(And(Atom(p.Ref()), Not(Atom(q.Ref()))))); !ok {
+		t.Error("G(boolean combination) not recognized")
+	} else {
+		v, err := expr.EvalBool(e, expr.MapEnv{p: expr.BoolValue(true), q: expr.BoolValue(false)}, nil)
+		if err != nil || !v {
+			t.Error("extracted predicate wrong")
+		}
+	}
+	if _, ok := IsSafetyInvariant(G(F(Atom(p.Ref())))); ok {
+		t.Error("G(F(p)) misrecognized as invariant")
+	}
+	if _, ok := IsSafetyInvariant(F(Atom(p.Ref()))); ok {
+		t.Error("F(p) misrecognized")
+	}
+}
+
+func TestFoldEmpty(t *testing.T) {
+	f := And()
+	if f.Kind != KindAtom || !f.Atom.IsTrue() {
+		t.Errorf("empty And = %s, want true atom", f)
+	}
+	f = Or()
+	if f.Kind != KindNot || f.L.Kind != KindAtom {
+		t.Errorf("empty Or = %s, want ¬true", f)
+	}
+}

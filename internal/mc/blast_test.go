@@ -1,0 +1,126 @@
+package mc
+
+import (
+	"testing"
+
+	"verdict/internal/expr"
+	"verdict/internal/ltl"
+	"verdict/internal/models/rollout"
+	"verdict/internal/topo"
+	"verdict/internal/ts"
+)
+
+// TestBlastRadiusSimple: a pool of 4 workers where one rack failure
+// takes 2 of them; the blast radius of "rack failed" on the healthy
+// count must be exactly {2}, against a baseline of 4.
+func TestBlastRadiusSimple(t *testing.T) {
+	sys := ts.New("rack")
+	rack := sys.Bool("rack_failed")
+	healthy := sys.Int("healthy", 0, 4)
+	sys.Init(rack, expr.False())
+	sys.Init(healthy, expr.IntConst(4))
+	sys.AddTrans(expr.Implies(rack.Ref(), rack.Next())) // failure latches
+	sys.Assign(healthy, expr.Ite(rack.Next(), expr.IntConst(2), expr.IntConst(4)))
+
+	r, err := AnalyzeBlastRadius(sys, rack.Ref(), healthy.Ref(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Min != 2 || r.Max != 2 {
+		t.Errorf("post-event healthy range [%d,%d], want [2,2]", r.Min, r.Max)
+	}
+	if r.BaselineMin != 4 {
+		t.Errorf("baseline min %d, want 4", r.BaselineMin)
+	}
+}
+
+// TestBlastRadiusRollout: on the rollout case study (no link
+// failures), the blast radius of "some node is updating" on available
+// service nodes is bounded below by total - p.
+func TestBlastRadiusRollout(t *testing.T) {
+	m, err := rollout.Build(rollout.Config{Topo: topo.Test(), P: 1, K: 0, M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := topo.Test()
+	_ = g
+	// Event: s1 enters the updating phase.
+	var phaseS1 *expr.Var
+	for id, v := range m.Phases {
+		if topo.Test().Nodes[id].Name == "s1" {
+			phaseS1 = v
+		}
+	}
+	event := expr.Eq(phaseS1.Ref(), expr.EnumConst(phaseS1.T, rollout.PhaseUpdating))
+	r, err := AnalyzeBlastRadius(m.Sys, event, m.Available, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Min < 3 {
+		t.Errorf("with p=1, k=0 availability after an update start must stay >= 3, got %d", r.Min)
+	}
+	if r.Max != 4 {
+		t.Errorf("max availability %d, want 4 (node comes back)", r.Max)
+	}
+}
+
+func TestBlastRadiusUnreachableEvent(t *testing.T) {
+	sys := ts.New("s")
+	x := sys.Int("x", 0, 3)
+	sys.Init(x, expr.IntConst(0))
+	sys.Keep(x)
+	_, err := AnalyzeBlastRadius(sys, expr.Eq(x.Ref(), expr.IntConst(3)), x.Ref(), Options{})
+	if err == nil {
+		t.Fatal("unreachable event should error")
+	}
+}
+
+func TestBlastRadiusValidation(t *testing.T) {
+	sys := ts.New("s")
+	x := sys.Int("x", 0, 3)
+	b := sys.Bool("b")
+	sys.Init(x, expr.IntConst(0))
+	sys.Keep(x)
+	sys.Keep(b)
+	if _, err := AnalyzeBlastRadius(sys, b.Ref(), b.Ref(), Options{}); err == nil {
+		t.Error("bool metric should be rejected")
+	}
+	if _, err := AnalyzeBlastRadius(sys, x.Ref(), x.Ref(), Options{}); err == nil {
+		t.Error("int event should be rejected")
+	}
+}
+
+// TestBoundedConvergence uses FWithin for the paper's §5 real-time
+// shape: after any topology change, the reachability loop reconverges
+// within the topology diameter (here: 6 steps), but not always within
+// 1 step.
+func TestBoundedConvergence(t *testing.T) {
+	m, err := rollout.Build(rollout.Config{Topo: topo.Test(), P: 1, K: 1, M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := ltl.Atom(m.Converged)
+	// Within 7 steps: holds (distance propagation is bounded by the
+	// sentinel value 6).
+	phi := ltl.G(ltl.FWithin(7, conv))
+	sym, err := NewSym(m.Sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sym.CheckLTL(phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Holds {
+		t.Fatalf("G(F<=7 converged): %v, want holds", r)
+	}
+	// Within 1 step: violated (a fresh failure needs several rounds).
+	phi1 := ltl.G(ltl.FWithin(1, conv))
+	r1, err := BMC(m.Sys, phi1, Options{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Status != Violated {
+		t.Fatalf("G(F<=1 converged): %v, want violated", r1)
+	}
+}

@@ -1,0 +1,183 @@
+package mc
+
+import (
+	"fmt"
+	"time"
+
+	"verdict/internal/expr"
+	"verdict/internal/ltl"
+	"verdict/internal/sat"
+	"verdict/internal/ts"
+)
+
+// KInduction attempts to prove the invariant G(p) by k-induction with
+// simple-path strengthening, or returns a counterexample found by the
+// base case. Only finite systems are supported (the SMT engine checks
+// real-valued models via BMC, which cannot prove).
+//
+// For each k: the base case checks that no state violating p is
+// reachable in exactly k steps; the induction step checks that any
+// simple path of k+1 p-states cannot be extended to a ¬p state. Base
+// violated → Violated with trace; step unsatisfiable → Holds.
+func KInduction(sys *ts.System, p *expr.Expr, opts Options) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if !sys.Finite() {
+		return nil, fmt.Errorf("mc: k-induction requires a finite system (got real-valued variables in %s)", sys.Name)
+	}
+	if p.Type().Kind != expr.KindBool || expr.HasNext(p) {
+		return nil, fmt.Errorf("mc: k-induction property must be a boolean state predicate")
+	}
+	start := time.Now()
+
+	for k := 0; k <= opts.maxDepth(); k++ {
+		if opts.expired(start) {
+			return &Result{Status: Unknown, Engine: "k-induction", Depth: k, Elapsed: time.Since(start), Note: "timeout"}, nil
+		}
+		// Base case: init path of k steps ending in ¬p.
+		base, err := newUnroller(sys, k, opts, start)
+		if err != nil {
+			return nil, err
+		}
+		st := base.solve(base.enc.Lit(expr.Not(p), base.frames[k], nil))
+		switch st {
+		case sat.Sat:
+			return &Result{
+				Status:  Violated,
+				Trace:   base.extractTrace(-1),
+				Engine:  "k-induction",
+				Depth:   k,
+				Elapsed: time.Since(start),
+			}, nil
+		case sat.Unknown:
+			return &Result{Status: Unknown, Engine: "k-induction", Depth: k, Elapsed: time.Since(start), Note: "timeout"}, nil
+		}
+
+		// Induction step: p-states 0..k on a simple path, ¬p at k+1.
+		step, err := newStepUnroller(sys, k+1, opts, start)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i <= k; i++ {
+			step.enc.Assert(p, step.frames[i], nil)
+		}
+		// Simple-path constraint: all of frames 0..k pairwise distinct
+		// (required for completeness; without it k-induction can loop
+		// forever on systems with unreachable p-cycles).
+		for i := 0; i <= k; i++ {
+			for j := i + 1; j <= k; j++ {
+				step.sats.AddClause(step.enc.EqFrames(step.frames[i], step.frames[j]).Not())
+			}
+		}
+		st = step.solve(step.enc.Lit(expr.Not(p), step.frames[k+1], nil))
+		switch st {
+		case sat.Unsat:
+			return &Result{
+				Status:  Holds,
+				Engine:  "k-induction",
+				Depth:   k,
+				Elapsed: time.Since(start),
+				Note:    fmt.Sprintf("proved at induction depth %d", k),
+			}, nil
+		case sat.Unknown:
+			return &Result{Status: Unknown, Engine: "k-induction", Depth: k, Elapsed: time.Since(start), Note: "timeout"}, nil
+		}
+	}
+	return &Result{
+		Status:  Unknown,
+		Engine:  "k-induction",
+		Depth:   opts.maxDepth(),
+		Elapsed: time.Since(start),
+		Note:    fmt.Sprintf("not inductive up to depth %d", opts.maxDepth()),
+	}, nil
+}
+
+// newStepUnroller builds an unrolled chain WITHOUT the initial-state
+// constraint, for induction steps.
+func newStepUnroller(sys *ts.System, k int, opts Options, start time.Time) (*unroller, error) {
+	u := &unroller{sys: sys}
+	for _, v := range sys.Vars() {
+		if v.T.Finite() {
+			u.finiteState = append(u.finiteState, v)
+		}
+	}
+	for _, p := range sys.Params() {
+		if p.T.Finite() {
+			u.finiteParams = append(u.finiteParams, p)
+		}
+	}
+	u.sats = sat.New()
+	u.enc = cnfEncoder(u.sats, opts)
+	u.sats.Interrupt = opts.interrupt(start)
+	u.params = u.enc.NewFrame(u.finiteParams)
+	u.enc.Params = u.params
+	for i := 0; i <= k; i++ {
+		u.frames = append(u.frames, u.enc.NewFrame(u.finiteState))
+	}
+	invar := sys.InvarExpr()
+	for i := 0; i <= k; i++ {
+		u.enc.Assert(invar, u.frames[i], nil)
+	}
+	tr := sys.TransExpr()
+	for i := 0; i < k; i++ {
+		u.enc.Assert(tr, u.frames[i], u.frames[i+1])
+	}
+	u.benc = ltl.NewBoundedEncoder(u.enc, u.frames)
+	return u, nil
+}
+
+// CheckInvariant proves or refutes G(p): k-induction first (it can
+// both prove and refute), falling back on the result it gives.
+func CheckInvariant(sys *ts.System, p *expr.Expr, opts Options) (*Result, error) {
+	return KInduction(sys, p, opts)
+}
+
+// CheckLTL is the top-level finite-system entry point: a safety
+// invariant G(p) goes through k-induction first (cheap refutation via
+// its base case, cheap proof when the property is inductive at small
+// depth) with a quarter of the time budget, then the BDD engine
+// decides exactly; everything else goes through BMC for refutation
+// and the BDD engine for proofs.
+func CheckLTL(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) {
+	if p, ok := ltl.IsSafetyInvariant(phi); ok && sys.Finite() {
+		kiOpts := opts
+		if opts.Timeout > 0 {
+			kiOpts.Timeout = opts.Timeout / 4
+		}
+		r, err := KInduction(sys, p, kiOpts)
+		if err != nil || r.Status != Unknown {
+			return r, err
+		}
+		sym, err := NewSym(sys, opts)
+		if err != nil {
+			return r, nil
+		}
+		rb, err := sym.CheckInvariant(p)
+		if err != nil {
+			return nil, err
+		}
+		if rb.Status == Unknown {
+			rb.Note = "k-induction and BDD both exhausted their budgets"
+		}
+		return rb, nil
+	}
+	if sys.Finite() {
+		// Try cheap refutation first, then decide with BDDs.
+		r, err := BMC(sys, phi, opts)
+		if err != nil {
+			return nil, err
+		}
+		if r.Status == Violated {
+			return r, nil
+		}
+		sym, err := NewSym(sys, opts)
+		if err != nil {
+			// Fall back to the bounded result.
+			r.Note += " (bdd engine unavailable: " + err.Error() + ")"
+			return r, nil
+		}
+		return sym.CheckLTL(phi)
+	}
+	return BMC(sys, phi, opts)
+}

@@ -1,0 +1,99 @@
+package mc
+
+import (
+	"fmt"
+
+	"verdict/internal/expr"
+	"verdict/internal/trace"
+	"verdict/internal/ts"
+)
+
+// ValidateTrace replays a counterexample trace against the system
+// semantics by direct evaluation: the first state must satisfy INIT
+// and INVAR, every state must satisfy INVAR, every consecutive pair
+// must satisfy TRANS, and for lasso traces the closing transition from
+// the last state back to the loop state must also satisfy TRANS.
+// Engines are complex; evaluation is simple — this is the independent
+// referee used by tests and by the CLI's --verify flag.
+func ValidateTrace(sys *ts.System, t *trace.Trace, checkFrozen bool) error {
+	if t == nil || t.Len() == 0 {
+		return fmt.Errorf("mc: empty trace")
+	}
+	envs := make([]expr.MapEnv, t.Len())
+	for i, st := range t.States {
+		env := expr.MapEnv{}
+		for _, v := range sys.Vars() {
+			val, ok := st.Get(v.Name)
+			if !ok {
+				return fmt.Errorf("mc: state %d missing variable %s", i, v.Name)
+			}
+			env[v] = val
+		}
+		for _, p := range sys.Params() {
+			val, ok := t.Params[p.Name]
+			if !ok {
+				return fmt.Errorf("mc: trace missing parameter %s", p.Name)
+			}
+			env[p] = val
+		}
+		envs[i] = env
+	}
+
+	ok, err := expr.EvalBool(sys.InitExpr(), envs[0], nil)
+	if err != nil {
+		return fmt.Errorf("mc: evaluating INIT: %w", err)
+	}
+	if !ok {
+		return fmt.Errorf("mc: state 0 violates INIT")
+	}
+	invar := sys.InvarExpr()
+	for i, env := range envs {
+		ok, err := expr.EvalBool(invar, env, nil)
+		if err != nil {
+			return fmt.Errorf("mc: evaluating INVAR at state %d: %w", i, err)
+		}
+		if !ok {
+			return fmt.Errorf("mc: state %d violates INVAR", i)
+		}
+	}
+	tr := sys.TransExpr()
+	for i := 0; i+1 < len(envs); i++ {
+		ok, err := expr.EvalBool(tr, envs[i], envs[i+1])
+		if err != nil {
+			return fmt.Errorf("mc: evaluating TRANS at step %d: %w", i, err)
+		}
+		if !ok {
+			return fmt.Errorf("mc: transition %d -> %d violates TRANS", i, i+1)
+		}
+	}
+	if t.IsLasso() {
+		last := len(envs) - 1
+		ok, err := expr.EvalBool(tr, envs[last], envs[t.LoopStart])
+		if err != nil {
+			return fmt.Errorf("mc: evaluating loop-closing TRANS: %w", err)
+		}
+		if !ok {
+			return fmt.Errorf("mc: loop-closing transition %d -> %d violates TRANS", last, t.LoopStart)
+		}
+	}
+	_ = checkFrozen // parameters are shared across all states by construction
+	return nil
+}
+
+// EvalInState evaluates a boolean state predicate in one trace state
+// (with the trace's parameters bound).
+func EvalInState(sys *ts.System, t *trace.Trace, i int, p *expr.Expr) (bool, error) {
+	env := expr.MapEnv{}
+	st := t.States[i]
+	for _, v := range sys.Vars() {
+		if val, ok := st.Get(v.Name); ok {
+			env[v] = val
+		}
+	}
+	for _, pv := range sys.Params() {
+		if val, ok := t.Params[pv.Name]; ok {
+			env[pv] = val
+		}
+	}
+	return expr.EvalBool(p, env, nil)
+}

@@ -1,0 +1,138 @@
+// Package incident models the paper's second fully-narrated incident,
+// Google ticket #18037 (§3.1): unusually large requests to the
+// BigQuery "router server" raised memory use; the garbage collector
+// then consumed CPU; a load balancer interpreted the CPU spike as
+// potential abuse and reduced the router's capacity; the reduced
+// capacity finally made the service reject user requests.
+//
+// The model captures the three interacting dynamic components (router
+// runtime, garbage collector, load balancer) over quantitative
+// metrics. The environment produces bounded bursts of large requests
+// (at most BurstLen consecutive steps); the LB's abuse threshold is
+// the synthesizable configuration parameter. Thresholds the GC's
+// burst-driven CPU can reach are unsafe — the LB repeatedly cuts
+// capacity (two levels per step, recovering one) until the router
+// rejects requests; higher thresholds never misclassify the bursts.
+package incident
+
+import (
+	"fmt"
+
+	"verdict/internal/expr"
+	"verdict/internal/ltl"
+	"verdict/internal/ts"
+)
+
+// Config18037 parameterizes the model. All metrics are abstract levels
+// in [0, Max].
+type Config18037 struct {
+	// Max is the top metric level (default 4).
+	Max int64
+	// BurstLen bounds consecutive large-request steps (default 3).
+	BurstLen int64
+	// AbuseThreshold is the GC-CPU level at which the LB starts
+	// cutting capacity; SynthThreshold makes it a parameter over
+	// [1, Max] instead.
+	AbuseThreshold int64
+	SynthThreshold bool
+}
+
+// Model18037 bundles the system and its artifacts.
+type Model18037 struct {
+	Sys *ts.System
+	// Memory, GC, Capacity are the quantitative state variables;
+	// Large is the environmental large-request condition.
+	Memory, GC, Capacity *expr.Var
+	Large                *expr.Var
+	// Threshold is the parameter when SynthThreshold is set.
+	Threshold *expr.Var
+	// Rejecting: the service turns user requests away.
+	Rejecting *expr.Expr
+	// Property is G(!rejecting): the service never rejects requests.
+	Property *ltl.Formula
+}
+
+// Build18037 generates the transition system.
+func Build18037(cfg Config18037) (*Model18037, error) {
+	max := cfg.Max
+	if max == 0 {
+		max = 4
+	}
+	if max < 2 {
+		return nil, fmt.Errorf("incident: Max must be >= 2, got %d", max)
+	}
+	burstLen := cfg.BurstLen
+	if burstLen == 0 {
+		burstLen = 3
+	}
+	sys := ts.New("incident/google-18037")
+	m := &Model18037{Sys: sys}
+
+	m.Large = sys.Bool("large_requests")
+	burst := sys.Int("burst_len", 0, burstLen)
+	m.Memory = sys.Int("memory", 0, max)
+	m.GC = sys.Int("gc_cpu", 0, max)
+	m.Capacity = sys.Int("capacity", 0, max)
+
+	var threshold *expr.Expr
+	if cfg.SynthThreshold {
+		m.Threshold = sys.IntParam("abuse_threshold", 1, max)
+		threshold = m.Threshold.Ref()
+	} else {
+		if cfg.AbuseThreshold < 1 || cfg.AbuseThreshold > max {
+			return nil, fmt.Errorf("incident: threshold %d outside [1, %d]", cfg.AbuseThreshold, max)
+		}
+		threshold = expr.IntConst(cfg.AbuseThreshold)
+	}
+
+	one := expr.IntConst(1)
+	zero := expr.IntConst(0)
+	top := expr.IntConst(max)
+	inc := func(v *expr.Var) *expr.Expr {
+		return expr.Ite(expr.Lt(v.Ref(), top), expr.Add(v.Ref(), one), top)
+	}
+	dec := func(v *expr.Var, by int64) *expr.Expr {
+		step := expr.IntConst(by)
+		return expr.Ite(expr.Ge(v.Ref(), step), expr.Sub(v.Ref(), step), zero)
+	}
+
+	// Initial steady state: no burst, low metrics, full capacity.
+	sys.Init(m.Large, expr.False())
+	sys.Init(burst, zero)
+	sys.Init(m.Memory, zero)
+	sys.Init(m.GC, zero)
+	sys.Init(m.Capacity, top)
+
+	// Environment: large-request bursts come and go freely but last at
+	// most burstLen consecutive steps — the counter's domain forbids
+	// any longer run (burst_len has no successor value past the cap).
+	sys.Assign(burst, expr.Ite(m.Large.Next(),
+		expr.Add(burst.Ref(), one), zero))
+
+	// Router runtime: memory builds one level per large-request step
+	// and is reclaimed when traffic normalizes.
+	sys.Assign(m.Memory, expr.Ite(m.Large.Ref(), inc(m.Memory), zero))
+
+	// Garbage collector: memory above half the scale keeps the
+	// collector burning CPU; otherwise it backs off.
+	memHigh := expr.Gt(m.Memory.Ref(), expr.IntConst(max/2))
+	sys.Assign(m.GC, expr.Ite(memHigh, inc(m.GC), dec(m.GC, 1)))
+
+	// Load balancer: GC CPU at or above the abuse threshold looks like
+	// abuse, so capacity is cut two levels. Capacity is only restored
+	// while the router looks fully calm (no memory pressure, idle
+	// collector) — so under a misconfigured threshold, back-to-back
+	// bursts cut faster than the calm windows recover, squeezing the
+	// router to zero.
+	abuse := expr.Ge(m.GC.Ref(), threshold)
+	calm := expr.And(expr.Eq(m.Memory.Ref(), zero), expr.Eq(m.GC.Ref(), zero))
+	sys.Assign(m.Capacity, expr.Ite(abuse,
+		dec(m.Capacity, 2),
+		expr.Ite(calm, inc(m.Capacity), m.Capacity.Ref())))
+
+	// The service rejects requests once the LB has squeezed the router
+	// to zero capacity.
+	m.Rejecting = sys.Define("rejecting", expr.Eq(m.Capacity.Ref(), zero))
+	m.Property = ltl.G(ltl.Atom(expr.Not(m.Rejecting)))
+	return m, nil
+}

@@ -1,0 +1,238 @@
+// Package k8s provides transition-system models of orchestration
+// control loops in the style of Kubernetes controllers, covering the
+// failure scenarios the paper analyzes:
+//
+//   - issue #75913: a deployment controller recreating pods that a
+//     taint manager keeps evicting (§3.2);
+//   - issue #90461: a rolling-update controller with maxSurge
+//     interacting with a defective horizontal pod autoscaler that
+//     reports the expected replica count as the current one (§3.2);
+//   - the descheduler LowNodeUtilization strategy bouncing a pod
+//     between workers when its eviction threshold sits below the
+//     pod's CPU request (§3.3, demonstrated live in Figure 2 and by
+//     the executable simulator in internal/sim).
+//
+// Each builder returns the model plus the properties to check, and
+// exposes a configuration parameter whose safe values the synthesis
+// engine can derive — the paper's "propose safe configuration
+// parameters" workflow applied to orchestration controllers.
+package k8s
+
+import (
+	"fmt"
+
+	"verdict/internal/expr"
+	"verdict/internal/ltl"
+	"verdict/internal/ts"
+)
+
+// TaintLoopConfig configures the issue #75913 model.
+type TaintLoopConfig struct {
+	// RespectTaints fixes the scheduler predicate; when SynthRespect
+	// is set it becomes a boolean parameter instead.
+	RespectTaints bool
+	SynthRespect  bool
+}
+
+// TaintLoopModel is the deployment-controller/taint-manager loop.
+type TaintLoopModel struct {
+	Sys *ts.System
+	// Loc is the pod's location: "none" (pending/recreating), "n1"
+	// (untainted node), or "n2" (tainted node).
+	Loc *expr.Var
+	// Respect is the scheduler-respects-taints parameter (nil unless
+	// SynthRespect).
+	Respect *expr.Var
+	// Stable: the pod is running on the untainted node.
+	Stable *expr.Expr
+	// Property is F(G(stable)): the deployment eventually settles.
+	Property *ltl.Formula
+}
+
+// BuildTaintLoop models Kubernetes issue #75913: node n2 carries a
+// taint the pod does not tolerate. The deployment controller recreates
+// the missing pod, the scheduler places it on either node (on n2 only
+// if it ignores taints), and the taint manager evicts anything on n2 —
+// a control loop that can spin forever.
+func BuildTaintLoop(cfg TaintLoopConfig) *TaintLoopModel {
+	sys := ts.New("k8s/taint-loop-75913")
+	m := &TaintLoopModel{Sys: sys}
+	m.Loc = sys.Enum("pod_loc", "none", "n1", "n2")
+	none := expr.EnumConst(m.Loc.T, "none")
+	n1 := expr.EnumConst(m.Loc.T, "n1")
+	n2 := expr.EnumConst(m.Loc.T, "n2")
+
+	var respect *expr.Expr
+	if cfg.SynthRespect {
+		m.Respect = sys.BoolParam("scheduler_respects_taints")
+		respect = m.Respect.Ref()
+	} else {
+		respect = expr.BoolConst(cfg.RespectTaints)
+	}
+
+	sys.Init(m.Loc, none)
+
+	// none: deployment controller has (re)created the pod; the
+	//       scheduler binds it to n1, or to n2 when ignoring taints.
+	// n2:   the taint manager evicts the pod (back to none).
+	// n1:   steady state.
+	sys.AddTrans(expr.Or(
+		expr.And(expr.Eq(m.Loc.Ref(), none), expr.Eq(m.Loc.Next(), n1)),
+		expr.And(expr.Eq(m.Loc.Ref(), none), expr.Not(respect), expr.Eq(m.Loc.Next(), n2)),
+		expr.And(expr.Eq(m.Loc.Ref(), n2), expr.Eq(m.Loc.Next(), none)),
+		expr.And(expr.Eq(m.Loc.Ref(), n1), expr.Eq(m.Loc.Next(), n1)),
+	))
+
+	m.Stable = sys.Define("stable", expr.Eq(m.Loc.Ref(), n1))
+	m.Property = ltl.F(ltl.G(ltl.Atom(m.Stable)))
+	return m
+}
+
+// HPASurgeConfig configures the issue #90461 model.
+type HPASurgeConfig struct {
+	// MaxReplicas bounds the desired-replica count domain.
+	MaxReplicas int64
+	// InitialDesired is the deployment's spec at the start of the
+	// rolling update.
+	InitialDesired int64
+	// MaxSurge is the rolling-update controller's surge allowance.
+	MaxSurge int64
+	// HPABug fixes whether the autoscaler reports the expected count
+	// as current (the defect); SynthBug makes it a parameter.
+	HPABug   bool
+	SynthBug bool
+}
+
+// HPASurgeModel is the rolling-update + autoscaler interaction.
+type HPASurgeModel struct {
+	Sys *ts.System
+	// Desired is the deployment spec's expected replica count.
+	Desired *expr.Var
+	// Surge is how many additional pods the RUC is running.
+	Surge *expr.Var
+	// Bug is the HPA-defect parameter (nil unless SynthBug).
+	Bug *expr.Var
+	// Property is G(desired <= initialDesired): with a correct HPA and
+	// steady load the expected count never grows during the rollout.
+	Property *ltl.Formula
+	// Bound is the safety predicate of Property.
+	Bound *expr.Expr
+}
+
+// BuildHPASurge models Kubernetes issue #90461: during a rolling
+// update with maxSurge = s, the actual pod count temporarily exceeds
+// the expected count by up to s. A defective HPA feeds that inflated
+// "current" count back as the new expected count, which lets the RUC
+// surge again — the expected count ratchets upward without any load
+// change.
+func BuildHPASurge(cfg HPASurgeConfig) (*HPASurgeModel, error) {
+	if cfg.MaxReplicas < cfg.InitialDesired || cfg.InitialDesired < 1 || cfg.MaxSurge < 0 {
+		return nil, fmt.Errorf("k8s: inconsistent HPA surge config %+v", cfg)
+	}
+	sys := ts.New("k8s/hpa-surge-90461")
+	m := &HPASurgeModel{Sys: sys}
+	m.Desired = sys.Int("desired", 1, cfg.MaxReplicas)
+	m.Surge = sys.Int("surge", 0, cfg.MaxSurge)
+
+	var bug *expr.Expr
+	if cfg.SynthBug {
+		m.Bug = sys.BoolParam("hpa_reports_expected_as_current")
+		bug = m.Bug.Ref()
+	} else {
+		bug = expr.BoolConst(cfg.HPABug)
+	}
+
+	sys.Init(m.Desired, expr.IntConst(cfg.InitialDesired))
+	sys.Init(m.Surge, expr.IntConst(0))
+
+	// RUC: while the update rolls, the surge level moves
+	// nondeterministically within [0, maxSurge].
+	// (No Assign: surge is a free variable of the step, constrained
+	// only by its domain.)
+
+	// HPA: with steady load a correct autoscaler keeps the expected
+	// count; the defective one copies actual = desired + surge,
+	// clamped to the replica cap.
+	actual := expr.Add(m.Desired.Ref(), m.Surge.Ref())
+	cap := expr.IntConst(cfg.MaxReplicas)
+	clamped := expr.Ite(expr.Le(actual, cap), actual, cap)
+	sys.Assign(m.Desired, expr.Ite(bug, clamped, m.Desired.Ref()))
+
+	m.Bound = expr.Le(m.Desired.Ref(), expr.IntConst(cfg.InitialDesired))
+	m.Property = ltl.G(ltl.Atom(m.Bound))
+	return m, nil
+}
+
+// DeschedulerConfig configures the §3.3 scheduler/descheduler
+// oscillation model.
+type DeschedulerConfig struct {
+	// RequestCPU is the pod's CPU request in percent (Figure 2: 50).
+	RequestCPU int64
+	// Threshold is the LowNodeUtilization eviction threshold in
+	// percent (Figure 2: 45); SynthThreshold turns it into a
+	// parameter over [0, 100].
+	Threshold      int64
+	SynthThreshold bool
+}
+
+// DeschedulerModel is the scheduler/descheduler interaction over two
+// interchangeable workers.
+type DeschedulerModel struct {
+	Sys *ts.System
+	// Loc: where the app pod runs ("pending", "w2", "w3").
+	Loc *expr.Var
+	// Threshold parameter (nil unless SynthThreshold).
+	Threshold *expr.Var
+	// Stable: the pod is bound to a worker and the descheduler would
+	// not evict it.
+	Stable *expr.Expr
+	// Property is F(G(stable)).
+	Property *ltl.Formula
+}
+
+// BuildDescheduler models the Figure 2 scenario: a single CPU-heavy
+// pod, two equivalent workers, a scheduler binding pending pods to the
+// least-utilized worker, and a descheduler evicting pods from any
+// worker whose utilization exceeds the threshold. When the threshold
+// sits below the pod's own request, every placement is immediately
+// over-threshold and the pod bounces between workers forever.
+func BuildDescheduler(cfg DeschedulerConfig) *DeschedulerModel {
+	sys := ts.New("k8s/descheduler-oscillation")
+	m := &DeschedulerModel{Sys: sys}
+	m.Loc = sys.Enum("pod_loc", "pending", "w2", "w3")
+	pending := expr.EnumConst(m.Loc.T, "pending")
+	w2 := expr.EnumConst(m.Loc.T, "w2")
+	w3 := expr.EnumConst(m.Loc.T, "w3")
+
+	var threshold *expr.Expr
+	if cfg.SynthThreshold {
+		m.Threshold = sys.IntParam("eviction_threshold", 0, 100)
+		threshold = m.Threshold.Ref()
+	} else {
+		threshold = expr.IntConst(cfg.Threshold)
+	}
+	request := expr.IntConst(cfg.RequestCPU)
+
+	sys.Init(m.Loc, pending)
+
+	// The hosting worker's utilization equals the pod's request; the
+	// descheduler evicts when utilization > threshold.
+	evicts := expr.Gt(request, threshold)
+
+	// pending: the scheduler binds to either worker (both idle, the
+	//          least-requested ranking ties).
+	// bound:   the descheduler evicts if over threshold, else steady.
+	sys.AddTrans(expr.Or(
+		expr.And(expr.Eq(m.Loc.Ref(), pending), expr.Ne(m.Loc.Next(), pending)),
+		expr.And(expr.Eq(m.Loc.Ref(), w2), evicts, expr.Eq(m.Loc.Next(), pending)),
+		expr.And(expr.Eq(m.Loc.Ref(), w3), evicts, expr.Eq(m.Loc.Next(), pending)),
+		expr.And(expr.Ne(m.Loc.Ref(), pending), expr.Not(evicts), expr.Eq(m.Loc.Next(), m.Loc.Ref())),
+	))
+
+	m.Stable = sys.Define("stable", expr.And(
+		expr.Ne(m.Loc.Ref(), pending),
+		expr.Not(evicts),
+	))
+	m.Property = ltl.F(ltl.G(ltl.Atom(m.Stable)))
+	return m
+}

@@ -1,0 +1,201 @@
+// Package lbecmp builds the paper's second case-study model: a
+// latency-based load balancer over the Figure 3 topology with
+// hard-coded ECMP path choices, real-valued parametric input traffic,
+// and a one-time external traffic increase on a nondeterministically
+// chosen link. The liveness properties are
+//
+//	F(G(stable))              — the system eventually converges
+//	stable -> F(G(stable))    — an initially-stable system re-converges
+//
+// and the model checker finds lasso-shaped oscillation counterexamples
+// together with concrete rational values for the traffic parameters —
+// the paper's step (2)–(6) oscillation cycle.
+//
+// Substitution note (see DESIGN.md): the paper also makes the latency
+// curves' slopes and intercepts real-valued parameters, which requires
+// nonlinear real arithmetic (slope × traffic products). verdict's SMT
+// engine is QF_LRA, so the curves are exact rational constants chosen
+// per Config (the defaults admit the paper's oscillation), and the
+// benchmark harness sweeps them externally.
+package lbecmp
+
+import (
+	"math/big"
+
+	"verdict/internal/expr"
+	"verdict/internal/ltl"
+	"verdict/internal/ts"
+)
+
+// Replica/placement layout of Figure 3 (fixed by the paper):
+//
+//	app a replicas: p1 on server s1 (path R1–R2), p2 on s2 (path R1–R3)
+//	app b replicas: p3 on s2 (path R1–R2), p4 on s3 (path R1–R4)
+//
+// Shared resources: link R1–R2 (p1 and p3), server s2 (p2 and p3).
+
+// Config sets the latency-curve constants. Slopes and intercepts are
+// exact rationals; zero values are allowed. The defaults are chosen so
+// the paper's oscillation cycle (1,4)→(1,3)→(2,3)→(2,4)→(1,4) exists
+// for suitable traffic parameters (e.g. ta=1, tb=2, e=8).
+type Config struct {
+	SlopeR12 *big.Rat // link R1–R2 latency slope (shared by p1, p3)
+	SlopeR13 *big.Rat // link R1–R3
+	SlopeR14 *big.Rat // link R1–R4 (carries p4 and external traffic)
+	SlopeS2A *big.Rat // server s2 slope for app a (p2)
+	SlopeS2B *big.Rat // server s2 slope for app b (p3) — "server-sensitive"
+	SlopeS1A *big.Rat // server s1 slope for app a (p1) — "network-sensitive": 0
+	SlopeS3B *big.Rat // server s3 slope for app b (p4)
+	InterP1  *big.Rat // intercepts per replica response time
+	InterP2  *big.Rat
+	InterP3  *big.Rat
+	InterP4  *big.Rat
+}
+
+// Default returns the oscillation-admitting constants.
+func Default() Config {
+	return Config{
+		SlopeR12: big.NewRat(1, 1),
+		SlopeR13: big.NewRat(0, 1),
+		SlopeR14: big.NewRat(1, 1),
+		SlopeS2A: big.NewRat(1, 2),
+		SlopeS2B: big.NewRat(3, 1),
+		SlopeS1A: big.NewRat(0, 1),
+		SlopeS3B: big.NewRat(0, 1),
+		InterP1:  big.NewRat(0, 1),
+		InterP2:  big.NewRat(1, 1),
+		InterP3:  big.NewRat(0, 1),
+		InterP4:  big.NewRat(0, 1),
+	}
+}
+
+// Model bundles the generated system with its properties.
+type Model struct {
+	Sys *ts.System
+	// WA is true when app a's traffic goes to p1 (false: p2); WB is
+	// true when app b's traffic goes to p3 (false: p4).
+	WA, WB *expr.Var
+	// TurnA is true when the LB adjusts app a this step.
+	TurnA *expr.Var
+	// ExtLink records where the one-time external traffic landed.
+	ExtLink *expr.Var
+	// Ta, Tb, E are the real-valued parameters (input traffic per app,
+	// external traffic amount).
+	Ta, Tb, E *expr.Var
+	// Stable: the LB would keep both apps' current weights.
+	Stable *expr.Expr
+	// RT exposes the response-time expressions of p1..p4 (current
+	// weights) for inspection.
+	RT map[string]*expr.Expr
+	// PropertyFG is F(G(stable)); PropertyCond is stable -> F(G(stable)).
+	PropertyFG   *ltl.Formula
+	PropertyCond *ltl.Formula
+}
+
+// Build generates the transition system.
+func Build(cfg Config) *Model {
+	sys := ts.New("lbecmp/figure3")
+	m := &Model{Sys: sys, RT: make(map[string]*expr.Expr)}
+
+	m.WA = sys.Bool("wa_p1")
+	m.WB = sys.Bool("wb_p3")
+	m.TurnA = sys.Bool("turn_a")
+	m.ExtLink = sys.Enum("ext_link", "none", "R1R2", "R1R3", "R1R4")
+	m.Ta = sys.RealParam("ta")
+	m.Tb = sys.RealParam("tb")
+	m.E = sys.RealParam("e")
+
+	// Parameter domains: strictly positive traffic.
+	zero := expr.RealFrac(0, 1)
+	sys.AddInit(expr.Gt(m.Ta.Ref(), zero))
+	sys.AddInit(expr.Gt(m.Tb.Ref(), zero))
+	sys.AddInit(expr.Gt(m.E.Ref(), zero))
+	// External traffic has not arrived yet; weights and turn are free.
+	sys.Init(m.ExtLink, expr.EnumConst(m.ExtLink.T, "none"))
+
+	rat := func(r *big.Rat) *expr.Expr { return expr.RealConst(r) }
+	gate := func(w *expr.Expr, t *expr.Expr) *expr.Expr {
+		return expr.Ite(w, t, zero)
+	}
+	extOn := func(link string) *expr.Expr {
+		return gate(expr.Eq(m.ExtLink.Ref(), expr.EnumConst(m.ExtLink.T, link)), m.E.Ref())
+	}
+
+	// Response times as functions of hypothetical weight settings (for
+	// the "smart" LB predictions) and the current external traffic.
+	// wa, wb are boolean expressions.
+	rt := func(replica string, wa, wb *expr.Expr) *expr.Expr {
+		ta, tb := m.Ta.Ref(), m.Tb.Ref()
+		loadR12 := expr.Add(gate(wa, ta), gate(wb, tb), extOn("R1R2"))
+		loadR13 := expr.Add(gate(expr.Not(wa), ta), extOn("R1R3"))
+		loadR14 := expr.Add(gate(expr.Not(wb), tb), extOn("R1R4"))
+		loadS1 := gate(wa, ta)
+		loadS2 := expr.Add(gate(expr.Not(wa), ta), gate(wb, tb))
+		loadS3 := gate(expr.Not(wb), tb)
+		switch replica {
+		case "p1":
+			return expr.Add(
+				expr.Mul(rat(cfg.SlopeS1A), loadS1),
+				expr.Mul(rat(cfg.SlopeR12), loadR12),
+				rat(cfg.InterP1))
+		case "p2":
+			return expr.Add(
+				expr.Mul(rat(cfg.SlopeS2A), loadS2),
+				expr.Mul(rat(cfg.SlopeR13), loadR13),
+				rat(cfg.InterP2))
+		case "p3":
+			return expr.Add(
+				expr.Mul(rat(cfg.SlopeS2B), loadS2),
+				expr.Mul(rat(cfg.SlopeR12), loadR12),
+				rat(cfg.InterP3))
+		case "p4":
+			return expr.Add(
+				expr.Mul(rat(cfg.SlopeS3B), loadS3),
+				expr.Mul(rat(cfg.SlopeR14), loadR14),
+				rat(cfg.InterP4))
+		}
+		panic("lbecmp: unknown replica " + replica)
+	}
+
+	waCur, wbCur := m.WA.Ref(), m.WB.Ref()
+	for _, r := range []string{"p1", "p2", "p3", "p4"} {
+		m.RT[r] = sys.Define("rt_"+r, rt(r, waCur, wbCur))
+	}
+
+	// Smart LB choice for app a: predicted response time of p1 if
+	// chosen vs p2 if chosen (other app fixed at current weights);
+	// strict improvement required, ties keep the current weight.
+	rtP1if := rt("p1", expr.True(), wbCur)
+	rtP2if := rt("p2", expr.False(), wbCur)
+	chooseA := expr.Ite(expr.Lt(rtP1if, rtP2if), expr.True(),
+		expr.Ite(expr.Lt(rtP2if, rtP1if), expr.False(), waCur))
+	rtP3if := rt("p3", waCur, expr.True())
+	rtP4if := rt("p4", waCur, expr.False())
+	chooseB := expr.Ite(expr.Lt(rtP3if, rtP4if), expr.True(),
+		expr.Ite(expr.Lt(rtP4if, rtP3if), expr.False(), wbCur))
+
+	sys.Define("choose_a", chooseA)
+	sys.Define("choose_b", chooseB)
+
+	// Turn-taking: the LB adjusts one app per step.
+	sys.Assign(m.WA, expr.Ite(m.TurnA.Ref(), chooseA, waCur))
+	sys.Assign(m.WB, expr.Ite(m.TurnA.Ref(), wbCur, chooseB))
+	sys.Assign(m.TurnA, expr.Not(m.TurnA.Ref()))
+
+	// One-time external traffic: once placed, it stays.
+	none := expr.EnumConst(m.ExtLink.T, "none")
+	sys.AddTrans(expr.Implies(
+		expr.Ne(m.ExtLink.Ref(), none),
+		expr.Eq(m.ExtLink.Next(), m.ExtLink.Ref()),
+	))
+
+	// Stability: neither app's choice differs from its current weight.
+	m.Stable = sys.Define("stable", expr.And(
+		expr.Iff(chooseA, waCur),
+		expr.Iff(chooseB, wbCur),
+	))
+
+	m.PropertyFG = ltl.F(ltl.G(ltl.Atom(m.Stable)))
+	m.PropertyCond = ltl.Implies(ltl.Atom(m.Stable), ltl.F(ltl.G(ltl.Atom(m.Stable))))
+	return m
+}

@@ -1,0 +1,268 @@
+// Package rollout builds the paper's first case-study model: an
+// update-rollout controller taking service nodes down over an
+// arbitrary topology, concurrent nondeterministic link failures, and a
+// reachability-recomputation loop, checked against the safety property
+//
+//	G(converged -> available >= m)
+//
+// ("always: whenever the reachability computation is converged, the
+// number of available — up and reachable — service nodes is at least
+// m"). This reproduces Figure 5 (counterexample for p=m=1, k=2 on the
+// test topology), the parameter-synthesis result (safe p ∈ {1,2} for
+// k=1, m=1), and the Figure 6 scalability sweep over fat trees.
+package rollout
+
+import (
+	"fmt"
+
+	"verdict/internal/expr"
+	"verdict/internal/ltl"
+	"verdict/internal/topo"
+	"verdict/internal/ts"
+)
+
+// Phase values of a service node under rollout.
+const (
+	PhasePending  = "pending"
+	PhaseUpdating = "updating"
+	PhaseDone     = "done"
+)
+
+// Config parameterizes the model generator.
+type Config struct {
+	// Topo is the network; it must contain exactly one "frontend" node
+	// and at least one "service" node.
+	Topo *topo.Graph
+	// P bounds how many service nodes may be updating simultaneously.
+	P int
+	// SynthP replaces the fixed P with a parameter p ∈ [1, PMax] for
+	// synthesis; P is then ignored.
+	SynthP bool
+	PMax   int
+	// K bounds how many links may fail (failures are permanent).
+	K int
+	// M is the availability threshold of the property.
+	M int
+	// MaxDist is the unreachable sentinel for the distance-vector
+	// reachability loop; it must exceed the longest simple detour the
+	// topology can produce. 0 selects a safe default of 6.
+	MaxDist int
+}
+
+// Model bundles the generated system with its key expressions.
+type Model struct {
+	Sys *ts.System
+	// Converged is the DEFINE capturing that the reachability loop has
+	// stabilized for the current topology.
+	Converged *expr.Expr
+	// Available counts up-and-reachable service nodes.
+	Available *expr.Expr
+	// Property is G(converged -> available >= m).
+	Property *ltl.Formula
+	// Phases, Failed, Dist expose the per-node/link variables by
+	// topology index for tests and trace inspection.
+	Phases map[int]*expr.Var
+	Failed map[int]*expr.Var
+	Dist   map[int]*expr.Var
+	// P is the parameter variable when SynthP is set.
+	P *expr.Var
+	// M is the availability threshold the property was built with.
+	M int
+}
+
+// SafetyPredicate returns the state predicate of the property:
+// converged -> available >= m.
+func (m *Model) SafetyPredicate() *expr.Expr {
+	return expr.Implies(m.Converged, expr.Ge(m.Available, expr.IntConst(int64(m.M))))
+}
+
+// Build generates the transition system.
+func Build(cfg Config) (*Model, error) {
+	g := cfg.Topo
+	if g == nil {
+		return nil, fmt.Errorf("rollout: nil topology")
+	}
+	fes := g.NodesByRole("frontend")
+	if len(fes) != 1 {
+		return nil, fmt.Errorf("rollout: topology needs exactly one frontend, has %d", len(fes))
+	}
+	fe := fes[0]
+	service := g.NodesByRole("service")
+	if len(service) == 0 {
+		return nil, fmt.Errorf("rollout: topology has no service nodes")
+	}
+	maxDist := cfg.MaxDist
+	if maxDist == 0 {
+		maxDist = 6
+	}
+	inf := int64(maxDist)
+
+	sys := ts.New("rollout/" + g.Name)
+	m := &Model{
+		M:      cfg.M,
+		Sys:    sys,
+		Phases: make(map[int]*expr.Var),
+		Failed: make(map[int]*expr.Var),
+		Dist:   make(map[int]*expr.Var),
+	}
+	isService := make(map[int]bool)
+	for _, s := range service {
+		isService[s] = true
+	}
+
+	// Variables.
+	for _, s := range service {
+		m.Phases[s] = sys.Enum(fmt.Sprintf("phase_%s", g.Nodes[s].Name),
+			PhasePending, PhaseUpdating, PhaseDone)
+	}
+	for _, l := range g.Links {
+		m.Failed[l.ID] = sys.Bool(fmt.Sprintf("failed_%s", l.Name))
+	}
+	for _, n := range g.Nodes {
+		m.Dist[n.ID] = sys.Int(fmt.Sprintf("dist_%s", n.Name), 0, inf)
+	}
+	var pExpr *expr.Expr
+	if cfg.SynthP {
+		if cfg.PMax < 1 {
+			return nil, fmt.Errorf("rollout: SynthP requires PMax >= 1")
+		}
+		m.P = sys.IntParam("p", 1, int64(cfg.PMax))
+		pExpr = m.P.Ref()
+	} else {
+		pExpr = expr.IntConst(int64(cfg.P))
+	}
+
+	// INIT: everything pending, no failures, distances converged.
+	initDist := bfsDistances(g, fe, inf)
+	for _, s := range service {
+		sys.Init(m.Phases[s], expr.EnumConst(m.Phases[s].T, PhasePending))
+	}
+	for _, l := range g.Links {
+		sys.Init(m.Failed[l.ID], expr.False())
+	}
+	for _, n := range g.Nodes {
+		sys.Init(m.Dist[n.ID], expr.IntConst(initDist[n.ID]))
+	}
+
+	// Rollout controller: pending -> updating -> done, nondeterministic
+	// order, at most p simultaneously updating.
+	var updatingNext []*expr.Expr
+	for _, s := range service {
+		ph := m.Phases[s]
+		pend := expr.EnumConst(ph.T, PhasePending)
+		upd := expr.EnumConst(ph.T, PhaseUpdating)
+		done := expr.EnumConst(ph.T, PhaseDone)
+		sys.AddTrans(expr.Or(
+			expr.Eq(ph.Next(), ph.Ref()),
+			expr.And(expr.Eq(ph.Ref(), pend), expr.Eq(ph.Next(), upd)),
+			expr.And(expr.Eq(ph.Ref(), upd), expr.Eq(ph.Next(), done)),
+		))
+		updatingNext = append(updatingNext, expr.Eq(ph.Next(), upd))
+	}
+	sys.AddTrans(expr.Le(expr.Count(updatingNext...), pExpr))
+
+	// Environment: permanent link failures, at most k total.
+	var failedNext []*expr.Expr
+	for _, l := range g.Links {
+		f := m.Failed[l.ID]
+		sys.AddTrans(expr.Implies(f.Ref(), f.Next()))
+		failedNext = append(failedNext, f.Next())
+	}
+	sys.AddTrans(expr.Le(expr.Count(failedNext...), expr.IntConst(int64(cfg.K))))
+
+	// Reachability loop: one synchronous Bellman-Ford round per step,
+	// chasing the (new) topology. dist' of the front-end is 0; other
+	// nodes take 1 + min over alive neighbors, saturating at the
+	// unreachable sentinel.
+	aliveNext := func(n int) *expr.Expr {
+		if isService[n] {
+			return expr.Ne(m.Phases[n].Next(), expr.EnumConst(m.Phases[n].T, PhaseUpdating))
+		}
+		return expr.True()
+	}
+	aliveCur := func(n int) *expr.Expr {
+		if isService[n] {
+			return expr.Ne(m.Phases[n].Ref(), expr.EnumConst(m.Phases[n].T, PhaseUpdating))
+		}
+		return expr.True()
+	}
+	distRound := func(n int, linkUp func(int) *expr.Expr, alive func(int) *expr.Expr,
+		dist func(int) *expr.Expr) *expr.Expr {
+		if n == fe {
+			return expr.IntConst(0)
+		}
+		acc := expr.IntConst(inf)
+		for _, l := range g.LinksOf(n) {
+			nb := g.Other(l, n)
+			cand := expr.Ite(
+				expr.And(linkUp(l), alive(nb), expr.Lt(dist(nb), expr.IntConst(inf))),
+				expr.Add(dist(nb), expr.IntConst(1)),
+				expr.IntConst(inf),
+			)
+			acc = expr.Ite(expr.Lt(cand, acc), cand, acc)
+		}
+		// A down node reports itself unreachable.
+		return expr.Ite(alive(n), acc, expr.IntConst(inf))
+	}
+	for _, n := range g.Nodes {
+		rhs := distRound(n.ID,
+			func(l int) *expr.Expr { return expr.Not(m.Failed[l].Next()) },
+			aliveNext,
+			func(nb int) *expr.Expr { return m.Dist[nb].Ref() },
+		)
+		sys.Assign(m.Dist[n.ID], rhs)
+	}
+
+	// DEFINE converged: current distances are a fixpoint of the
+	// current-topology equation.
+	var consistent []*expr.Expr
+	for _, n := range g.Nodes {
+		rhs := distRound(n.ID,
+			func(l int) *expr.Expr { return expr.Not(m.Failed[l].Ref()) },
+			aliveCur,
+			func(nb int) *expr.Expr { return m.Dist[nb].Ref() },
+		)
+		consistent = append(consistent, expr.Eq(m.Dist[n.ID].Ref(), rhs))
+	}
+	m.Converged = sys.Define("converged", expr.And(consistent...))
+
+	// DEFINE available: up and reachable service nodes.
+	var avail []*expr.Expr
+	for _, s := range service {
+		avail = append(avail, expr.And(
+			aliveCur(s),
+			expr.Lt(m.Dist[s].Ref(), expr.IntConst(inf)),
+		))
+	}
+	m.Available = sys.Define("available", expr.Count(avail...))
+
+	m.Property = ltl.G(ltl.Atom(expr.Implies(
+		m.Converged,
+		expr.Ge(m.Available, expr.IntConst(int64(cfg.M))),
+	)))
+	return m, nil
+}
+
+// bfsDistances computes hop counts from fe, capping at inf.
+func bfsDistances(g *topo.Graph, fe int, inf int64) map[int]int64 {
+	out := make(map[int]int64, len(g.Nodes))
+	for _, n := range g.Nodes {
+		out[n.ID] = inf
+	}
+	out[fe] = 0
+	queue := []int{fe}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, l := range g.LinksOf(n) {
+			nb := g.Other(l, n)
+			if out[nb] > out[n]+1 {
+				out[nb] = out[n] + 1
+				if out[nb] < inf {
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	return out
+}

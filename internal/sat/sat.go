@@ -1,0 +1,837 @@
+// Package sat implements an incremental CDCL SAT solver.
+//
+// The solver is the workhorse under verdict's bounded model checker,
+// k-induction engine, lazy SMT loop, and enumeration-based parameter
+// synthesis. It implements the standard modern architecture: two
+// watched literals, first-UIP conflict analysis with clause learning,
+// EVSIDS branching with phase saving, Luby restarts, learnt-clause
+// database reduction by LBD, and solving under assumptions with final
+// conflict (unsat core) extraction.
+package sat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lit is a literal: variable index shifted left once, low bit set for
+// negative polarity. Variables are dense ints starting at 0, allocated
+// with Solver.NewVar.
+type Lit int32
+
+// MkLit builds a literal for variable v, negated if neg.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Pos returns the positive literal of variable v.
+func Pos(v int) Lit { return Lit(v << 1) }
+
+// Neg returns the negative literal of variable v.
+func Neg(v int) Lit { return Lit(v<<1) | 1 }
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Sign reports whether the literal is negative.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+func (l Lit) String() string {
+	if l.Sign() {
+		return fmt.Sprintf("-%d", l.Var()+1)
+	}
+	return fmt.Sprintf("%d", l.Var()+1)
+}
+
+// LBool is a three-valued truth value.
+type LBool int8
+
+// LBool values.
+const (
+	Undef LBool = iota
+	TrueV
+	FalseV
+)
+
+func (b LBool) String() string {
+	switch b {
+	case TrueV:
+		return "true"
+	case FalseV:
+		return "false"
+	}
+	return "undef"
+}
+
+// Status is the outcome of Solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+const noReason = -1
+
+type clause struct {
+	lits     []Lit
+	activity float64
+	lbd      int
+	learnt   bool
+	deleted  bool
+}
+
+type watcher struct {
+	cref    int // index into Solver.clauses
+	blocker Lit
+}
+
+// Solver is an incremental CDCL SAT solver. The zero value is not
+// usable; call New.
+type Solver struct {
+	clauses []*clause
+	watches [][]watcher // indexed by Lit
+
+	assign   []LBool // indexed by var; value under current trail
+	level    []int   // decision level at which var was assigned
+	reason   []int   // clause ref that implied var, or noReason
+	trail    []Lit
+	trailLim []int // trail index at each decision level
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+	phase    []bool // saved phase per var
+	polarity []bool // user-suggested initial phase
+
+	seen     []bool
+	qhead    int
+	ok       bool  // false once a top-level conflict proves UNSAT
+	conflict []Lit // final conflict clause over assumptions (negated)
+
+	// Statistics, exported for the benchmark harness.
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Learnts      int64
+
+	// Budget: abort Solve with Unknown after this many conflicts
+	// (0 = unlimited). Used to implement verification timeouts.
+	ConflictBudget int64
+
+	// Interrupt, when non-nil, is polled between restarts; returning
+	// true aborts Solve with Unknown. Used for wall-clock timeouts.
+	Interrupt func() bool
+
+	numLearnt  int
+	clauseInc  float64
+	maxLearnt  float64
+	lubyBase   int64
+	restartCnt int
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{
+		ok:        true,
+		varInc:    1.0,
+		clauseInc: 1.0,
+		maxLearnt: 4000,
+		lubyBase:  100,
+		order:     &varHeap{},
+	}
+}
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, Undef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, noReason)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.polarity = append(s.polarity, false)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(v, s.activity)
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// SetPhase suggests the first decision polarity for variable v.
+func (s *Solver) SetPhase(v int, value bool) { s.phase[v] = value; s.polarity[v] = value }
+
+func (s *Solver) litValue(l Lit) LBool {
+	v := s.assign[l.Var()]
+	if v == Undef {
+		return Undef
+	}
+	if l.Sign() {
+		if v == TrueV {
+			return FalseV
+		}
+		return TrueV
+	}
+	return v
+}
+
+// AddClause adds a clause. It returns false if the solver is already
+// in an UNSAT state or the clause makes it so at the top level.
+// Clauses may only be added when no Solve is in progress; the solver
+// backtracks to level 0 automatically.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	s.cancelUntil(0)
+	// Sort and simplify: drop duplicates and false lits, detect
+	// tautologies and satisfied clauses.
+	ls := append([]Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit = -1
+	for _, l := range ls {
+		if int(l.Var()) >= len(s.assign) {
+			panic(fmt.Sprintf("sat: literal %v references unallocated variable", l))
+		}
+		if l == prev {
+			continue
+		}
+		if l == prev.Not() && prev != -1 {
+			return true // tautology
+		}
+		switch s.litValue(l) {
+		case TrueV:
+			return true // satisfied at top level
+		case FalseV:
+			continue // drop
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], noReason)
+		if s.propagate() != noReason {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	s.attachClause(&clause{lits: append([]Lit(nil), out...)})
+	return true
+}
+
+func (s *Solver) attachClause(c *clause) int {
+	cref := len(s.clauses)
+	s.clauses = append(s.clauses, c)
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{cref, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{cref, c.lits[0]})
+	if c.learnt {
+		s.numLearnt++
+	}
+	return cref
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from int) {
+	v := l.Var()
+	if l.Sign() {
+		s.assign[v] = FalseV
+	} else {
+		s.assign[v] = TrueV
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[lvl]; i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assign[v] == TrueV
+		s.assign[v] = Undef
+		s.reason[v] = noReason
+		if !s.order.inHeap(v) {
+			s.order.push(v, s.activity)
+		}
+	}
+	s.trail = s.trail[:s.trailLim[lvl]]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+// propagate performs unit propagation; it returns the conflicting
+// clause ref or noReason.
+func (s *Solver) propagate() int {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Propagations++
+		ws := s.watches[p]
+		j := 0
+	nextWatcher:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.litValue(w.blocker) == TrueV {
+				ws[j] = w
+				j++
+				continue
+			}
+			c := s.clauses[w.cref]
+			if c.deleted {
+				continue // drop watcher of deleted clause
+			}
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.litValue(first) == TrueV {
+				ws[j] = watcher{w.cref, first}
+				j++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != FalseV {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{w.cref, first})
+					continue nextWatcher
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[j] = watcher{w.cref, first}
+			j++
+			if s.litValue(first) == FalseV {
+				// Conflict: copy remaining watchers and bail.
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[p] = ws[:j]
+				s.qhead = len(s.trail)
+				return w.cref
+			}
+			s.uncheckedEnqueue(first, w.cref)
+		}
+		s.watches[p] = ws[:j]
+	}
+	return noReason
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl int) ([]Lit, int) {
+	learnt := []Lit{0} // placeholder for the asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	var toClear []int // every var marked seen, cleared on exit
+
+	for {
+		c := s.clauses[confl]
+		if c.learnt {
+			s.bumpClause(c)
+		}
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			toClear = append(toClear, v)
+			s.bumpVar(v)
+			if s.level[v] >= s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find next literal to expand.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+
+	// Minimize: drop literals implied by the rest of the clause
+	// (cheap local check against direct reasons).
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i].Var()
+		r := s.reason[v]
+		if r == noReason {
+			learnt[j] = learnt[i]
+			j++
+			continue
+		}
+		redundant := true
+		for _, q := range s.clauses[r].lits {
+			qv := q.Var()
+			if qv == v {
+				continue
+			}
+			if !s.seen[qv] && s.level[qv] != 0 {
+				redundant = false
+				break
+			}
+		}
+		if !redundant {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	learnt = learnt[:j]
+
+	// Compute backtrack level and move its literal to slot 1.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].Var()]
+	}
+	for _, v := range toClear {
+		s.seen[v] = false
+	}
+	return learnt, btLevel
+}
+
+func (s *Solver) lbd(lits []Lit) int {
+	levels := make(map[int]bool, len(lits))
+	for _, l := range lits {
+		levels[s.level[l.Var()]] = true
+	}
+	return len(levels)
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v, s.activity)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.clauseInc
+	if c.activity > 1e20 {
+		for _, cl := range s.clauses {
+			if cl.learnt {
+				cl.activity *= 1e-20
+			}
+		}
+		s.clauseInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayActivities() {
+	s.varInc /= 0.95
+	s.clauseInc /= 0.999
+}
+
+// reduceDB removes roughly half of the learnt clauses, preferring high
+// LBD and low activity; reason clauses and binary clauses survive.
+func (s *Solver) reduceDB() {
+	var learnts []*clause
+	locked := make(map[*clause]bool)
+	for _, l := range s.trail {
+		if r := s.reason[l.Var()]; r != noReason {
+			locked[s.clauses[r]] = true
+		}
+	}
+	for _, c := range s.clauses {
+		if c.learnt && !c.deleted && len(c.lits) > 2 && !locked[c] {
+			learnts = append(learnts, c)
+		}
+	}
+	sort.Slice(learnts, func(i, j int) bool {
+		if learnts[i].lbd != learnts[j].lbd {
+			return learnts[i].lbd > learnts[j].lbd
+		}
+		return learnts[i].activity < learnts[j].activity
+	})
+	for _, c := range learnts[:len(learnts)/2] {
+		c.deleted = true
+		s.numLearnt--
+	}
+}
+
+// luby returns the x-th element of the Luby restart sequence
+// (1,1,2,1,1,2,4,...), 0-indexed.
+func luby(x int64) int64 {
+	size, seq := int64(1), 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return 1 << seq
+}
+
+// Solve determines satisfiability under the given assumptions. On Sat,
+// Value reports the model; on Unsat, Core reports the subset of
+// assumptions in the final conflict. Unknown is returned only when the
+// conflict budget is exhausted.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if !s.ok {
+		s.conflict = nil
+		return Unsat
+	}
+	s.cancelUntil(0)
+	s.conflict = nil
+	startConflicts := s.Conflicts
+	restart := int64(0)
+
+	for {
+		budget := s.lubyBase * luby(restart)
+		st := s.search(assumptions, budget)
+		if st != Unknown {
+			return st
+		}
+		if s.ConflictBudget > 0 && s.Conflicts-startConflicts >= s.ConflictBudget {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if s.Interrupt != nil && s.Interrupt() {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		restart++
+		s.restartCnt++
+	}
+}
+
+// search runs CDCL until a result, a restart (after maxConfl
+// conflicts; returns Unknown), or budget exhaustion.
+func (s *Solver) search(assumptions []Lit, maxConfl int64) Status {
+	conflicts := int64(0)
+	for {
+		confl := s.propagate()
+		if confl != noReason {
+			s.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			if s.decisionLevel() <= len(assumptions) {
+				// Conflict among assumptions: build final conflict.
+				s.analyzeFinalFromConflict(confl, assumptions)
+				s.cancelUntil(0)
+				return Unsat
+			}
+			// Backjump freely, possibly below assumption levels: the
+			// decision loop re-establishes assumptions on the way up.
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], noReason)
+			} else {
+				c := &clause{lits: append([]Lit(nil), learnt...), learnt: true, lbd: s.lbd(learnt)}
+				cref := s.attachClause(c)
+				s.bumpClause(c)
+				s.Learnts++
+				s.uncheckedEnqueue(learnt[0], cref)
+			}
+			s.decayActivities()
+			if float64(s.numLearnt) > s.maxLearnt {
+				s.reduceDB()
+				s.maxLearnt *= 1.3
+			}
+			continue
+		}
+
+		if conflicts >= maxConfl {
+			s.cancelUntil(0)
+			return Unknown
+		}
+
+		// Assume the next assumption, or decide.
+		var next Lit = -1
+		for s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.litValue(a) {
+			case TrueV:
+				s.trailLim = append(s.trailLim, len(s.trail)) // dummy level
+				continue
+			case FalseV:
+				s.analyzeFinal(a.Not(), assumptions)
+				s.cancelUntil(0)
+				return Unsat
+			default:
+				next = a
+			}
+			break
+		}
+		if next == -1 {
+			next = s.pickBranchLit()
+			if next == -1 {
+				return Sat // all variables assigned
+			}
+			s.Decisions++
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(next, noReason)
+	}
+}
+
+func (s *Solver) pickBranchLit() Lit {
+	for {
+		v, ok := s.order.pop(s.activity)
+		if !ok {
+			return -1
+		}
+		if s.assign[v] == Undef {
+			return MkLit(v, !s.phase[v])
+		}
+	}
+}
+
+// analyzeFinal computes the set of assumption literals implying the
+// falsified literal p (p is the complement of a failed assumption).
+func (s *Solver) analyzeFinal(p Lit, assumptions []Lit) {
+	s.conflict = []Lit{p}
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if s.reason[v] == noReason {
+			if s.level[v] > 0 && s.trail[i] != p.Not() {
+				s.conflict = append(s.conflict, s.trail[i].Not())
+			}
+		} else {
+			for _, q := range s.clauses[s.reason[v]].lits {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[p.Var()] = false
+	// Keep only actual assumptions (dedup).
+	asm := make(map[Lit]bool, len(assumptions))
+	for _, a := range assumptions {
+		asm[a] = true
+	}
+	out := s.conflict[:0]
+	seenL := make(map[Lit]bool)
+	for _, l := range s.conflict {
+		if asm[l.Not()] && !seenL[l] {
+			seenL[l] = true
+			out = append(out, l)
+		}
+	}
+	s.conflict = out
+}
+
+func (s *Solver) analyzeFinalFromConflict(confl int, assumptions []Lit) {
+	// Mark all literals of the conflicting clause and walk back.
+	s.conflict = nil
+	for _, q := range s.clauses[confl].lits {
+		if s.level[q.Var()] > 0 {
+			s.seen[q.Var()] = true
+		}
+	}
+	for i := len(s.trail) - 1; i >= 0; i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if s.reason[v] == noReason {
+			if s.level[v] > 0 {
+				s.conflict = append(s.conflict, s.trail[i].Not())
+			}
+		} else {
+			for _, q := range s.clauses[s.reason[v]].lits {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	asm := make(map[Lit]bool, len(assumptions))
+	for _, a := range assumptions {
+		asm[a] = true
+	}
+	out := s.conflict[:0]
+	seenL := make(map[Lit]bool)
+	for _, l := range s.conflict {
+		if asm[l.Not()] && !seenL[l] {
+			seenL[l] = true
+			out = append(out, l)
+		}
+	}
+	s.conflict = out
+}
+
+// Value returns the model value of variable v after a Sat result.
+func (s *Solver) Value(v int) LBool { return s.assign[v] }
+
+// ValueLit returns the model value of a literal after a Sat result.
+func (s *Solver) ValueLit(l Lit) LBool { return s.litValue(l) }
+
+// Core returns the failed assumptions after an Unsat result: a subset
+// of the assumptions whose conjunction is inconsistent with the
+// clauses. Literals appear negated relative to how they were assumed
+// in MiniSat; here we return them as the assumed literals themselves.
+func (s *Solver) Core() []Lit {
+	out := make([]Lit, len(s.conflict))
+	for i, l := range s.conflict {
+		out[i] = l.Not()
+	}
+	return out
+}
+
+// Okay reports whether the solver is still consistent at level 0.
+func (s *Solver) Okay() bool { return s.ok }
+
+// NumClauses returns the number of live problem clauses (excluding
+// learnt ones).
+func (s *Solver) NumClauses() int {
+	n := 0
+	for _, c := range s.clauses {
+		if !c.learnt && !c.deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// --- activity-ordered heap ---
+
+type varHeap struct {
+	heap []int
+	pos  []int // var -> index in heap, -1 if absent
+}
+
+func (h *varHeap) inHeap(v int) bool { return v < len(h.pos) && h.pos[v] >= 0 }
+
+func (h *varHeap) push(v int, act []float64) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = len(h.heap) - 1
+	h.up(h.pos[v], act)
+}
+
+func (h *varHeap) pop(act []float64) (int, bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	v := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.pos[v] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.pos[last] = 0
+		h.down(0, act)
+	}
+	return v, true
+}
+
+func (h *varHeap) update(v int, act []float64) {
+	if h.inHeap(v) {
+		h.up(h.pos[v], act)
+	}
+}
+
+func (h *varHeap) up(i int, act []float64) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if act[h.heap[p]] >= act[v] {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.pos[h.heap[p]] = i
+		i = p
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}
+
+func (h *varHeap) down(i int, act []float64) {
+	v := h.heap[i]
+	for {
+		c := 2*i + 1
+		if c >= len(h.heap) {
+			break
+		}
+		if c+1 < len(h.heap) && act[h.heap[c+1]] > act[h.heap[c]] {
+			c++
+		}
+		if act[h.heap[c]] <= act[v] {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.pos[h.heap[c]] = i
+		i = c
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}

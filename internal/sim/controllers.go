@@ -1,0 +1,255 @@
+package sim
+
+import "fmt"
+
+// Scheduler binds pending pods: it filters nodes with insufficient
+// free requested capacity (and, unless IgnoreTaints, nodes whose
+// taints the pod does not tolerate), then ranks the remainder by least
+// requested CPU — the paper's §2 description of the Kubernetes
+// scheduler. Ties break by node registration order.
+type Scheduler struct {
+	Every        int
+	IgnoreTaints bool
+}
+
+// Name implements Controller.
+func (s *Scheduler) Name() string { return "scheduler" }
+
+// Period implements Controller.
+func (s *Scheduler) Period() int { return max(1, s.Every) }
+
+// Tick implements Controller.
+func (s *Scheduler) Tick(c *Cluster) {
+	for _, p := range c.sortedPods() {
+		if !p.Pending() {
+			continue
+		}
+		var best *Node
+		bestReq := 0
+		for _, n := range c.Nodes {
+			if !s.IgnoreTaints && !toleratesAll(p, n) {
+				continue
+			}
+			req := c.RequestedOn(n.Name)
+			if req+p.RequestCPU > n.Capacity {
+				continue
+			}
+			if best == nil || req < bestReq {
+				best, bestReq = n, req
+			}
+		}
+		if best == nil {
+			continue // stays pending
+		}
+		p.Node = best.Name
+		c.Record(s.Name(), "bind", p.Name, best.Name,
+			fmt.Sprintf("requested=%d%%", bestReq))
+	}
+}
+
+func toleratesAll(p *Pod, n *Node) bool {
+	for t := range n.Taints {
+		if !p.Tolerations[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// Descheduler implements the two strategies from §2/§3.3.
+type Descheduler struct {
+	Every int
+	// LowNodeUtilization evicts every pod from nodes whose observed
+	// utilization exceeds Threshold (percent). Disabled when
+	// Threshold < 0.
+	Threshold int
+	// RemoveDuplicates evicts surplus same-app pods sharing a node.
+	RemoveDuplicates bool
+}
+
+// Name implements Controller.
+func (d *Descheduler) Name() string { return "descheduler" }
+
+// Period implements Controller.
+func (d *Descheduler) Period() int { return max(1, d.Every) }
+
+// Tick implements Controller.
+func (d *Descheduler) Tick(c *Cluster) {
+	if d.Threshold >= 0 {
+		for _, n := range c.Nodes {
+			util := c.UtilizationOn(n.Name)
+			if util <= d.Threshold {
+				continue
+			}
+			for _, p := range c.PodsOn(n.Name) {
+				c.Evict(d.Name(), p, fmt.Sprintf("LowNodeUtilization: util %d%% > %d%%", util, d.Threshold))
+			}
+		}
+	}
+	if d.RemoveDuplicates {
+		for _, n := range c.Nodes {
+			seen := map[string]bool{}
+			for _, p := range c.PodsOn(n.Name) {
+				if seen[p.App] {
+					c.Evict(d.Name(), p, "RemoveDuplicates")
+					continue
+				}
+				seen[p.App] = true
+			}
+		}
+	}
+}
+
+// DeploymentController maintains each deployment's replica count,
+// creating missing pods and deleting surplus ones (§2).
+type DeploymentController struct {
+	Every int
+}
+
+// Name implements Controller.
+func (d *DeploymentController) Name() string { return "deployment-controller" }
+
+// Period implements Controller.
+func (d *DeploymentController) Period() int { return max(1, d.Every) }
+
+// Tick implements Controller.
+func (d *DeploymentController) Tick(c *Cluster) {
+	for _, dep := range c.Deployments {
+		pods := c.PodsOf(dep.App)
+		for len(pods) < dep.Replicas {
+			pods = append(pods, c.CreatePod(d.Name(), dep))
+		}
+		for len(pods) > dep.Replicas {
+			victim := pods[len(pods)-1]
+			pods = pods[:len(pods)-1]
+			c.DeletePod(d.Name(), victim, "scale down")
+		}
+	}
+}
+
+// TaintManager evicts pods running on nodes whose taints they do not
+// tolerate (the NoExecute behavior behind issue #75913).
+type TaintManager struct {
+	Every int
+}
+
+// Name implements Controller.
+func (t *TaintManager) Name() string { return "taint-manager" }
+
+// Period implements Controller.
+func (t *TaintManager) Period() int { return max(1, t.Every) }
+
+// Tick implements Controller.
+func (t *TaintManager) Tick(c *Cluster) {
+	for _, n := range c.Nodes {
+		if len(n.Taints) == 0 {
+			continue
+		}
+		for _, p := range c.PodsOn(n.Name) {
+			if !toleratesAll(p, n) {
+				// NoExecute evictions delete the pod object; the
+				// deployment controller recreates it — the loop of
+				// issue #75913.
+				c.DeletePod(t.Name(), p, "NoExecute taint")
+			}
+		}
+	}
+}
+
+// HPA is a horizontal pod autoscaler. The defective mode reproduces
+// issue #90461: it treats the observed pod count (inflated by the
+// rolling-update surge) as the current replica count and adopts it as
+// the new expected count.
+type HPA struct {
+	Every int
+	App   string
+	Max   int
+	// ReportsExpectedAsCurrent enables the defect.
+	ReportsExpectedAsCurrent bool
+}
+
+// Name implements Controller.
+func (h *HPA) Name() string { return "hpa" }
+
+// Period implements Controller.
+func (h *HPA) Period() int { return max(1, h.Every) }
+
+// Tick implements Controller.
+func (h *HPA) Tick(c *Cluster) {
+	for _, dep := range c.Deployments {
+		if dep.App != h.App {
+			continue
+		}
+		if !h.ReportsExpectedAsCurrent {
+			return // steady load: a correct HPA keeps the spec
+		}
+		current := len(c.PodsOf(dep.App))
+		if current > dep.Replicas && dep.Replicas < h.Max {
+			dep.Replicas = min(current, h.Max)
+			c.Record(h.Name(), "scale", "", "",
+				fmt.Sprintf("app=%s replicas->%d (defect: current includes surge)", dep.App, dep.Replicas))
+		}
+	}
+}
+
+// RollingUpdateController rolls a deployment: while the update is in
+// progress it may run up to MaxSurge additional pods beyond the spec.
+type RollingUpdateController struct {
+	Every    int
+	App      string
+	MaxSurge int
+	// Rounds bounds how long the rollout keeps surging (0 = forever).
+	Rounds int
+	done   int
+}
+
+// Name implements Controller.
+func (r *RollingUpdateController) Name() string { return "rolling-update" }
+
+// Period implements Controller.
+func (r *RollingUpdateController) Period() int { return max(1, r.Every) }
+
+// Tick implements Controller.
+func (r *RollingUpdateController) Tick(c *Cluster) {
+	if r.Rounds > 0 && r.done >= r.Rounds {
+		return
+	}
+	for _, dep := range c.Deployments {
+		if dep.App != r.App {
+			continue
+		}
+		pods := c.PodsOf(dep.App)
+		if len(pods) > dep.Replicas {
+			// Finish the previous surge round: retire old pods down
+			// to the (possibly just-raised) spec.
+			for len(pods) > dep.Replicas {
+				victim := pods[0]
+				pods = pods[1:]
+				c.DeletePod(r.Name(), victim, "rollout retired old pod")
+			}
+			continue
+		}
+		// Surge: create replacement pods ahead of terminating old
+		// ones. The inflated pod count is visible to anything sampling
+		// "current replicas" until the next retirement round — the
+		// window the defective HPA of issue #90461 reads.
+		for i := 0; i < r.MaxSurge; i++ {
+			pods = append(pods, c.CreatePod(r.Name(), dep))
+		}
+		r.done++
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,132 @@
+package sim
+
+import "fmt"
+
+// PlacementSample records where an app's pod ran at one minute.
+type PlacementSample struct {
+	Minute int
+	// Worker is the 1-based worker index hosting the pod, or 0 while
+	// pending.
+	Worker int
+}
+
+// Figure2Config mirrors the paper's live experiment: a 3-worker
+// cluster, one CPU-intensive pod requesting 50% CPU, a descheduler
+// cronjob every 2 minutes with a LowNodeUtilization threshold of 45%.
+type Figure2Config struct {
+	RequestCPU int // default 50
+	Threshold  int // default 45
+	Minutes    int // default 30
+	// Worker1Load is the resident load keeping worker 1 out of play
+	// (the paper's cluster ran control-plane components there).
+	Worker1Load int // default 60
+}
+
+// Figure2 runs the descheduler-oscillation experiment and returns the
+// minute-by-minute placement of the app pod (the series plotted in the
+// paper's Figure 2) plus the cluster for event inspection.
+func Figure2(cfg Figure2Config) ([]PlacementSample, *Cluster) {
+	if cfg.RequestCPU == 0 {
+		cfg.RequestCPU = 50
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 45
+	}
+	if cfg.Minutes == 0 {
+		cfg.Minutes = 30
+	}
+	if cfg.Worker1Load == 0 {
+		cfg.Worker1Load = 60
+	}
+	c := New()
+	c.AddNode(&Node{Name: "worker1", Capacity: 100, BaseLoad: cfg.Worker1Load})
+	c.AddNode(&Node{Name: "worker2", Capacity: 100})
+	c.AddNode(&Node{Name: "worker3", Capacity: 100})
+	c.AddDeployment(&Deployment{
+		App: "app", Replicas: 1,
+		RequestCPU: cfg.RequestCPU, UsageCPU: cfg.RequestCPU,
+	})
+	// Order within a tick: reconcile replicas, run the descheduler
+	// cronjob, then schedule — an evicted pod rebinds the same minute
+	// (to the other worker, because its grace-period reservation still
+	// counts on the old one), giving the paper's square wave with
+	// roughly two-minute residency.
+	c.AddController(&DeploymentController{Every: 1})
+	c.AddController(&Descheduler{Every: 2, Threshold: cfg.Threshold})
+	c.AddController(&Scheduler{Every: 1})
+
+	workerIndex := map[string]int{"worker1": 1, "worker2": 2, "worker3": 3}
+	var series []PlacementSample
+	for m := 0; m < cfg.Minutes; m++ {
+		c.Step()
+		w := 0
+		for _, p := range c.PodsOf("app") {
+			if p.Node != "" {
+				w = workerIndex[p.Node]
+			}
+		}
+		series = append(series, PlacementSample{Minute: c.Now, Worker: w})
+	}
+	return series, c
+}
+
+// Transitions counts how many times the placement changed between
+// distinct workers (pending samples skipped) — the oscillation count.
+func Transitions(series []PlacementSample) int {
+	last, n := 0, 0
+	for _, s := range series {
+		if s.Worker == 0 {
+			continue
+		}
+		if last != 0 && s.Worker != last {
+			n++
+		}
+		last = s.Worker
+	}
+	return n
+}
+
+// TaintLoop runs the issue #75913 scenario: a deployment whose pods
+// land on a tainted node (the scheduler ignores taints, standing in
+// for the issue's node-selector misconfiguration), a taint manager
+// evicting them, and a deployment controller recreating them. It
+// returns the number of pod creations observed — a spinning loop
+// creates one pod per reconciliation round.
+func TaintLoop(minutes int) (int, *Cluster) {
+	c := New()
+	c.AddNode(&Node{Name: "tainted", Capacity: 100, Taints: map[string]bool{"dedicated": true}})
+	c.AddDeployment(&Deployment{App: "web", Replicas: 1, RequestCPU: 10, UsageCPU: 10})
+	c.AddController(&DeploymentController{Every: 1})
+	c.AddController(&Scheduler{Every: 1, IgnoreTaints: true})
+	c.AddController(&TaintManager{Every: 1})
+	c.Run(minutes)
+	creates := 0
+	for _, e := range c.Events {
+		if e.Action == "create" {
+			creates++
+		}
+	}
+	return creates, c
+}
+
+// HPARunaway runs the issue #90461 scenario: a rolling update with
+// maxSurge=1 plus the defective HPA. It returns the deployment's
+// replica spec over time; with the defect it ratchets upward.
+func HPARunaway(minutes, maxReplicas int, buggy bool) ([]int, *Cluster) {
+	c := New()
+	for i := 1; i <= 4; i++ {
+		c.AddNode(&Node{Name: fmt.Sprintf("node%d", i), Capacity: 100})
+	}
+	dep := &Deployment{App: "svc", Replicas: 2, RequestCPU: 5, UsageCPU: 5}
+	c.AddDeployment(dep)
+	c.AddController(&DeploymentController{Every: 1})
+	c.AddController(&Scheduler{Every: 1})
+	c.AddController(&RollingUpdateController{Every: 1, App: "svc", MaxSurge: 1})
+	c.AddController(&HPA{Every: 1, App: "svc", Max: maxReplicas, ReportsExpectedAsCurrent: buggy})
+	var series []int
+	for m := 0; m < minutes; m++ {
+		c.Step()
+		series = append(series, dep.Replicas)
+	}
+	return series, c
+}

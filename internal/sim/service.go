@@ -1,0 +1,134 @@
+package sim
+
+import "fmt"
+
+// Service-layer controllers (§2 of the paper): a load balancer
+// distributing request traffic among an app's pods and a rate limiter
+// capping what each pod receives. Pod CPU usage follows the received
+// request rate, which is what couples these controllers to the
+// scheduler/descheduler/HPA layer.
+
+// ServiceTraffic models an app's incoming request rate (requests per
+// minute). Register it on the cluster before the load balancer.
+type ServiceTraffic struct {
+	App  string
+	Rate int
+}
+
+// LoadBalancer splits each registered service's traffic among the
+// app's bound pods. Strategies:
+//
+//	"round-robin"  — equal shares
+//	"least-loaded" — shares inversely follow current pod usage: the
+//	                 least-used pod receives the remainder after an
+//	                 equal base split (a simple latency-based policy)
+//
+// The received share drives each pod's UsageCPU at CPUPerRequest
+// percent per request (so utilization-driven controllers react to
+// traffic shifts, as in the paper's Figure 1 interaction graph).
+type LoadBalancer struct {
+	Every         int
+	Strategy      string
+	Traffic       []*ServiceTraffic
+	CPUPerRequest int // percent CPU per request unit, default 1
+
+	// Received records the last assignment per pod name.
+	Received map[string]int
+}
+
+// Name implements Controller.
+func (l *LoadBalancer) Name() string { return "load-balancer" }
+
+// Period implements Controller.
+func (l *LoadBalancer) Period() int { return max(1, l.Every) }
+
+// Tick implements Controller.
+func (l *LoadBalancer) Tick(c *Cluster) {
+	if l.Received == nil {
+		l.Received = make(map[string]int)
+	}
+	perReq := l.CPUPerRequest
+	if perReq == 0 {
+		perReq = 1
+	}
+	for _, t := range l.Traffic {
+		var bound []*Pod
+		for _, p := range c.PodsOf(t.App) {
+			if !p.Pending() {
+				bound = append(bound, p)
+			}
+		}
+		if len(bound) == 0 {
+			continue
+		}
+		base := t.Rate / len(bound)
+		rem := t.Rate - base*len(bound)
+		// The remainder goes to the least-used pod under
+		// least-loaded, to the first pod under round-robin.
+		target := bound[0]
+		if l.Strategy == "least-loaded" {
+			for _, p := range bound[1:] {
+				if p.UsageCPU < target.UsageCPU {
+					target = p
+				}
+			}
+		}
+		for _, p := range bound {
+			share := base
+			if p == target {
+				share += rem
+			}
+			l.Received[p.Name] = share
+			p.UsageCPU = share * perReq
+		}
+		c.Record(l.Name(), "route", "", "",
+			fmt.Sprintf("app=%s rate=%d across %d pods (%s)", t.App, t.Rate, len(bound), l.strategy()))
+	}
+}
+
+func (l *LoadBalancer) strategy() string {
+	if l.Strategy == "" {
+		return "round-robin"
+	}
+	return l.Strategy
+}
+
+// RateLimiter caps the request rate any single pod receives (the §2
+// DDoS-mitigation control). It runs after the load balancer and clips
+// both the recorded share and the driven CPU usage.
+type RateLimiter struct {
+	Every   int
+	MaxRate int
+	// Balancer is the LB whose assignments are clipped.
+	Balancer *LoadBalancer
+	// Dropped counts requests shed so far.
+	Dropped int
+}
+
+// Name implements Controller.
+func (r *RateLimiter) Name() string { return "rate-limiter" }
+
+// Period implements Controller.
+func (r *RateLimiter) Period() int { return max(1, r.Every) }
+
+// Tick implements Controller.
+func (r *RateLimiter) Tick(c *Cluster) {
+	if r.Balancer == nil || r.Balancer.Received == nil {
+		return
+	}
+	perReq := r.Balancer.CPUPerRequest
+	if perReq == 0 {
+		perReq = 1
+	}
+	for _, p := range c.sortedPods() {
+		got, ok := r.Balancer.Received[p.Name]
+		if !ok || got <= r.MaxRate {
+			continue
+		}
+		r.Dropped += got - r.MaxRate
+		r.Balancer.Received[p.Name] = r.MaxRate
+		p.UsageCPU = r.MaxRate * perReq
+		c.Record(r.Name(), "limit", p.Name, p.Node,
+			fmt.Sprintf("clipped %d -> %d req/min", got, r.MaxRate))
+	}
+}

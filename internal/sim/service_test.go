@@ -1,0 +1,141 @@
+package sim
+
+import "testing"
+
+func serviceCluster(strategy string, rate int) (*Cluster, *LoadBalancer) {
+	c := New()
+	c.AddNode(&Node{Name: "n1", Capacity: 100})
+	c.AddNode(&Node{Name: "n2", Capacity: 100})
+	c.AddDeployment(&Deployment{App: "web", Replicas: 2, RequestCPU: 10, UsageCPU: 0})
+	lb := &LoadBalancer{
+		Every:    1,
+		Strategy: strategy,
+		Traffic:  []*ServiceTraffic{{App: "web", Rate: rate}},
+	}
+	c.AddController(&DeploymentController{Every: 1})
+	c.AddController(&Scheduler{Every: 1})
+	c.AddController(lb)
+	return c, lb
+}
+
+func TestLoadBalancerRoundRobin(t *testing.T) {
+	c, lb := serviceCluster("round-robin", 40)
+	c.Run(2)
+	total := 0
+	for _, p := range c.PodsOf("web") {
+		got := lb.Received[p.Name]
+		if got != 20 {
+			t.Errorf("pod %s received %d, want 20", p.Name, got)
+		}
+		if p.UsageCPU != 20 {
+			t.Errorf("pod %s usage %d, want 20", p.Name, p.UsageCPU)
+		}
+		total += got
+	}
+	if total != 40 {
+		t.Errorf("total routed %d, want 40", total)
+	}
+}
+
+func TestLoadBalancerRemainderPlacement(t *testing.T) {
+	c, lb := serviceCluster("least-loaded", 41)
+	c.Run(2)
+	shares := map[int]int{}
+	for _, p := range c.PodsOf("web") {
+		shares[lb.Received[p.Name]]++
+	}
+	if shares[20] != 1 || shares[21] != 1 {
+		t.Errorf("shares = %v, want one 20 and one 21", shares)
+	}
+}
+
+func TestLoadBalancerSkipsPendingPods(t *testing.T) {
+	c := New()
+	c.AddNode(&Node{Name: "n1", Capacity: 100})
+	c.AddDeployment(&Deployment{App: "web", Replicas: 2, RequestCPU: 80, UsageCPU: 0})
+	lb := &LoadBalancer{Every: 1, Traffic: []*ServiceTraffic{{App: "web", Rate: 30}}}
+	c.AddController(&DeploymentController{Every: 1})
+	c.AddController(&Scheduler{Every: 1})
+	c.AddController(lb)
+	c.Run(2)
+	// Only one pod fits the node; the pending one gets nothing.
+	bound, pending := 0, 0
+	for _, p := range c.PodsOf("web") {
+		if p.Pending() {
+			pending++
+			if lb.Received[p.Name] != 0 {
+				t.Error("pending pod received traffic")
+			}
+		} else {
+			bound++
+			if lb.Received[p.Name] != 30 {
+				t.Errorf("bound pod received %d, want all 30", lb.Received[p.Name])
+			}
+		}
+	}
+	if bound != 1 || pending != 1 {
+		t.Fatalf("bound=%d pending=%d", bound, pending)
+	}
+}
+
+func TestRateLimiterClips(t *testing.T) {
+	c, lb := serviceCluster("round-robin", 100)
+	rl := &RateLimiter{Every: 1, MaxRate: 30, Balancer: lb}
+	c.AddController(rl)
+	c.Run(1)
+	for _, p := range c.PodsOf("web") {
+		if !p.Pending() && lb.Received[p.Name] > 30 {
+			t.Errorf("pod %s over the limit: %d", p.Name, lb.Received[p.Name])
+		}
+		if p.UsageCPU > 30 {
+			t.Errorf("pod %s usage %d exceeds clipped rate", p.Name, p.UsageCPU)
+		}
+	}
+	if rl.Dropped != 40 { // 2 pods × (50-30)
+		t.Errorf("dropped %d, want 40", rl.Dropped)
+	}
+}
+
+// TestTrafficDrivesDescheduler closes the cross-layer loop of the
+// paper's Figure 1: request traffic (service layer) drives CPU usage,
+// which triggers the descheduler (virtualization layer) to evict —
+// even though the pod's *request* alone would be under threshold.
+func TestTrafficDrivesDescheduler(t *testing.T) {
+	c := New()
+	c.AddNode(&Node{Name: "n1", Capacity: 100})
+	c.AddNode(&Node{Name: "n2", Capacity: 100})
+	c.AddDeployment(&Deployment{App: "web", Replicas: 1, RequestCPU: 10, UsageCPU: 0})
+	lb := &LoadBalancer{Every: 1, Traffic: []*ServiceTraffic{{App: "web", Rate: 60}}}
+	c.AddController(&DeploymentController{Every: 1})
+	c.AddController(&Scheduler{Every: 1})
+	c.AddController(lb)
+	c.AddController(&Descheduler{Every: 1, Threshold: 50})
+	c.Run(6)
+	evicts := 0
+	for _, e := range c.Events {
+		if e.Action == "evict" {
+			evicts++
+		}
+	}
+	if evicts == 0 {
+		t.Error("traffic-driven utilization never triggered the descheduler")
+	}
+	// With a rate limiter capping usage below the threshold, the
+	// eviction loop stops.
+	c2 := New()
+	c2.AddNode(&Node{Name: "n1", Capacity: 100})
+	c2.AddNode(&Node{Name: "n2", Capacity: 100})
+	c2.AddDeployment(&Deployment{App: "web", Replicas: 1, RequestCPU: 10, UsageCPU: 0})
+	lb2 := &LoadBalancer{Every: 1, Traffic: []*ServiceTraffic{{App: "web", Rate: 60}}}
+	c2.AddController(&DeploymentController{Every: 1})
+	c2.AddController(&Scheduler{Every: 1})
+	c2.AddController(lb2)
+	c2.AddController(&RateLimiter{Every: 1, MaxRate: 40, Balancer: lb2})
+	c2.AddController(&Descheduler{Every: 1, Threshold: 50})
+	c2.Run(6)
+	for _, e := range c2.Events {
+		if e.Action == "evict" {
+			t.Error("rate-limited pod should stay under the eviction threshold")
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package sim is a discrete-time cluster simulator with executable
+// orchestration controllers: scheduler, descheduler, deployment
+// controller, taint manager, horizontal pod autoscaler and rolling
+// update controller.
+//
+// It substitutes for the paper's live 6-VM Kubernetes cluster: the
+// observable of the Figure 2 experiment (a pod bouncing between
+// worker 2 and worker 3 at the descheduler's cadence) is a property of
+// the controller decision rules, which the simulator executes
+// faithfully at the same periods. One tick is one minute.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pod is a scheduled unit of work.
+type Pod struct {
+	Name        string
+	App         string
+	RequestCPU  int // percent of a node
+	UsageCPU    int // observed usage, percent
+	Node        string
+	Tolerations map[string]bool
+	// termNode/termUntil keep the pod's resources reserved on its old
+	// node through the next tick after eviction (graceful
+	// termination), which is what pushes the scheduler to the other
+	// worker in Figure 2.
+	termNode  string
+	termUntil int
+}
+
+// Pending reports whether the pod awaits scheduling.
+func (p *Pod) Pending() bool { return p.Node == "" }
+
+// Node is a worker machine.
+type Node struct {
+	Name     string
+	Capacity int // percent, normally 100
+	BaseLoad int // resident system load, percent
+	Taints   map[string]bool
+}
+
+// Deployment is a replica spec maintained by the deployment controller.
+type Deployment struct {
+	App        string
+	Replicas   int
+	RequestCPU int
+	UsageCPU   int
+	Toleration map[string]bool
+}
+
+// Event records one controller action.
+type Event struct {
+	Time       int
+	Controller string
+	Action     string // "create", "delete", "bind", "evict", "scale"
+	Pod        string
+	Node       string
+	Detail     string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("t=%02d %-20s %-6s pod=%-12s node=%-8s %s",
+		e.Time, e.Controller, e.Action, e.Pod, e.Node, e.Detail)
+}
+
+// Controller is a periodic control loop.
+type Controller interface {
+	// Name identifies the controller in the event log.
+	Name() string
+	// Period is the number of ticks between runs (>= 1).
+	Period() int
+	// Tick runs one reconciliation pass.
+	Tick(c *Cluster)
+}
+
+// Cluster is the simulated system state.
+type Cluster struct {
+	Nodes       []*Node
+	Pods        map[string]*Pod
+	Deployments []*Deployment
+	Controllers []Controller
+	Now         int
+	Events      []Event
+
+	podSeq int
+}
+
+// New returns an empty cluster.
+func New() *Cluster {
+	return &Cluster{Pods: make(map[string]*Pod)}
+}
+
+// AddNode registers a worker.
+func (c *Cluster) AddNode(n *Node) {
+	if n.Taints == nil {
+		n.Taints = map[string]bool{}
+	}
+	c.Nodes = append(c.Nodes, n)
+}
+
+// AddDeployment registers a replica spec.
+func (c *Cluster) AddDeployment(d *Deployment) {
+	c.Deployments = append(c.Deployments, d)
+}
+
+// AddController registers a control loop; controllers run in
+// registration order on their periods.
+func (c *Cluster) AddController(ctl Controller) {
+	c.Controllers = append(c.Controllers, ctl)
+}
+
+// Record appends an event.
+func (c *Cluster) Record(ctl, action, pod, node, detail string) {
+	c.Events = append(c.Events, Event{
+		Time: c.Now, Controller: ctl, Action: action, Pod: pod, Node: node, Detail: detail,
+	})
+}
+
+// nodeByName returns the node or nil.
+func (c *Cluster) nodeByName(name string) *Node {
+	for _, n := range c.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// RequestedOn sums CPU requests bound or terminating on a node,
+// including the node's base load.
+func (c *Cluster) RequestedOn(node string) int {
+	n := c.nodeByName(node)
+	total := 0
+	if n != nil {
+		total = n.BaseLoad
+	}
+	for _, p := range c.sortedPods() {
+		if p.Node == node || (p.termNode == node && c.Now <= p.termUntil) {
+			total += p.RequestCPU
+		}
+	}
+	return total
+}
+
+// UtilizationOn sums observed CPU usage on a node (plus base load).
+func (c *Cluster) UtilizationOn(node string) int {
+	n := c.nodeByName(node)
+	total := 0
+	if n != nil {
+		total = n.BaseLoad
+	}
+	for _, p := range c.sortedPods() {
+		if p.Node == node {
+			total += p.UsageCPU
+		}
+	}
+	return total
+}
+
+// PodsOn lists pods bound to a node, name-sorted.
+func (c *Cluster) PodsOn(node string) []*Pod {
+	var out []*Pod
+	for _, p := range c.sortedPods() {
+		if p.Node == node {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PodsOf lists pods of an app (bound or pending), name-sorted.
+func (c *Cluster) PodsOf(app string) []*Pod {
+	var out []*Pod
+	for _, p := range c.sortedPods() {
+		if p.App == app {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (c *Cluster) sortedPods() []*Pod {
+	names := make([]string, 0, len(c.Pods))
+	for n := range c.Pods {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Pod, len(names))
+	for i, n := range names {
+		out[i] = c.Pods[n]
+	}
+	return out
+}
+
+// CreatePod instantiates a pod for a deployment spec.
+func (c *Cluster) CreatePod(ctl string, d *Deployment) *Pod {
+	c.podSeq++
+	p := &Pod{
+		Name:        fmt.Sprintf("%s-%d", d.App, c.podSeq),
+		App:         d.App,
+		RequestCPU:  d.RequestCPU,
+		UsageCPU:    d.UsageCPU,
+		Tolerations: d.Toleration,
+	}
+	if p.Tolerations == nil {
+		p.Tolerations = map[string]bool{}
+	}
+	c.Pods[p.Name] = p
+	c.Record(ctl, "create", p.Name, "", "")
+	return p
+}
+
+// DeletePod removes a pod entirely.
+func (c *Cluster) DeletePod(ctl string, p *Pod, why string) {
+	delete(c.Pods, p.Name)
+	c.Record(ctl, "delete", p.Name, p.Node, why)
+}
+
+// Evict unbinds a pod; its resources stay reserved on the old node
+// through the next tick (graceful termination) and it goes back to
+// pending.
+func (c *Cluster) Evict(ctl string, p *Pod, why string) {
+	old := p.Node
+	p.termNode = old
+	p.termUntil = c.Now + 1
+	p.Node = ""
+	c.Record(ctl, "evict", p.Name, old, why)
+}
+
+// Step advances one tick, running due controllers in order.
+func (c *Cluster) Step() {
+	c.Now++
+	for _, ctl := range c.Controllers {
+		if c.Now%ctl.Period() == 0 {
+			ctl.Tick(c)
+		}
+	}
+}
+
+// Run advances n ticks.
+func (c *Cluster) Run(n int) {
+	for i := 0; i < n; i++ {
+		c.Step()
+	}
+}

@@ -1,0 +1,220 @@
+package sim
+
+import "testing"
+
+// TestFigure2Oscillation reproduces the paper's live experiment: the
+// pod must bounce between worker 2 and worker 3, never settling, for
+// the whole 30-minute run.
+func TestFigure2Oscillation(t *testing.T) {
+	series, _ := Figure2(Figure2Config{})
+	if len(series) != 30 {
+		t.Fatalf("series length %d, want 30", len(series))
+	}
+	workersSeen := map[int]bool{}
+	for _, s := range series {
+		if s.Worker == 1 {
+			t.Errorf("minute %d: pod on worker 1, which is loaded beyond capacity", s.Minute)
+		}
+		workersSeen[s.Worker] = true
+	}
+	if !workersSeen[2] || !workersSeen[3] {
+		t.Errorf("pod should visit both worker 2 and worker 3, saw %v", workersSeen)
+	}
+	if tr := Transitions(series); tr < 5 {
+		t.Errorf("only %d placement transitions in 30 min; expected sustained oscillation", tr)
+	}
+}
+
+// TestFigure2SafeThresholdStable: raising the eviction threshold to
+// the pod's request stops the oscillation (the fix the verification
+// models synthesize).
+func TestFigure2SafeThresholdStable(t *testing.T) {
+	series, _ := Figure2(Figure2Config{Threshold: 50})
+	if tr := Transitions(series); tr != 0 {
+		t.Errorf("threshold=50: %d transitions, want 0", tr)
+	}
+	// The pod must actually be running somewhere.
+	if series[len(series)-1].Worker == 0 {
+		t.Error("pod never scheduled")
+	}
+}
+
+// TestFigure2Cadence: with the descheduler running every 2 minutes,
+// placements flip at (roughly) that cadence — one eviction+rebind per
+// descheduler round.
+func TestFigure2Cadence(t *testing.T) {
+	series, cluster := Figure2(Figure2Config{})
+	evictions := 0
+	for _, e := range cluster.Events {
+		if e.Action == "evict" {
+			evictions++
+		}
+	}
+	// Descheduler ran 15 times over 30 min; most runs find the pod
+	// over threshold (it may be pending during some runs).
+	if evictions < 8 {
+		t.Errorf("%d evictions over 30 min, want >= 8", evictions)
+	}
+	if tr := Transitions(series); tr < evictions/2 {
+		t.Errorf("transitions (%d) should track evictions (%d)", tr, evictions)
+	}
+}
+
+func TestTaintLoopChurns(t *testing.T) {
+	creates, cluster := TaintLoop(20)
+	if creates < 8 {
+		t.Errorf("taint loop created %d pods in 20 min, expected sustained churn", creates)
+	}
+	evicts := 0
+	for _, e := range cluster.Events {
+		if e.Action == "delete" && e.Controller == "taint-manager" {
+			evicts++
+		}
+	}
+	if evicts < 8 {
+		t.Errorf("taint manager removed %d pods, expected sustained churn", evicts)
+	}
+}
+
+func TestHPARunawayRatchets(t *testing.T) {
+	series, _ := HPARunaway(12, 10, true)
+	if series[len(series)-1] != 10 {
+		t.Errorf("buggy HPA: final replicas %d, want to hit the max 10", series[len(series)-1])
+	}
+	// Monotone non-decreasing ratchet.
+	for i := 1; i < len(series); i++ {
+		if series[i] < series[i-1] {
+			t.Errorf("replicas decreased at minute %d: %v", i, series)
+		}
+	}
+}
+
+func TestHPARunawayFixedHPAStable(t *testing.T) {
+	series, _ := HPARunaway(12, 10, false)
+	for _, r := range series {
+		if r != 2 {
+			t.Fatalf("correct HPA: replicas %v, want constant 2", series)
+		}
+	}
+}
+
+func TestSchedulerFiltersCapacity(t *testing.T) {
+	c := New()
+	c.AddNode(&Node{Name: "small", Capacity: 100, BaseLoad: 90})
+	c.AddNode(&Node{Name: "big", Capacity: 100})
+	c.AddDeployment(&Deployment{App: "a", Replicas: 1, RequestCPU: 50, UsageCPU: 50})
+	c.AddController(&DeploymentController{Every: 1})
+	c.AddController(&Scheduler{Every: 1})
+	c.Run(2)
+	pods := c.PodsOf("a")
+	if len(pods) != 1 || pods[0].Node != "big" {
+		t.Errorf("pod should land on the big node, got %+v", pods)
+	}
+}
+
+func TestSchedulerLeastRequested(t *testing.T) {
+	c := New()
+	c.AddNode(&Node{Name: "n1", Capacity: 100, BaseLoad: 30})
+	c.AddNode(&Node{Name: "n2", Capacity: 100, BaseLoad: 10})
+	c.AddDeployment(&Deployment{App: "a", Replicas: 1, RequestCPU: 20, UsageCPU: 20})
+	c.AddController(&DeploymentController{Every: 1})
+	c.AddController(&Scheduler{Every: 1})
+	c.Run(2)
+	if c.PodsOf("a")[0].Node != "n2" {
+		t.Errorf("least-requested ranking should pick n2")
+	}
+}
+
+func TestSchedulerRespectsTaints(t *testing.T) {
+	c := New()
+	c.AddNode(&Node{Name: "t", Capacity: 100, Taints: map[string]bool{"x": true}})
+	c.AddDeployment(&Deployment{App: "a", Replicas: 1, RequestCPU: 10, UsageCPU: 10})
+	c.AddController(&DeploymentController{Every: 1})
+	c.AddController(&Scheduler{Every: 1})
+	c.Run(3)
+	if p := c.PodsOf("a")[0]; !p.Pending() {
+		t.Errorf("pod bound to tainted node %s without toleration", p.Node)
+	}
+	// With a toleration it binds.
+	c2 := New()
+	c2.AddNode(&Node{Name: "t", Capacity: 100, Taints: map[string]bool{"x": true}})
+	c2.AddDeployment(&Deployment{App: "a", Replicas: 1, RequestCPU: 10, UsageCPU: 10,
+		Toleration: map[string]bool{"x": true}})
+	c2.AddController(&DeploymentController{Every: 1})
+	c2.AddController(&Scheduler{Every: 1})
+	c2.Run(3)
+	if p := c2.PodsOf("a")[0]; p.Pending() {
+		t.Error("tolerating pod should bind to the tainted node")
+	}
+}
+
+func TestDeschedulerRemoveDuplicates(t *testing.T) {
+	c := New()
+	c.AddNode(&Node{Name: "n1", Capacity: 100})
+	c.AddDeployment(&Deployment{App: "a", Replicas: 2, RequestCPU: 10, UsageCPU: 10})
+	c.AddController(&DeploymentController{Every: 1})
+	c.AddController(&Scheduler{Every: 1})
+	c.AddController(&Descheduler{Every: 1, Threshold: -1, RemoveDuplicates: true})
+	c.Run(1)
+	// Both replicas land on the single node; the descheduler must
+	// evict exactly one duplicate.
+	evicts := 0
+	for _, e := range c.Events {
+		if e.Action == "evict" {
+			evicts++
+		}
+	}
+	if evicts != 1 {
+		t.Errorf("RemoveDuplicates evicted %d pods on first round, want 1", evicts)
+	}
+}
+
+func TestDeploymentControllerScalesDown(t *testing.T) {
+	c := New()
+	c.AddNode(&Node{Name: "n1", Capacity: 100})
+	dep := &Deployment{App: "a", Replicas: 3, RequestCPU: 5, UsageCPU: 5}
+	c.AddDeployment(dep)
+	c.AddController(&DeploymentController{Every: 1})
+	c.AddController(&Scheduler{Every: 1})
+	c.Run(2)
+	if got := len(c.PodsOf("a")); got != 3 {
+		t.Fatalf("replicas = %d, want 3", got)
+	}
+	dep.Replicas = 1
+	c.Run(1)
+	if got := len(c.PodsOf("a")); got != 1 {
+		t.Errorf("after scale down: %d pods, want 1", got)
+	}
+}
+
+func TestGracefulTerminationReservation(t *testing.T) {
+	// After eviction the old node's requested capacity still counts
+	// the pod for one tick, steering the scheduler elsewhere.
+	c := New()
+	n1 := &Node{Name: "n1", Capacity: 100}
+	c.AddNode(n1)
+	c.AddNode(&Node{Name: "n2", Capacity: 100})
+	dep := &Deployment{App: "a", Replicas: 1, RequestCPU: 50, UsageCPU: 50}
+	c.AddDeployment(dep)
+	c.AddController(&DeploymentController{Every: 1})
+	c.AddController(&Scheduler{Every: 1})
+	c.Run(1)
+	p := c.PodsOf("a")[0]
+	first := p.Node
+	c.Evict("test", p, "test")
+	c.Run(1)
+	if p.Node == first {
+		t.Errorf("pod rebound to %s despite termination reservation", first)
+	}
+}
+
+func TestEventLogFormat(t *testing.T) {
+	_, cluster := Figure2(Figure2Config{Minutes: 4})
+	if len(cluster.Events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	s := cluster.Events[0].String()
+	if len(s) == 0 {
+		t.Error("empty event string")
+	}
+}

@@ -1,0 +1,81 @@
+// Package smt implements a lazy SMT solver for quantifier-free linear
+// real arithmetic (QF_LRA).
+//
+// The boolean skeleton of a formula lives in the CDCL SAT solver
+// (package sat) via the CNF compiler (package cnf); real-valued
+// comparisons become theory atoms attached to fresh literals. After
+// each boolean model, the asserted atoms are checked for consistency
+// with an exact-arithmetic general simplex (Dutertre–de Moura); theory
+// conflicts come back as blocking clauses. This is the engine behind
+// the paper's second case study, where input traffic and external
+// traffic are real-valued parameters of the load-balancer model.
+package smt
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Delta is a delta-rational r + d·δ for an infinitesimal positive δ —
+// the standard device for handling strict inequalities in simplex.
+// Values are immutable.
+type Delta struct {
+	R *big.Rat // standard part
+	D *big.Rat // infinitesimal coefficient
+}
+
+var ratZero = new(big.Rat)
+
+// DZero is the delta-rational 0.
+func DZero() Delta { return Delta{R: ratZero, D: ratZero} }
+
+// DRat wraps a rational with no infinitesimal part.
+func DRat(r *big.Rat) Delta { return Delta{R: r, D: ratZero} }
+
+// DStrictBelow returns r - δ (used for strict upper bounds t < r).
+func DStrictBelow(r *big.Rat) Delta { return Delta{R: r, D: big.NewRat(-1, 1)} }
+
+// DStrictAbove returns r + δ (used for strict lower bounds t > r).
+func DStrictAbove(r *big.Rat) Delta { return Delta{R: r, D: big.NewRat(1, 1)} }
+
+// Cmp compares lexicographically: standard part first, then the
+// infinitesimal coefficient.
+func (a Delta) Cmp(b Delta) int {
+	if c := a.R.Cmp(b.R); c != 0 {
+		return c
+	}
+	return a.D.Cmp(b.D)
+}
+
+// Add returns a + b.
+func (a Delta) Add(b Delta) Delta {
+	return Delta{R: new(big.Rat).Add(a.R, b.R), D: new(big.Rat).Add(a.D, b.D)}
+}
+
+// Sub returns a - b.
+func (a Delta) Sub(b Delta) Delta {
+	return Delta{R: new(big.Rat).Sub(a.R, b.R), D: new(big.Rat).Sub(a.D, b.D)}
+}
+
+// Scale returns k·a.
+func (a Delta) Scale(k *big.Rat) Delta {
+	return Delta{R: new(big.Rat).Mul(k, a.R), D: new(big.Rat).Mul(k, a.D)}
+}
+
+// Quo returns a / k; k must be nonzero.
+func (a Delta) Quo(k *big.Rat) Delta {
+	inv := new(big.Rat).Inv(k)
+	return a.Scale(inv)
+}
+
+// Concretize evaluates the delta-rational at δ = eps.
+func (a Delta) Concretize(eps *big.Rat) *big.Rat {
+	return new(big.Rat).Add(a.R, new(big.Rat).Mul(a.D, eps))
+}
+
+func (a Delta) String() string {
+	if a.D.Sign() == 0 {
+		return a.R.RatString()
+	}
+	return fmt.Sprintf("%s%+sδ", a.R.RatString(), a.D.RatString())
+}

@@ -1,0 +1,134 @@
+package smt
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"verdict/internal/expr"
+	"verdict/internal/sat"
+)
+
+// Known-satisfiable fuzz: pick a random rational point, generate random
+// linear atoms, assert each with the polarity that holds at the point.
+// The context must report SAT.
+func TestFuzzPointSatisfiable(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(3)
+		point := make([]*big.Rat, n)
+		vars := make([]*expr.Var, n)
+		for i := range point {
+			point[i] = big.NewRat(int64(rng.Intn(21)-10), int64(1+rng.Intn(4)))
+			vars[i] = &expr.Var{Name: string(rune('a' + i)), T: expr.Real(), Param: true}
+		}
+		ctx := NewContext()
+		nAtoms := 3 + rng.Intn(10)
+		for j := 0; j < nAtoms; j++ {
+			// random linear sum
+			lhsVal := new(big.Rat)
+			var terms []*expr.Expr
+			for i := 0; i < n; i++ {
+				c := int64(rng.Intn(9) - 4)
+				if c == 0 {
+					continue
+				}
+				cr := big.NewRat(c, 1)
+				terms = append(terms, expr.Mul(expr.RealConst(cr), vars[i].Ref()))
+				lhsVal.Add(lhsVal, new(big.Rat).Mul(cr, point[i]))
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			lhs := expr.Add(terms...)
+			k := big.NewRat(int64(rng.Intn(21)-10), int64(1+rng.Intn(3)))
+			var at *expr.Expr
+			switch rng.Intn(4) {
+			case 0:
+				at = expr.Le(lhs, expr.RealConst(k))
+			case 1:
+				at = expr.Lt(lhs, expr.RealConst(k))
+			case 2:
+				at = expr.Ge(lhs, expr.RealConst(k))
+			default:
+				at = expr.Gt(lhs, expr.RealConst(k))
+			}
+			holds, err := expr.EvalBool(at, expr.MapEnv{
+				vars[0]: expr.RealValue(point[0]),
+			}, nil)
+			_ = holds
+			_ = err
+			// evaluate properly with all vars
+			env := expr.MapEnv{}
+			for i, v := range vars {
+				env[v] = expr.RealValue(point[i])
+			}
+			holds, err = expr.EvalBool(at, env, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !holds {
+				at = expr.Not(at)
+			}
+			ctx.Assert(at, nil, nil)
+		}
+		if st := ctx.Solve(); st != sat.Sat {
+			t.Fatalf("trial %d: point-satisfiable instance reported %v", trial, st)
+		}
+	}
+}
+
+// TestFuzzModelSoundness complements the point-satisfiable fuzz: on
+// random (possibly unsatisfiable) instances, whenever the context
+// reports SAT its model must actually satisfy every asserted atom —
+// catching false-SAT results from a buggy simplex assignment.
+func TestFuzzModelSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + rng.Intn(3)
+		vars := make([]*expr.Var, n)
+		for i := range vars {
+			vars[i] = &expr.Var{Name: string(rune('a' + i)), T: expr.Real(), Param: true}
+		}
+		ctx := NewContext()
+		var asserted []*expr.Expr
+		nAtoms := 2 + rng.Intn(8)
+		for j := 0; j < nAtoms; j++ {
+			var terms []*expr.Expr
+			for i := 0; i < n; i++ {
+				c := int64(rng.Intn(7) - 3)
+				if c == 0 {
+					continue
+				}
+				terms = append(terms, expr.Mul(expr.RealConst(big.NewRat(c, 1)), vars[i].Ref()))
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			lhs := expr.Add(terms...)
+			k := big.NewRat(int64(rng.Intn(11)-5), int64(1+rng.Intn(3)))
+			ops := []func(a, b *expr.Expr) *expr.Expr{expr.Le, expr.Lt, expr.Ge, expr.Gt, expr.Eq, expr.Ne}
+			at := ops[rng.Intn(len(ops))](lhs, expr.RealConst(k))
+			if rng.Intn(4) == 0 {
+				at = expr.Not(at)
+			}
+			asserted = append(asserted, at)
+			ctx.Assert(at, nil, nil)
+		}
+		if st := ctx.Solve(); st == sat.Sat {
+			env := expr.MapEnv{}
+			for _, v := range vars {
+				env[v] = expr.RealValue(ctx.RealValue(v, nil))
+			}
+			for _, at := range asserted {
+				ok, err := expr.EvalBool(at, env, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("trial %d: model violates asserted atom %s", trial, at)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package smt
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+)
+
+// bound is a one-sided bound on a simplex variable, tagged with an
+// opaque explanation id (verdict uses atom-polarity tags).
+type bound struct {
+	val Delta
+	tag int
+	set bool
+}
+
+// Simplex is an exact-arithmetic general simplex solver over bounded
+// variables, after Dutertre & de Moura. Variables are dense indices;
+// rows define basic variables as linear combinations of nonbasic
+// ones. Bland's rule guarantees termination.
+type Simplex struct {
+	n     int
+	rows  map[int]map[int]*big.Rat // basic var -> coefficient per nonbasic var
+	inRow map[int][]int            // nonbasic var -> basic vars whose row mentions it (approximate, lazily cleaned)
+	lower []bound
+	upper []bound
+	beta  []Delta
+}
+
+// NewSimplex returns an empty tableau.
+func NewSimplex() *Simplex {
+	return &Simplex{
+		rows:  make(map[int]map[int]*big.Rat),
+		inRow: make(map[int][]int),
+	}
+}
+
+// NewVar allocates a fresh (nonbasic, unbounded) variable.
+func (s *Simplex) NewVar() int {
+	v := s.n
+	s.n++
+	s.lower = append(s.lower, bound{})
+	s.upper = append(s.upper, bound{})
+	s.beta = append(s.beta, DZero())
+	return v
+}
+
+// DefineSlack introduces a fresh variable constrained to equal
+// Σ coeffs[x]·x and returns it. References to basic variables are
+// substituted through their rows so the tableau stays in normal form.
+func (s *Simplex) DefineSlack(coeffs map[int]*big.Rat) int {
+	row := make(map[int]*big.Rat)
+	for x, c := range coeffs {
+		if c.Sign() == 0 {
+			continue
+		}
+		if sub, isBasic := s.rows[x]; isBasic {
+			for y, d := range sub {
+				addInto(row, y, new(big.Rat).Mul(c, d))
+			}
+		} else {
+			addInto(row, x, c)
+		}
+	}
+	v := s.NewVar()
+	s.rows[v] = row
+	val := DZero()
+	for x, c := range row {
+		val = val.Add(s.beta[x].Scale(c))
+		s.inRow[x] = append(s.inRow[x], v)
+	}
+	s.beta[v] = val
+	return v
+}
+
+func addInto(row map[int]*big.Rat, x int, c *big.Rat) {
+	if old, ok := row[x]; ok {
+		sum := new(big.Rat).Add(old, c)
+		if sum.Sign() == 0 {
+			delete(row, x)
+		} else {
+			row[x] = sum
+		}
+	} else if c.Sign() != 0 {
+		row[x] = new(big.Rat).Set(c)
+	}
+}
+
+// Conflict is a minimal-ish inconsistent set of bound tags.
+type Conflict []int
+
+// AssertUpper imposes x <= v (in delta-rational order). It returns a
+// conflict if the new bound contradicts x's lower bound.
+func (s *Simplex) AssertUpper(x int, v Delta, tag int) Conflict {
+	if s.upper[x].set && s.upper[x].val.Cmp(v) <= 0 {
+		return nil // existing bound is at least as tight
+	}
+	if s.lower[x].set && v.Cmp(s.lower[x].val) < 0 {
+		return Conflict{tag, s.lower[x].tag}
+	}
+	s.upper[x] = bound{val: v, tag: tag, set: true}
+	if _, isBasic := s.rows[x]; !isBasic && s.beta[x].Cmp(v) > 0 {
+		s.update(x, v)
+	}
+	return nil
+}
+
+// AssertLower imposes x >= v.
+func (s *Simplex) AssertLower(x int, v Delta, tag int) Conflict {
+	if s.lower[x].set && s.lower[x].val.Cmp(v) >= 0 {
+		return nil
+	}
+	if s.upper[x].set && v.Cmp(s.upper[x].val) > 0 {
+		return Conflict{tag, s.upper[x].tag}
+	}
+	s.lower[x] = bound{val: v, tag: tag, set: true}
+	if _, isBasic := s.rows[x]; !isBasic && s.beta[x].Cmp(v) < 0 {
+		s.update(x, v)
+	}
+	return nil
+}
+
+// update sets nonbasic x to v, adjusting dependent basic variables.
+func (s *Simplex) update(x int, v Delta) {
+	diff := v.Sub(s.beta[x])
+	for _, b := range s.occurrences(x) {
+		c := s.rows[b][x]
+		s.beta[b] = s.beta[b].Add(diff.Scale(c))
+	}
+	s.beta[x] = v
+}
+
+// occurrences returns basic vars whose rows mention nonbasic x,
+// cleaning stale entries left behind by pivots and deduplicating
+// (pivot substitution may register the same row several times; the β
+// maintenance loops must visit each row exactly once).
+func (s *Simplex) occurrences(x int) []int {
+	list := s.inRow[x]
+	out := list[:0]
+	seen := make(map[int]bool, len(list))
+	for _, b := range list {
+		if seen[b] {
+			continue
+		}
+		if row, ok := s.rows[b]; ok {
+			if _, mentions := row[x]; mentions {
+				seen[b] = true
+				out = append(out, b)
+			}
+		}
+	}
+	s.inRow[x] = out
+	return out
+}
+
+// Check searches for an assignment within all bounds, pivoting as
+// needed. It returns nil on success (Model is then valid) or a
+// conflict explanation.
+func (s *Simplex) Check() Conflict {
+	for {
+		// Bland's rule: smallest violating basic variable.
+		xi := -1
+		belowLower := false
+		basics := make([]int, 0, len(s.rows))
+		for b := range s.rows {
+			basics = append(basics, b)
+		}
+		sort.Ints(basics)
+		for _, b := range basics {
+			if s.lower[b].set && s.beta[b].Cmp(s.lower[b].val) < 0 {
+				xi, belowLower = b, true
+				break
+			}
+			if s.upper[b].set && s.beta[b].Cmp(s.upper[b].val) > 0 {
+				xi, belowLower = b, false
+				break
+			}
+		}
+		if xi < 0 {
+			return nil
+		}
+		row := s.rows[xi]
+		cols := make([]int, 0, len(row))
+		for x := range row {
+			cols = append(cols, x)
+		}
+		sort.Ints(cols)
+		xj := -1
+		for _, x := range cols {
+			a := row[x]
+			if belowLower {
+				// Need to increase xi.
+				if (a.Sign() > 0 && s.canIncrease(x)) || (a.Sign() < 0 && s.canDecrease(x)) {
+					xj = x
+					break
+				}
+			} else {
+				if (a.Sign() > 0 && s.canDecrease(x)) || (a.Sign() < 0 && s.canIncrease(x)) {
+					xj = x
+					break
+				}
+			}
+		}
+		if xj < 0 {
+			// Infeasible: explain from the row's saturated bounds.
+			var confl Conflict
+			if belowLower {
+				confl = append(confl, s.lower[xi].tag)
+				for _, x := range cols {
+					if row[x].Sign() > 0 {
+						confl = append(confl, s.upper[x].tag)
+					} else {
+						confl = append(confl, s.lower[x].tag)
+					}
+				}
+			} else {
+				confl = append(confl, s.upper[xi].tag)
+				for _, x := range cols {
+					if row[x].Sign() > 0 {
+						confl = append(confl, s.lower[x].tag)
+					} else {
+						confl = append(confl, s.upper[x].tag)
+					}
+				}
+			}
+			return confl
+		}
+		if belowLower {
+			s.pivotAndUpdate(xi, xj, s.lower[xi].val)
+		} else {
+			s.pivotAndUpdate(xi, xj, s.upper[xi].val)
+		}
+	}
+}
+
+func (s *Simplex) canIncrease(x int) bool {
+	return !s.upper[x].set || s.beta[x].Cmp(s.upper[x].val) < 0
+}
+
+func (s *Simplex) canDecrease(x int) bool {
+	return !s.lower[x].set || s.beta[x].Cmp(s.lower[x].val) > 0
+}
+
+// pivotAndUpdate makes xi nonbasic at value v and xj basic.
+func (s *Simplex) pivotAndUpdate(xi, xj int, v Delta) {
+	row := s.rows[xi]
+	a := row[xj]
+	theta := v.Sub(s.beta[xi]).Quo(a)
+	s.beta[xi] = v
+	s.beta[xj] = s.beta[xj].Add(theta)
+	for _, b := range s.occurrences(xj) {
+		if b == xi {
+			continue
+		}
+		c := s.rows[b][xj]
+		s.beta[b] = s.beta[b].Add(theta.Scale(c))
+	}
+	// Pivot the tableau: xj = (xi - Σ_{l≠j} a_l x_l) / a.
+	delete(s.rows, xi)
+	newRow := make(map[int]*big.Rat)
+	inv := new(big.Rat).Inv(a)
+	newRow[xi] = inv
+	for l, c := range row {
+		if l == xj {
+			continue
+		}
+		newRow[l] = new(big.Rat).Neg(new(big.Rat).Mul(c, inv))
+	}
+	s.rows[xj] = newRow
+	s.inRow[xi] = append(s.inRow[xi], xj)
+	for l := range newRow {
+		s.inRow[l] = append(s.inRow[l], xj)
+	}
+	// Substitute xj out of every other row.
+	for _, b := range s.occurrences(xj) {
+		if b == xj {
+			continue
+		}
+		rb := s.rows[b]
+		c, ok := rb[xj]
+		if !ok {
+			continue
+		}
+		delete(rb, xj)
+		for l, d := range newRow {
+			addInto(rb, l, new(big.Rat).Mul(c, d))
+			s.inRow[l] = append(s.inRow[l], b)
+		}
+	}
+}
+
+// Model returns concrete rational values for all variables, choosing a
+// concrete positive value for δ small enough to respect every strict
+// bound.
+func (s *Simplex) Model() []*big.Rat {
+	eps := s.chooseEps()
+	out := make([]*big.Rat, s.n)
+	for i := range out {
+		out[i] = s.beta[i].Concretize(eps)
+	}
+	return out
+}
+
+// chooseEps picks δ so every bound still holds after concretization.
+func (s *Simplex) chooseEps() *big.Rat {
+	eps := big.NewRat(1, 1)
+	tighten := func(gapR, gapD *big.Rat) {
+		// Need gapR + gapD·ε >= 0 given gapR >= 0; if gapD < 0,
+		// ε <= gapR / -gapD. Keep a margin of half.
+		if gapD.Sign() >= 0 {
+			return
+		}
+		cap := new(big.Rat).Quo(gapR, new(big.Rat).Neg(gapD))
+		half := new(big.Rat).Mul(cap, big.NewRat(1, 2))
+		if half.Sign() > 0 && half.Cmp(eps) < 0 {
+			eps = half
+		}
+	}
+	for i := 0; i < s.n; i++ {
+		if s.upper[i].set {
+			gap := s.upper[i].val.Sub(s.beta[i]) // >= 0 in delta order
+			tighten(gap.R, gap.D)
+		}
+		if s.lower[i].set {
+			gap := s.beta[i].Sub(s.lower[i].val)
+			tighten(gap.R, gap.D)
+		}
+	}
+	return eps
+}
+
+// Value returns the current delta-rational assignment of a variable.
+func (s *Simplex) Value(x int) Delta { return s.beta[x] }
+
+func (s *Simplex) String() string {
+	return fmt.Sprintf("simplex{%d vars, %d rows}", s.n, len(s.rows))
+}

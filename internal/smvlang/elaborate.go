@@ -1,0 +1,316 @@
+package smvlang
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"verdict/internal/ctl"
+	"verdict/internal/expr"
+	"verdict/internal/ltl"
+)
+
+// elabExpr turns an untyped tree into a typed expression. hint guides
+// bare-identifier resolution against enum types (so `mode = idle`
+// resolves `idle` as a value of mode's type).
+func (p *parser) elabExpr(n *node, hint *expr.Type) (*expr.Expr, error) {
+	sys := p.prog.Sys
+	switch n.op {
+	case "TRUE":
+		return expr.True(), nil
+	case "FALSE":
+		return expr.False(), nil
+	case "num":
+		return parseNumber(n.text)
+	case "ident":
+		if v, ok := sys.VarByName(n.text); ok {
+			return v.Ref(), nil
+		}
+		if d, ok := sys.DefineByName(n.text); ok {
+			return d, nil
+		}
+		if hint != nil && hint.Kind == expr.KindEnum && hint.EnumIndex(n.text) >= 0 {
+			return expr.EnumConst(*hint, n.text), nil
+		}
+		return nil, fmt.Errorf("smvlang: line %d:%d: unknown identifier %q", n.line, n.col, n.text)
+	case "next":
+		v, ok := sys.VarByName(n.text)
+		if !ok {
+			return nil, fmt.Errorf("smvlang: line %d:%d: next() of unknown variable %q", n.line, n.col, n.text)
+		}
+		return v.Next(), nil
+	case "not":
+		k, err := p.elabExpr(n.kids[0], nil)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not(k), nil
+	case "and", "or", "impl", "iff":
+		l, err := p.elabExpr(n.kids[0], nil)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.elabExpr(n.kids[1], nil)
+		if err != nil {
+			return nil, err
+		}
+		switch n.op {
+		case "and":
+			return expr.And(l, r), nil
+		case "or":
+			return expr.Or(l, r), nil
+		case "impl":
+			return expr.Implies(l, r), nil
+		default:
+			return expr.Iff(l, r), nil
+		}
+	case "+", "-", "*", "/", "neg":
+		if n.op == "neg" {
+			k, err := p.elabExpr(n.kids[0], nil)
+			if err != nil {
+				return nil, err
+			}
+			return expr.Neg(k), nil
+		}
+		l, err := p.elabExpr(n.kids[0], nil)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.elabExpr(n.kids[1], nil)
+		if err != nil {
+			return nil, err
+		}
+		switch n.op {
+		case "+":
+			return expr.Add(l, r), nil
+		case "-":
+			return expr.Sub(l, r), nil
+		case "*":
+			return expr.Mul(l, r), nil
+		default:
+			return expr.Div(l, r), nil
+		}
+	case "ite":
+		c, err := p.elabExpr(n.kids[0], nil)
+		if err != nil {
+			return nil, err
+		}
+		a, err := p.elabExpr(n.kids[1], hint)
+		if err != nil {
+			return nil, err
+		}
+		bt := a.Type()
+		b, err := p.elabExpr(n.kids[2], &bt)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Ite(c, a, b), nil
+	case "count":
+		args := make([]*expr.Expr, len(n.kids))
+		for i, k := range n.kids {
+			e, err := p.elabExpr(k, nil)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = e
+		}
+		return expr.Count(args...), nil
+	}
+	if strings.HasPrefix(n.op, "cmp") {
+		op := strings.TrimPrefix(n.op, "cmp")
+		l, lerr := p.elabExpr(n.kids[0], nil)
+		var r *expr.Expr
+		var rerr error
+		if lerr == nil {
+			lt := l.Type()
+			r, rerr = p.elabExpr(n.kids[1], &lt)
+		} else {
+			// Left side may be a bare enum value: resolve right first.
+			r, rerr = p.elabExpr(n.kids[1], nil)
+			if rerr == nil {
+				rt := r.Type()
+				l, lerr = p.elabExpr(n.kids[0], &rt)
+			}
+		}
+		if lerr != nil {
+			return nil, lerr
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+		switch op {
+		case "=":
+			return expr.Eq(l, r), nil
+		case "!=":
+			return expr.Ne(l, r), nil
+		case "<":
+			return expr.Lt(l, r), nil
+		case "<=":
+			return expr.Le(l, r), nil
+		case ">":
+			return expr.Gt(l, r), nil
+		case ">=":
+			return expr.Ge(l, r), nil
+		}
+	}
+	return nil, fmt.Errorf("smvlang: line %d:%d: %s is not valid in a state expression", n.line, n.col, n.op)
+}
+
+func parseNumber(text string) (*expr.Expr, error) {
+	if strings.Contains(text, ".") {
+		r, ok := new(big.Rat).SetString(text)
+		if !ok {
+			return nil, fmt.Errorf("smvlang: bad number %q", text)
+		}
+		return expr.RealConst(r), nil
+	}
+	var v int64
+	if _, err := fmt.Sscanf(text, "%d", &v); err != nil {
+		return nil, fmt.Errorf("smvlang: bad number %q", text)
+	}
+	return expr.IntConst(v), nil
+}
+
+// hasTemporal reports whether any temporal operator occurs in n.
+func hasTemporal(n *node) bool {
+	if strings.HasPrefix(n.op, "ltl") || strings.HasPrefix(n.op, "ctl") ||
+		n.op == "U" || n.op == "R" {
+		return true
+	}
+	for _, k := range n.kids {
+		if hasTemporal(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// elabLTL turns an untyped tree into an LTL formula: temporal-free
+// subtrees become atoms.
+func (p *parser) elabLTL(n *node) (*ltl.Formula, error) {
+	if !hasTemporal(n) {
+		e, err := p.elabExpr(n, nil)
+		if err != nil {
+			return nil, err
+		}
+		if e.Type().Kind != expr.KindBool {
+			return nil, fmt.Errorf("smvlang: line %d:%d: LTL atom has type %s, want bool", n.line, n.col, e.Type())
+		}
+		return ltl.Atom(e), nil
+	}
+	bin := func(f func(a, b *ltl.Formula) *ltl.Formula) (*ltl.Formula, error) {
+		l, err := p.elabLTL(n.kids[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.elabLTL(n.kids[1])
+		if err != nil {
+			return nil, err
+		}
+		return f(l, r), nil
+	}
+	switch n.op {
+	case "not":
+		k, err := p.elabLTL(n.kids[0])
+		if err != nil {
+			return nil, err
+		}
+		return ltl.Not(k), nil
+	case "and":
+		return bin(func(a, b *ltl.Formula) *ltl.Formula { return ltl.And(a, b) })
+	case "or":
+		return bin(func(a, b *ltl.Formula) *ltl.Formula { return ltl.Or(a, b) })
+	case "impl":
+		return bin(ltl.Implies)
+	case "iff":
+		return bin(func(a, b *ltl.Formula) *ltl.Formula {
+			return ltl.And(ltl.Implies(a, b), ltl.Implies(b, a))
+		})
+	case "ltlX":
+		k, err := p.elabLTL(n.kids[0])
+		if err != nil {
+			return nil, err
+		}
+		return ltl.X(k), nil
+	case "ltlF":
+		k, err := p.elabLTL(n.kids[0])
+		if err != nil {
+			return nil, err
+		}
+		return ltl.F(k), nil
+	case "ltlG":
+		k, err := p.elabLTL(n.kids[0])
+		if err != nil {
+			return nil, err
+		}
+		return ltl.G(k), nil
+	case "U":
+		return bin(ltl.U)
+	case "R":
+		return bin(ltl.R)
+	}
+	return nil, fmt.Errorf("smvlang: line %d:%d: %s is not valid in an LTL formula", n.line, n.col, n.op)
+}
+
+// elabCTL turns an untyped tree into a CTL formula.
+func (p *parser) elabCTL(n *node) (*ctl.Formula, error) {
+	if !hasTemporal(n) {
+		e, err := p.elabExpr(n, nil)
+		if err != nil {
+			return nil, err
+		}
+		if e.Type().Kind != expr.KindBool {
+			return nil, fmt.Errorf("smvlang: line %d:%d: CTL atom has type %s, want bool", n.line, n.col, e.Type())
+		}
+		return ctl.Atom(e), nil
+	}
+	un := func(f func(*ctl.Formula) *ctl.Formula) (*ctl.Formula, error) {
+		k, err := p.elabCTL(n.kids[0])
+		if err != nil {
+			return nil, err
+		}
+		return f(k), nil
+	}
+	bin := func(f func(a, b *ctl.Formula) *ctl.Formula) (*ctl.Formula, error) {
+		l, err := p.elabCTL(n.kids[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.elabCTL(n.kids[1])
+		if err != nil {
+			return nil, err
+		}
+		return f(l, r), nil
+	}
+	switch n.op {
+	case "not":
+		return un(ctl.Not)
+	case "and":
+		return bin(ctl.And)
+	case "or":
+		return bin(ctl.Or)
+	case "impl":
+		return bin(ctl.Implies)
+	case "iff":
+		return bin(func(a, b *ctl.Formula) *ctl.Formula {
+			return ctl.And(ctl.Implies(a, b), ctl.Implies(b, a))
+		})
+	case "ctlAX":
+		return un(ctl.AX)
+	case "ctlAF":
+		return un(ctl.AF)
+	case "ctlAG":
+		return un(ctl.AG)
+	case "ctlEX":
+		return un(ctl.EX)
+	case "ctlEF":
+		return un(ctl.EF)
+	case "ctlEG":
+		return un(ctl.EG)
+	case "ctlAU":
+		return bin(ctl.AU)
+	case "ctlEU":
+		return bin(ctl.EU)
+	}
+	return nil, fmt.Errorf("smvlang: line %d:%d: %s is not valid in a CTL formula", n.line, n.col, n.op)
+}

@@ -1,0 +1,156 @@
+// Package smvlang implements verdict's textual modeling language, an
+// SMV-like notation for parametric transition systems:
+//
+//	MODULE main
+//	VAR
+//	  x : 0..7;
+//	  mode : {idle, busy};
+//	  ok : boolean;
+//	  load : real;
+//	PARAM
+//	  p : 1..4;
+//	DEFINE
+//	  stable := x = 0 | ok;
+//	INIT x = 0;
+//	TRANS next(x) = x + 1;
+//	INVAR x <= 7;
+//	FAIRNESS ok;
+//	LTLSPEC G (stable -> F ok);
+//	CTLSPEC AG (x <= 5);
+//
+// The paper models its case studies directly in NuXMV's input
+// language; this package plays that role for verdict — the CLI loads
+// .vsmv files, and the model library renders to it.
+package smvlang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber // integer or decimal
+	tokOp     // operators and punctuation
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+var keywords = map[string]bool{
+	"MODULE": true, "VAR": true, "PARAM": true, "DEFINE": true,
+	"INIT": true, "TRANS": true, "INVAR": true, "FAIRNESS": true,
+	"LTLSPEC": true, "CTLSPEC": true, "boolean": true, "real": true,
+	"TRUE": true, "FALSE": true, "next": true, "count": true, "ite": true,
+}
+
+// operators sorted longest-first for maximal munch.
+var operators = []string{
+	"<->", "->", "<=", ">=", "!=", "..", ":=",
+	"&", "|", "!", "=", "<", ">", "+", "-", "*", "/",
+	"(", ")", "{", "}", "[", "]", ",", ";", ":",
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.advance(1)
+		case c == ' ' || c == '\t' || c == '\r':
+			l.advance(1)
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case unicode.IsDigit(rune(c)):
+			l.lexNumber()
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		default:
+			if !l.lexOp() {
+				return nil, fmt.Errorf("smvlang: line %d:%d: unexpected character %q", l.line, l.col, string(c))
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, line: l.line, col: l.col})
+	return l.toks, nil
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) emit(kind tokKind, text string, line, col int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, line: line, col: col})
+}
+
+func (l *lexer) lexNumber() {
+	line, col, start := l.line, l.col, l.pos
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+		l.advance(1)
+	}
+	// Decimal fraction — but not the ".." range operator.
+	if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && unicode.IsDigit(rune(l.src[l.pos+1])) {
+		l.advance(1)
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.advance(1)
+		}
+	}
+	l.emit(tokNumber, l.src[start:l.pos], line, col)
+}
+
+func (l *lexer) lexIdent() {
+	line, col, start := l.line, l.col, l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		l.advance(1)
+	}
+	text := l.src[start:l.pos]
+	if keywords[text] {
+		l.emit(tokKeyword, text, line, col)
+	} else {
+		l.emit(tokIdent, text, line, col)
+	}
+}
+
+func (l *lexer) lexOp() bool {
+	for _, op := range operators {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			line, col := l.line, l.col
+			l.advance(len(op))
+			l.emit(tokOp, op, line, col)
+			return true
+		}
+	}
+	return false
+}

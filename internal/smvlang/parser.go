@@ -1,0 +1,613 @@
+package smvlang
+
+import (
+	"fmt"
+	"strings"
+
+	"verdict/internal/ctl"
+	"verdict/internal/expr"
+	"verdict/internal/ltl"
+	"verdict/internal/ts"
+)
+
+// Program is a parsed model: the transition system plus its specs.
+type Program struct {
+	Sys      *ts.System
+	LTLSpecs []*ltl.Formula
+	CTLSpecs []*ctl.Formula
+}
+
+// Parse elaborates a model written in verdict's SMV-like language.
+// Within LTLSPEC/CTLSPEC sections the identifiers X, F, G, U, R (and
+// A/E with brackets in CTL) are temporal operators and cannot name
+// variables.
+func Parse(src string) (prog *Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("smvlang: %v", r)
+		}
+	}()
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prog: &Program{Sys: ts.New("main")}}
+	if err := p.parseProgram(); err != nil {
+		return nil, err
+	}
+	if err := p.prog.Sys.Validate(); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+// --- untyped syntax tree ---
+
+type node struct {
+	op        string // operator name, or "ident"/"num"
+	text      string // ident/num payload
+	kids      []*node
+	line, col int
+}
+
+type parser struct {
+	toks []token
+	idx  int
+	prog *Program
+}
+
+func (p *parser) cur() token  { return p.toks[p.idx] }
+func (p *parser) next() token { t := p.toks[p.idx]; p.idx++; return t }
+
+func (p *parser) accept(text string) bool {
+	if p.cur().kind != tokEOF && p.cur().text == text {
+		p.idx++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		t := p.cur()
+		return fmt.Errorf("smvlang: line %d:%d: expected %q, found %q", t.line, t.col, text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) errf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("smvlang: line %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+var sectionKeywords = map[string]bool{
+	"MODULE": true, "VAR": true, "PARAM": true, "DEFINE": true,
+	"INIT": true, "TRANS": true, "INVAR": true, "FAIRNESS": true,
+	"LTLSPEC": true, "CTLSPEC": true,
+}
+
+func (p *parser) atSection() bool {
+	t := p.cur()
+	return t.kind == tokEOF || (t.kind == tokKeyword && sectionKeywords[t.text])
+}
+
+func (p *parser) parseProgram() error {
+	if p.accept("MODULE") {
+		if p.cur().kind != tokIdent {
+			return p.errf(p.cur(), "expected module name")
+		}
+		p.prog.Sys.Name = p.next().text
+	}
+	// First pass: declarations only, so constraints may reference
+	// variables from any section order.
+	save := p.idx
+	for p.cur().kind != tokEOF {
+		switch {
+		case p.accept("VAR"):
+			if err := p.parseDecls(false); err != nil {
+				return err
+			}
+		case p.accept("PARAM"):
+			if err := p.parseDecls(true); err != nil {
+				return err
+			}
+		default:
+			p.idx++
+		}
+	}
+	p.idx = save
+	// Second pass: everything else, in order.
+	for p.cur().kind != tokEOF {
+		t := p.next()
+		switch t.text {
+		case "VAR", "PARAM":
+			p.skipDecls()
+		case "DEFINE":
+			if err := p.parseDefines(); err != nil {
+				return err
+			}
+		case "INIT", "TRANS", "INVAR", "FAIRNESS":
+			if err := p.parseConstraints(t.text); err != nil {
+				return err
+			}
+		case "LTLSPEC":
+			if err := p.parseLTLSpec(); err != nil {
+				return err
+			}
+		case "CTLSPEC":
+			if err := p.parseCTLSpec(); err != nil {
+				return err
+			}
+		default:
+			return p.errf(t, "expected a section keyword, found %q", t.text)
+		}
+	}
+	return nil
+}
+
+// --- declarations ---
+
+func (p *parser) parseDecls(param bool) error {
+	for !p.atSection() {
+		nameTok := p.next()
+		if nameTok.kind != tokIdent {
+			return p.errf(nameTok, "expected variable name, found %q", nameTok.text)
+		}
+		if err := p.expect(":"); err != nil {
+			return err
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+		sys := p.prog.Sys
+		switch {
+		case param && t.Kind == expr.KindBool:
+			sys.BoolParam(nameTok.text)
+		case param && t.Kind == expr.KindInt:
+			sys.IntParam(nameTok.text, t.Lo, t.Hi)
+		case param && t.Kind == expr.KindReal:
+			sys.RealParam(nameTok.text)
+		case param && t.Kind == expr.KindEnum:
+			return p.errf(nameTok, "enum parameters are not supported; use an int range")
+		case t.Kind == expr.KindBool:
+			sys.Bool(nameTok.text)
+		case t.Kind == expr.KindInt:
+			sys.Int(nameTok.text, t.Lo, t.Hi)
+		case t.Kind == expr.KindEnum:
+			sys.Enum(nameTok.text, t.Values...)
+		case t.Kind == expr.KindReal:
+			sys.Real(nameTok.text)
+		}
+	}
+	return nil
+}
+
+func (p *parser) skipDecls() {
+	for !p.atSection() {
+		p.idx++
+	}
+}
+
+func (p *parser) parseType() (expr.Type, error) {
+	t := p.next()
+	switch {
+	case t.text == "boolean":
+		return expr.Bool(), nil
+	case t.text == "real":
+		return expr.Real(), nil
+	case t.text == "{":
+		var values []string
+		for {
+			v := p.next()
+			if v.kind != tokIdent {
+				return expr.Type{}, p.errf(v, "expected enum value, found %q", v.text)
+			}
+			values = append(values, v.text)
+			if p.accept("}") {
+				break
+			}
+			if err := p.expect(","); err != nil {
+				return expr.Type{}, err
+			}
+		}
+		return expr.Enum(values...), nil
+	default:
+		lo, ok := p.parseSignedInt(t)
+		if !ok {
+			return expr.Type{}, p.errf(t, "expected a type, found %q", t.text)
+		}
+		if err := p.expect(".."); err != nil {
+			return expr.Type{}, err
+		}
+		hiTok := p.next()
+		hi, ok := p.parseSignedInt(hiTok)
+		if !ok {
+			return expr.Type{}, p.errf(hiTok, "expected range upper bound")
+		}
+		if lo > hi {
+			return expr.Type{}, p.errf(t, "empty range %d..%d", lo, hi)
+		}
+		return expr.Int(lo, hi), nil
+	}
+}
+
+func (p *parser) parseSignedInt(t token) (int64, bool) {
+	neg := false
+	if t.text == "-" {
+		neg = true
+		t = p.next()
+	}
+	if t.kind != tokNumber || strings.Contains(t.text, ".") {
+		return 0, false
+	}
+	var v int64
+	fmt.Sscanf(t.text, "%d", &v)
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// --- defines and constraints ---
+
+func (p *parser) parseDefines() error {
+	for !p.atSection() {
+		nameTok := p.next()
+		if nameTok.kind != tokIdent {
+			return p.errf(nameTok, "expected DEFINE name, found %q", nameTok.text)
+		}
+		if err := p.expect(":="); err != nil {
+			return err
+		}
+		n, err := p.parseFormula(modeExpr)
+		if err != nil {
+			return err
+		}
+		e, err := p.elabExpr(n, nil)
+		if err != nil {
+			return err
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+		p.prog.Sys.Define(nameTok.text, e)
+	}
+	return nil
+}
+
+func (p *parser) parseConstraints(section string) error {
+	for !p.atSection() {
+		n, err := p.parseFormula(modeExpr)
+		if err != nil {
+			return err
+		}
+		e, err := p.elabExpr(n, nil)
+		if err != nil {
+			return err
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+		switch section {
+		case "INIT":
+			p.prog.Sys.AddInit(e)
+		case "TRANS":
+			p.prog.Sys.AddTrans(e)
+		case "INVAR":
+			p.prog.Sys.AddInvar(e)
+		case "FAIRNESS":
+			p.prog.Sys.AddFairness(e)
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseLTLSpec() error {
+	n, err := p.parseFormula(modeLTL)
+	if err != nil {
+		return err
+	}
+	f, err := p.elabLTL(n)
+	if err != nil {
+		return err
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	p.prog.LTLSpecs = append(p.prog.LTLSpecs, f)
+	return nil
+}
+
+func (p *parser) parseCTLSpec() error {
+	n, err := p.parseFormula(modeCTL)
+	if err != nil {
+		return err
+	}
+	f, err := p.elabCTL(n)
+	if err != nil {
+		return err
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	p.prog.CTLSpecs = append(p.prog.CTLSpecs, f)
+	return nil
+}
+
+// --- precedence-climbing formula parser ---
+
+type parseMode int
+
+const (
+	modeExpr parseMode = iota
+	modeLTL
+	modeCTL
+)
+
+func (p *parser) parseFormula(m parseMode) (*node, error) { return p.pIff(m) }
+
+func (p *parser) mk(op string, t token, kids ...*node) *node {
+	return &node{op: op, kids: kids, line: t.line, col: t.col}
+}
+
+func (p *parser) pIff(m parseMode) (*node, error) {
+	l, err := p.pImpl(m)
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().text == "<->" {
+		t := p.next()
+		r, err := p.pImpl(m)
+		if err != nil {
+			return nil, err
+		}
+		l = p.mk("iff", t, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) pImpl(m parseMode) (*node, error) {
+	l, err := p.pOr(m)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().text == "->" {
+		t := p.next()
+		r, err := p.pImpl(m) // right associative
+		if err != nil {
+			return nil, err
+		}
+		return p.mk("impl", t, l, r), nil
+	}
+	return l, nil
+}
+
+func (p *parser) pOr(m parseMode) (*node, error) {
+	l, err := p.pAnd(m)
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().text == "|" {
+		t := p.next()
+		r, err := p.pAnd(m)
+		if err != nil {
+			return nil, err
+		}
+		l = p.mk("or", t, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) pAnd(m parseMode) (*node, error) {
+	l, err := p.pUntil(m)
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().text == "&" {
+		t := p.next()
+		r, err := p.pUntil(m)
+		if err != nil {
+			return nil, err
+		}
+		l = p.mk("and", t, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) pUntil(m parseMode) (*node, error) {
+	l, err := p.pUnary(m)
+	if err != nil {
+		return nil, err
+	}
+	for m == modeLTL && (p.cur().text == "U" || p.cur().text == "R") && p.cur().kind == tokIdent {
+		t := p.next()
+		r, err := p.pUnary(m)
+		if err != nil {
+			return nil, err
+		}
+		l = p.mk(t.text, t, l, r)
+	}
+	return l, nil
+}
+
+var ctlUnary = map[string]bool{"AX": true, "AF": true, "AG": true, "EX": true, "EF": true, "EG": true}
+
+func (p *parser) pUnary(m parseMode) (*node, error) {
+	t := p.cur()
+	if t.text == "!" {
+		p.next()
+		k, err := p.pUnary(m)
+		if err != nil {
+			return nil, err
+		}
+		return p.mk("not", t, k), nil
+	}
+	if m == modeLTL && t.kind == tokIdent && (t.text == "X" || t.text == "F" || t.text == "G") {
+		p.next()
+		k, err := p.pUnary(m)
+		if err != nil {
+			return nil, err
+		}
+		return p.mk("ltl"+t.text, t, k), nil
+	}
+	if m == modeCTL && t.kind == tokIdent {
+		if ctlUnary[t.text] {
+			p.next()
+			k, err := p.pUnary(m)
+			if err != nil {
+				return nil, err
+			}
+			return p.mk("ctl"+t.text, t, k), nil
+		}
+		if t.text == "A" || t.text == "E" {
+			p.next()
+			if err := p.expect("["); err != nil {
+				return nil, err
+			}
+			l, err := p.pIff(m)
+			if err != nil {
+				return nil, err
+			}
+			ut := p.next()
+			if ut.text != "U" {
+				return nil, p.errf(ut, "expected U in %s[ ... U ... ]", t.text)
+			}
+			r, err := p.pIff(m)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return p.mk("ctl"+t.text+"U", t, l, r), nil
+		}
+	}
+	return p.pCmp(m)
+}
+
+func (p *parser) pCmp(m parseMode) (*node, error) {
+	l, err := p.pSum(m)
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().text {
+	case "=", "!=", "<", "<=", ">", ">=":
+		t := p.next()
+		r, err := p.pSum(m)
+		if err != nil {
+			return nil, err
+		}
+		return p.mk("cmp"+t.text, t, l, r), nil
+	}
+	return l, nil
+}
+
+func (p *parser) pSum(m parseMode) (*node, error) {
+	l, err := p.pProd(m)
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().text == "+" || p.cur().text == "-" {
+		t := p.next()
+		r, err := p.pProd(m)
+		if err != nil {
+			return nil, err
+		}
+		l = p.mk(t.text, t, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) pProd(m parseMode) (*node, error) {
+	l, err := p.pNeg(m)
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().text == "*" || p.cur().text == "/" {
+		t := p.next()
+		r, err := p.pNeg(m)
+		if err != nil {
+			return nil, err
+		}
+		l = p.mk(t.text, t, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) pNeg(m parseMode) (*node, error) {
+	if p.cur().text == "-" {
+		t := p.next()
+		k, err := p.pNeg(m)
+		if err != nil {
+			return nil, err
+		}
+		return p.mk("neg", t, k), nil
+	}
+	// Boolean negation also binds at the innermost level, so
+	// `next(b) = !b` parses as expected.
+	if p.cur().text == "!" {
+		t := p.next()
+		k, err := p.pNeg(m)
+		if err != nil {
+			return nil, err
+		}
+		return p.mk("not", t, k), nil
+	}
+	return p.pPrimary(m)
+}
+
+func (p *parser) pPrimary(m parseMode) (*node, error) {
+	t := p.next()
+	switch {
+	case t.text == "(":
+		n, err := p.pIff(m)
+		if err != nil {
+			return nil, err
+		}
+		return n, p.expect(")")
+	case t.text == "TRUE" || t.text == "FALSE":
+		return &node{op: t.text, line: t.line, col: t.col}, nil
+	case t.text == "next":
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		id := p.next()
+		if id.kind != tokIdent {
+			return nil, p.errf(id, "next() takes a variable name")
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &node{op: "next", text: id.text, line: t.line, col: t.col}, nil
+	case t.text == "count" || t.text == "ite":
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		n := &node{op: t.text, line: t.line, col: t.col}
+		for {
+			k, err := p.pIff(m)
+			if err != nil {
+				return nil, err
+			}
+			n.kids = append(n.kids, k)
+			if p.accept(")") {
+				break
+			}
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		if t.text == "ite" && len(n.kids) != 3 {
+			return nil, p.errf(t, "ite takes exactly 3 arguments")
+		}
+		return n, nil
+	case t.kind == tokNumber:
+		return &node{op: "num", text: t.text, line: t.line, col: t.col}, nil
+	case t.kind == tokIdent:
+		return &node{op: "ident", text: t.text, line: t.line, col: t.col}, nil
+	}
+	return nil, p.errf(t, "unexpected token %q", t.text)
+}

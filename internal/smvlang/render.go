@@ -1,0 +1,106 @@
+package smvlang
+
+import (
+	"fmt"
+	"strings"
+
+	"verdict/internal/ctl"
+	"verdict/internal/expr"
+	"verdict/internal/ltl"
+)
+
+// Render serializes a program back into the textual language. The
+// output re-parses to an equivalent model: rational constants print as
+// divisions (3/2 parses to the same exact value), DEFINE bodies are
+// kept for documentation, and constraints print fully expanded (the
+// expression trees do not record textual macro references).
+//
+// Limitation: a bare enum constant is only resolvable in a comparison
+// against an enum-typed expression, so models whose ite() branches
+// return enum constants render to text that will not re-parse; the
+// built-in model library avoids that shape.
+func Render(prog *Program) string {
+	var b strings.Builder
+	sys := prog.Sys
+	fmt.Fprintf(&b, "MODULE %s\n", sanitizeName(sys.Name))
+
+	if vars := sys.Vars(); len(vars) > 0 {
+		b.WriteString("VAR\n")
+		for _, v := range vars {
+			fmt.Fprintf(&b, "  %s : %s;\n", v.Name, renderType(v.T))
+		}
+	}
+	if params := sys.Params(); len(params) > 0 {
+		b.WriteString("PARAM\n")
+		for _, p := range params {
+			fmt.Fprintf(&b, "  %s : %s;\n", p.Name, renderType(p.T))
+		}
+	}
+	if names := sys.DefineNames(); len(names) > 0 {
+		b.WriteString("DEFINE\n")
+		for _, n := range names {
+			d, _ := sys.DefineByName(n)
+			fmt.Fprintf(&b, "  %s := %s;\n", n, renderExpr(d))
+		}
+	}
+	section := func(name string, e *expr.Expr) {
+		if e.IsTrue() {
+			return
+		}
+		fmt.Fprintf(&b, "%s\n  %s;\n", name, renderExpr(e))
+	}
+	section("INIT", sys.InitExpr())
+	section("TRANS", sys.TransExpr())
+	section("INVAR", sys.InvarExpr())
+	for _, f := range sys.Fairness() {
+		fmt.Fprintf(&b, "FAIRNESS\n  %s;\n", renderExpr(f))
+	}
+	for _, spec := range prog.LTLSpecs {
+		fmt.Fprintf(&b, "LTLSPEC\n  %s;\n", renderLTL(spec))
+	}
+	for _, spec := range prog.CTLSpecs {
+		fmt.Fprintf(&b, "CTLSPEC\n  %s;\n", renderCTL(spec))
+	}
+	return b.String()
+}
+
+// sanitizeName keeps module names lexable (the builders use names like
+// "rollout/test").
+func sanitizeName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "main"
+	}
+	return string(out)
+}
+
+func renderType(t expr.Type) string {
+	switch t.Kind {
+	case expr.KindBool:
+		return "boolean"
+	case expr.KindInt:
+		return fmt.Sprintf("%d..%d", t.Lo, t.Hi)
+	case expr.KindEnum:
+		return "{" + strings.Join(t.Values, ", ") + "}"
+	case expr.KindReal:
+		return "real"
+	}
+	return "?"
+}
+
+// renderExpr reuses the expression printer, whose operator spellings
+// match the grammar (rationals print as a/b which re-parses as exact
+// division).
+func renderExpr(e *expr.Expr) string { return e.String() }
+
+func renderLTL(f *ltl.Formula) string { return f.String() }
+
+func renderCTL(f *ctl.Formula) string { return f.String() }

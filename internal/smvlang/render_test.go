@@ -1,0 +1,130 @@
+package smvlang
+
+import (
+	"strings"
+	"testing"
+
+	"verdict/internal/expr"
+	"verdict/internal/ltl"
+	"verdict/internal/mc"
+	"verdict/internal/models/lbecmp"
+	"verdict/internal/models/rollout"
+	"verdict/internal/topo"
+	"verdict/internal/ts"
+)
+
+func TestRenderRoundTripCounter(t *testing.T) {
+	prog1, err := Parse(counterModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Render(prog1)
+	prog2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nrendered:\n%s", err, text)
+	}
+	// Semantic equivalence: check results agree on all specs.
+	for i := range prog1.LTLSpecs {
+		r1, err := mc.CheckLTL(prog1.Sys, prog1.LTLSpecs[i], mc.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := mc.CheckLTL(prog2.Sys, prog2.LTLSpecs[i], mc.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Status != r2.Status {
+			t.Errorf("spec %d: original %v, round-tripped %v", i, r1.Status, r2.Status)
+		}
+	}
+}
+
+func TestRenderRoundTripRollout(t *testing.T) {
+	m, err := rollout.Build(rollout.Config{Topo: topo.Test(), P: 1, K: 2, M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Render(&Program{Sys: m.Sys, LTLSpecs: nil})
+	prog2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse of rendered rollout model failed: %v", err)
+	}
+	// The round-tripped system must reproduce the Figure 5 violation.
+	// Rebuild the property against the round-tripped system's macros.
+	conv, ok := prog2.Sys.DefineByName("converged")
+	if !ok {
+		t.Fatal("round-trip lost the converged DEFINE")
+	}
+	avail, ok := prog2.Sys.DefineByName("available")
+	if !ok {
+		t.Fatal("round-trip lost the available DEFINE")
+	}
+	prop := expr.Implies(conv, expr.Ge(avail, expr.IntConst(1)))
+	r, err := mc.KInduction(prog2.Sys, prop, mc.Options{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != mc.Violated {
+		t.Fatalf("round-tripped rollout model: %v, want violated", r)
+	}
+}
+
+func TestRenderRoundTripReals(t *testing.T) {
+	// The LB model exercises rational constants (1/2, 3) and real
+	// parameters; its render must re-parse to a model where the same
+	// oscillation exists.
+	m := lbecmp.Build(lbecmp.Default())
+	text := Render(&Program{Sys: m.Sys})
+	prog2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse of rendered LB model failed: %v\n%s", err, text)
+	}
+	stable, ok := prog2.Sys.DefineByName("stable")
+	if !ok {
+		t.Fatal("round-trip lost the stable DEFINE")
+	}
+	// Build F(G(stable)) directly over the re-parsed macro.
+	r, err := mc.BMC(prog2.Sys, ltl.F(ltl.G(ltl.Atom(stable))), mc.Options{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != mc.Violated {
+		t.Fatalf("round-tripped LB model: %v, want violated", r)
+	}
+}
+
+func TestRenderSpecs(t *testing.T) {
+	prog, err := Parse(`
+VAR x : 0..3;
+INIT x = 0;
+TRANS next(x) = x;
+LTLSPEC G (x <= 3);
+LTLSPEC (x = 0) U (x > 0);
+CTLSPEC AG (x <= 3);
+CTLSPEC E[x = 0 U x = 1];
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Render(prog)
+	prog2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	if len(prog2.LTLSpecs) != 2 || len(prog2.CTLSpecs) != 2 {
+		t.Fatalf("specs lost in round trip:\n%s", text)
+	}
+}
+
+func TestRenderSanitizesModuleName(t *testing.T) {
+	sys := ts.New("rollout/test topo!")
+	sys.Bool("b")
+	sys.AddTrans(expr.True())
+	text := Render(&Program{Sys: sys})
+	if !strings.Contains(text, "MODULE rollout_test_topo_") {
+		t.Errorf("module name not sanitized:\n%s", strings.SplitN(text, "\n", 2)[0])
+	}
+	if _, err := Parse(text); err != nil {
+		t.Fatalf("sanitized render failed to parse: %v", err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package topo provides the network topologies used by the paper's
+// case studies and scalability experiments: a generic undirected graph
+// builder, the 6-node "test" topology of Figure 5, three-tier fat
+// trees (Figure 6), and the 3-server/4-router load-balancer topology
+// of Figure 3.
+package topo
+
+import "fmt"
+
+// Node is a vertex in a topology.
+type Node struct {
+	ID   int
+	Name string
+	// Role tags nodes for the case-study generators: "core", "agg",
+	// "edge", "frontend", "service", "router", "server", "lb".
+	Role string
+}
+
+// Link is an undirected edge.
+type Link struct {
+	ID   int
+	A, B int // node IDs
+	Name string
+}
+
+// Graph is an undirected multigraph.
+type Graph struct {
+	Name  string
+	Nodes []Node
+	Links []Link
+	adj   map[int][]int // node -> link ids
+}
+
+// New returns an empty graph.
+func New(name string) *Graph {
+	return &Graph{Name: name, adj: make(map[int][]int)}
+}
+
+// AddNode appends a node and returns its ID.
+func (g *Graph) AddNode(name, role string) int {
+	id := len(g.Nodes)
+	g.Nodes = append(g.Nodes, Node{ID: id, Name: name, Role: role})
+	return id
+}
+
+// AddLink connects two nodes and returns the link ID.
+func (g *Graph) AddLink(a, b int) int {
+	if a < 0 || a >= len(g.Nodes) || b < 0 || b >= len(g.Nodes) {
+		panic(fmt.Sprintf("topo: link endpoints %d-%d out of range", a, b))
+	}
+	id := len(g.Links)
+	// The separator must stay identifier-safe: link names become
+	// variable names in generated models ("--" would lex as a comment
+	// in the textual language).
+	g.Links = append(g.Links, Link{ID: id, A: a, B: b,
+		Name: fmt.Sprintf("%s__%s", g.Nodes[a].Name, g.Nodes[b].Name)})
+	g.adj[a] = append(g.adj[a], id)
+	g.adj[b] = append(g.adj[b], id)
+	return id
+}
+
+// LinksOf returns the link IDs incident to a node.
+func (g *Graph) LinksOf(n int) []int { return g.adj[n] }
+
+// Other returns the endpoint of link l opposite to node n.
+func (g *Graph) Other(l, n int) int {
+	lk := g.Links[l]
+	if lk.A == n {
+		return lk.B
+	}
+	return lk.A
+}
+
+// NodesByRole returns the IDs of nodes with the given role.
+func (g *Graph) NodesByRole(role string) []int {
+	var out []int
+	for _, n := range g.Nodes {
+		if n.Role == role {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Reachable computes the set of nodes reachable from src, skipping
+// links for which linkDown returns true and nodes for which nodeDown
+// returns true (the source itself is always included unless down).
+func (g *Graph) Reachable(src int, linkDown func(int) bool, nodeDown func(int) bool) map[int]bool {
+	out := make(map[int]bool)
+	if nodeDown != nil && nodeDown(src) {
+		return out
+	}
+	out[src] = true
+	queue := []int{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, l := range g.adj[n] {
+			if linkDown != nil && linkDown(l) {
+				continue
+			}
+			m := g.Other(l, n)
+			if out[m] {
+				continue
+			}
+			if nodeDown != nil && nodeDown(m) {
+				continue
+			}
+			out[m] = true
+			queue = append(queue, m)
+		}
+	}
+	return out
+}
+
+// Test returns the 6-node topology of the paper's Figure 5: a
+// front-end connected through two relay nodes to four service nodes,
+// arranged so that two link failures can partition most service nodes
+// away while the reachability loop is still converging.
+//
+//	     fe
+//	    /  \
+//	  r1    r2
+//	 / | \ / | \
+//	s1 s2 s3 s4   (each service node links to both relays
+//	               except s1–r2 and s4–r1, giving 4+2·3 nodes,
+//	               8 links)
+func Test() *Graph {
+	g := New("test")
+	fe := g.AddNode("fe", "frontend")
+	r1 := g.AddNode("r1", "relay")
+	r2 := g.AddNode("r2", "relay")
+	s := make([]int, 4)
+	for i := range s {
+		s[i] = g.AddNode(fmt.Sprintf("s%d", i+1), "service")
+	}
+	g.AddLink(fe, r1)
+	g.AddLink(fe, r2)
+	g.AddLink(r1, s[0])
+	g.AddLink(r1, s[1])
+	g.AddLink(r2, s[2])
+	g.AddLink(r2, s[3])
+	g.AddLink(r1, s[2])
+	g.AddLink(r2, s[1])
+	return g
+}
+
+// FatTree builds a three-tier fat tree of parameter k (k even):
+// (k/2)^2 core switches, k pods each with k/2 aggregation and k/2 edge
+// switches; every edge switch links to every aggregation switch in its
+// pod, and aggregation switch j of each pod links to core switches
+// [j·k/2, (j+1)·k/2). Hosts are not modeled — the paper's Figure 6
+// counts switches only (fattree4 = 20 nodes / 32 links, fattree12 =
+// 180 nodes / 864 links; the paper's "265" links for fattree8 is a
+// typo for 256).
+//
+// One edge switch (pod 0, index 0) is the front-end; all other edge
+// switches are service nodes, matching the paper's setup.
+func FatTree(k int) *Graph {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topo: fat-tree parameter must be even and >= 2, got %d", k))
+	}
+	g := New(fmt.Sprintf("fattree%d", k))
+	half := k / 2
+	core := make([]int, half*half)
+	for i := range core {
+		core[i] = g.AddNode(fmt.Sprintf("core%d", i), "core")
+	}
+	for p := 0; p < k; p++ {
+		agg := make([]int, half)
+		edge := make([]int, half)
+		for j := 0; j < half; j++ {
+			agg[j] = g.AddNode(fmt.Sprintf("agg%d_%d", p, j), "agg")
+		}
+		for j := 0; j < half; j++ {
+			role := "service"
+			if p == 0 && j == 0 {
+				role = "frontend"
+			}
+			edge[j] = g.AddNode(fmt.Sprintf("edge%d_%d", p, j), role)
+		}
+		for _, e := range edge {
+			for _, a := range agg {
+				g.AddLink(e, a)
+			}
+		}
+		for j, a := range agg {
+			for c := j * half; c < (j+1)*half; c++ {
+				g.AddLink(a, core[c])
+			}
+		}
+	}
+	return g
+}
+
+// LBFigure3 builds the load-balancer topology of Figure 3: a load
+// balancer behind router R1, which fans out to R2, R3 and R4; server
+// s1 hangs off R2, s2 off both R2 and R3, s3 off R4. Replica
+// placement and ECMP path choices live in the lbecmp model, not the
+// graph.
+func LBFigure3() *Graph {
+	g := New("lb-figure3")
+	lb := g.AddNode("lb", "lb")
+	r1 := g.AddNode("R1", "router")
+	r2 := g.AddNode("R2", "router")
+	r3 := g.AddNode("R3", "router")
+	r4 := g.AddNode("R4", "router")
+	s1 := g.AddNode("s1", "server")
+	s2 := g.AddNode("s2", "server")
+	s3 := g.AddNode("s3", "server")
+	g.AddLink(lb, r1)
+	g.AddLink(r1, r2)
+	g.AddLink(r1, r3)
+	g.AddLink(r1, r4)
+	g.AddLink(r2, s1)
+	g.AddLink(r2, s2)
+	g.AddLink(r3, s2)
+	g.AddLink(r4, s3)
+	return g
+}

@@ -1,0 +1,104 @@
+package topo
+
+import "testing"
+
+func TestFatTreeSizesMatchPaper(t *testing.T) {
+	// Figure 6 lists nodes, links, service nodes per topology. The
+	// paper's fattree8 link count (265) is a digit-swap typo for 256.
+	cases := []struct {
+		k, nodes, links, service int
+	}{
+		{4, 20, 32, 7},
+		{6, 45, 108, 17},
+		{8, 80, 256, 31},
+		{10, 125, 500, 49},
+		{12, 180, 864, 71},
+	}
+	for _, c := range cases {
+		g := FatTree(c.k)
+		if len(g.Nodes) != c.nodes {
+			t.Errorf("fattree%d: %d nodes, want %d", c.k, len(g.Nodes), c.nodes)
+		}
+		if len(g.Links) != c.links {
+			t.Errorf("fattree%d: %d links, want %d", c.k, len(g.Links), c.links)
+		}
+		if got := len(g.NodesByRole("service")); got != c.service {
+			t.Errorf("fattree%d: %d service nodes, want %d", c.k, got, c.service)
+		}
+		if got := len(g.NodesByRole("frontend")); got != 1 {
+			t.Errorf("fattree%d: %d frontends, want 1", c.k, got)
+		}
+	}
+}
+
+func TestFatTreeFullyConnected(t *testing.T) {
+	g := FatTree(4)
+	fe := g.NodesByRole("frontend")[0]
+	reach := g.Reachable(fe, nil, nil)
+	if len(reach) != len(g.Nodes) {
+		t.Errorf("only %d/%d nodes reachable in a healthy fat tree", len(reach), len(g.Nodes))
+	}
+}
+
+func TestFatTreeRejectsOddK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for odd k")
+		}
+	}()
+	FatTree(5)
+}
+
+func TestTestTopology(t *testing.T) {
+	g := Test()
+	if len(g.Nodes) != 7 || len(g.Links) != 8 {
+		t.Fatalf("test topology: %d nodes %d links, want 7/8", len(g.Nodes), len(g.Links))
+	}
+	if len(g.NodesByRole("service")) != 4 {
+		t.Errorf("want 4 service nodes")
+	}
+	fe := g.NodesByRole("frontend")[0]
+	reach := g.Reachable(fe, nil, nil)
+	if len(reach) != 7 {
+		t.Errorf("healthy reachability = %d, want 7", len(reach))
+	}
+}
+
+func TestReachabilityWithFailures(t *testing.T) {
+	g := Test()
+	fe := g.NodesByRole("frontend")[0]
+	// Failing fe-r1 and fe-r2 isolates the front-end entirely.
+	down := map[int]bool{0: true, 1: true}
+	reach := g.Reachable(fe, func(l int) bool { return down[l] }, nil)
+	if len(reach) != 1 {
+		t.Errorf("partitioned reachability = %d, want 1 (just fe)", len(reach))
+	}
+	// A down node blocks paths through it.
+	reach = g.Reachable(fe, nil, func(n int) bool { return g.Nodes[n].Name == "r1" })
+	if reach[g.NodesByRole("service")[0]] {
+		t.Error("s1 should be unreachable when r1 is down")
+	}
+	if !reach[g.NodesByRole("service")[2]] {
+		t.Error("s3 should stay reachable via r2")
+	}
+}
+
+func TestLBFigure3Shape(t *testing.T) {
+	g := LBFigure3()
+	if len(g.Nodes) != 8 || len(g.Links) != 8 {
+		t.Fatalf("LB topology: %d nodes %d links, want 8/8", len(g.Nodes), len(g.Links))
+	}
+	if len(g.NodesByRole("server")) != 3 || len(g.NodesByRole("router")) != 4 {
+		t.Error("want 3 servers, 4 routers")
+	}
+}
+
+func TestOther(t *testing.T) {
+	g := New("g")
+	a := g.AddNode("a", "")
+	b := g.AddNode("b", "")
+	l := g.AddLink(a, b)
+	if g.Other(l, a) != b || g.Other(l, b) != a {
+		t.Error("Other broken")
+	}
+}

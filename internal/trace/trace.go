@@ -1,0 +1,119 @@
+// Package trace represents counterexample executions produced by the
+// model-checking engines: a sequence of states, an optional loop-back
+// position for lasso-shaped liveness counterexamples, and the
+// synthesized parameter values.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"verdict/internal/expr"
+)
+
+// State is one step of an execution: a total assignment of the state
+// variables.
+type State struct {
+	Values map[string]expr.Value
+}
+
+// NewState returns an empty state.
+func NewState() State { return State{Values: make(map[string]expr.Value)} }
+
+// Get returns the value of a variable by name.
+func (s State) Get(name string) (expr.Value, bool) {
+	v, ok := s.Values[name]
+	return v, ok
+}
+
+// Trace is a finite or lasso-shaped execution.
+type Trace struct {
+	// States holds the path s_0 .. s_k.
+	States []State
+	// LoopStart is the index the path loops back to after s_k, or -1
+	// for a plain finite prefix.
+	LoopStart int
+	// Params holds synthesized parameter values (frozen variables).
+	Params map[string]expr.Value
+}
+
+// New returns an empty trace with no loop.
+func New() *Trace {
+	return &Trace{LoopStart: -1, Params: make(map[string]expr.Value)}
+}
+
+// IsLasso reports whether the trace loops.
+func (t *Trace) IsLasso() bool { return t.LoopStart >= 0 }
+
+// Len returns the number of states.
+func (t *Trace) Len() int { return len(t.States) }
+
+// String renders the trace in a NuXMV-like style: parameters first,
+// then each state showing only the variables that changed since the
+// previous state (all variables for state 0).
+func (t *Trace) String() string {
+	var b strings.Builder
+	if len(t.Params) > 0 {
+		b.WriteString("Parameters:\n")
+		for _, k := range sortedKeys(t.Params) {
+			fmt.Fprintf(&b, "  %s = %s\n", k, t.Params[k])
+		}
+	}
+	var prev map[string]expr.Value
+	for i, s := range t.States {
+		marker := ""
+		if i == t.LoopStart {
+			marker = "  -- loop starts here"
+		}
+		fmt.Fprintf(&b, "State %d%s\n", i, marker)
+		for _, k := range sortedKeys(s.Values) {
+			v := s.Values[k]
+			if prev != nil {
+				if pv, ok := prev[k]; ok && pv.Equal(v) {
+					continue
+				}
+			}
+			fmt.Fprintf(&b, "  %s = %s\n", k, v)
+		}
+		prev = s.Values
+	}
+	if t.IsLasso() {
+		fmt.Fprintf(&b, "-- loop back to state %d\n", t.LoopStart)
+	}
+	return b.String()
+}
+
+// Full renders every variable in every state (no change-compression).
+func (t *Trace) Full() string {
+	var b strings.Builder
+	if len(t.Params) > 0 {
+		b.WriteString("Parameters:\n")
+		for _, k := range sortedKeys(t.Params) {
+			fmt.Fprintf(&b, "  %s = %s\n", k, t.Params[k])
+		}
+	}
+	for i, s := range t.States {
+		marker := ""
+		if i == t.LoopStart {
+			marker = "  -- loop starts here"
+		}
+		fmt.Fprintf(&b, "State %d%s\n", i, marker)
+		for _, k := range sortedKeys(s.Values) {
+			fmt.Fprintf(&b, "  %s = %s\n", k, s.Values[k])
+		}
+	}
+	if t.IsLasso() {
+		fmt.Fprintf(&b, "-- loop back to state %d\n", t.LoopStart)
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]expr.Value) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

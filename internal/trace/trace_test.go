@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"verdict/internal/expr"
+)
+
+func sample() *Trace {
+	t := New()
+	t.Params["p"] = expr.IntValue(2)
+	s0 := NewState()
+	s0.Values["x"] = expr.IntValue(0)
+	s0.Values["mode"] = expr.EnumValue("idle")
+	s1 := NewState()
+	s1.Values["x"] = expr.IntValue(1)
+	s1.Values["mode"] = expr.EnumValue("idle") // unchanged
+	t.States = append(t.States, s0, s1)
+	return t
+}
+
+func TestChangeCompression(t *testing.T) {
+	tr := sample()
+	s := tr.String()
+	// State 0 shows everything; state 1 shows only x (mode unchanged).
+	if !strings.Contains(s, "mode = idle") {
+		t.Error("state 0 missing mode")
+	}
+	if strings.Count(s, "mode = idle") != 1 {
+		t.Errorf("unchanged variable repeated:\n%s", s)
+	}
+	if strings.Count(s, "x = ") != 2 {
+		t.Errorf("changed variable not shown twice:\n%s", s)
+	}
+	if !strings.Contains(s, "p = 2") {
+		t.Error("parameters missing")
+	}
+}
+
+func TestFullRendering(t *testing.T) {
+	tr := sample()
+	s := tr.Full()
+	if strings.Count(s, "mode = idle") != 2 {
+		t.Errorf("Full should repeat unchanged variables:\n%s", s)
+	}
+}
+
+func TestLassoMarkers(t *testing.T) {
+	tr := sample()
+	tr.LoopStart = 1
+	if !tr.IsLasso() {
+		t.Fatal("IsLasso false")
+	}
+	s := tr.String()
+	if !strings.Contains(s, "loop starts here") || !strings.Contains(s, "loop back to state 1") {
+		t.Errorf("lasso markers missing:\n%s", s)
+	}
+}
+
+func TestNoLoop(t *testing.T) {
+	tr := sample()
+	if tr.IsLasso() {
+		t.Error("fresh trace should not be a lasso")
+	}
+	if strings.Contains(tr.String(), "loop") {
+		t.Error("no-loop trace mentions loop")
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestGet(t *testing.T) {
+	tr := sample()
+	v, ok := tr.States[0].Get("x")
+	if !ok || v.I != 0 {
+		t.Error("Get broken")
+	}
+	if _, ok := tr.States[0].Get("zzz"); ok {
+		t.Error("Get found missing key")
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	tr := sample()
+	if tr.String() != tr.String() {
+		t.Error("rendering not deterministic")
+	}
+	// Keys print sorted.
+	s := tr.Full()
+	if strings.Index(s, "mode") > strings.Index(s, "x = 0") {
+		t.Error("keys not sorted")
+	}
+}

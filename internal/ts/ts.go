@@ -1,0 +1,335 @@
+// Package ts defines parametric transition systems — the common model
+// form every verdict engine checks.
+//
+// A System has state variables, frozen parameters (configuration
+// values or environment constants chosen once, at time zero), DEFINE
+// macros, an initial-state constraint, a transition relation over
+// current and next state, state invariants, and fairness constraints.
+// This mirrors the modeling layer of the HotNets '20 paper: control
+// components and their environment are modeled as one nondeterministic
+// parametric transition system and checked symbolically.
+package ts
+
+import (
+	"fmt"
+	"sort"
+
+	"verdict/internal/expr"
+)
+
+// System is a parametric transition system under construction or
+// analysis. Build one with New and the Add*/Set* methods, then pass it
+// to an engine in internal/mc.
+type System struct {
+	Name string
+
+	vars    []*expr.Var
+	params  []*expr.Var
+	byName  map[string]*expr.Var
+	defines map[string]*expr.Expr
+	defOrd  []string
+
+	inits    []*expr.Expr
+	trans    []*expr.Expr
+	invars   []*expr.Expr
+	fairness []*expr.Expr
+
+	assigned map[*expr.Var]bool // vars with a functional next-assignment
+}
+
+// New returns an empty system with the given name.
+func New(name string) *System {
+	return &System{
+		Name:     name,
+		byName:   make(map[string]*expr.Var),
+		defines:  make(map[string]*expr.Expr),
+		assigned: make(map[*expr.Var]bool),
+	}
+}
+
+// --- Variable declaration ---
+
+func (s *System) addVar(name string, t expr.Type, param bool) *expr.Var {
+	if _, dup := s.byName[name]; dup {
+		panic(fmt.Sprintf("ts: duplicate variable %q", name))
+	}
+	if _, dup := s.defines[name]; dup {
+		panic(fmt.Sprintf("ts: variable %q collides with a DEFINE", name))
+	}
+	v := &expr.Var{Name: name, T: t, ID: len(s.vars) + len(s.params), Param: param}
+	s.byName[name] = v
+	if param {
+		s.params = append(s.params, v)
+	} else {
+		s.vars = append(s.vars, v)
+	}
+	return v
+}
+
+// Bool declares a boolean state variable.
+func (s *System) Bool(name string) *expr.Var { return s.addVar(name, expr.Bool(), false) }
+
+// Int declares a bounded-integer state variable over [lo, hi].
+func (s *System) Int(name string, lo, hi int64) *expr.Var {
+	return s.addVar(name, expr.Int(lo, hi), false)
+}
+
+// Enum declares an enum state variable.
+func (s *System) Enum(name string, values ...string) *expr.Var {
+	return s.addVar(name, expr.Enum(values...), false)
+}
+
+// Real declares a real-valued state variable. Systems with real state
+// are checkable only by the SMT engine.
+func (s *System) Real(name string) *expr.Var { return s.addVar(name, expr.Real(), false) }
+
+// BoolParam declares a boolean parameter (frozen variable).
+func (s *System) BoolParam(name string) *expr.Var { return s.addVar(name, expr.Bool(), true) }
+
+// IntParam declares a bounded-integer parameter over [lo, hi].
+func (s *System) IntParam(name string, lo, hi int64) *expr.Var {
+	return s.addVar(name, expr.Int(lo, hi), true)
+}
+
+// RealParam declares a real-valued parameter.
+func (s *System) RealParam(name string) *expr.Var { return s.addVar(name, expr.Real(), true) }
+
+// AdoptVars registers every variable and parameter of src, sharing
+// the *expr.Var pointers. Engines use this to derive constrained
+// variants of a system (e.g. pinning parameters during enumeration
+// synthesis) without copying expression trees.
+func (s *System) AdoptVars(src *System) {
+	for _, v := range src.vars {
+		if _, dup := s.byName[v.Name]; dup {
+			panic(fmt.Sprintf("ts: AdoptVars duplicate %q", v.Name))
+		}
+		s.byName[v.Name] = v
+		s.vars = append(s.vars, v)
+	}
+	for _, p := range src.params {
+		if _, dup := s.byName[p.Name]; dup {
+			panic(fmt.Sprintf("ts: AdoptVars duplicate %q", p.Name))
+		}
+		s.byName[p.Name] = p
+		s.params = append(s.params, p)
+	}
+}
+
+// Define registers a named macro. Macros are expanded structurally
+// wherever used; they contribute no state.
+func (s *System) Define(name string, e *expr.Expr) *expr.Expr {
+	if _, dup := s.byName[name]; dup {
+		panic(fmt.Sprintf("ts: DEFINE %q collides with a variable", name))
+	}
+	if _, dup := s.defines[name]; dup {
+		panic(fmt.Sprintf("ts: duplicate DEFINE %q", name))
+	}
+	s.defines[name] = e
+	s.defOrd = append(s.defOrd, name)
+	return e
+}
+
+// --- Constraints ---
+
+// AddInit conjoins a constraint on initial states. It must not mention
+// next-state variables.
+func (s *System) AddInit(e *expr.Expr) {
+	s.mustBool("INIT", e)
+	if expr.HasNext(e) {
+		panic("ts: INIT constraint mentions next()")
+	}
+	s.inits = append(s.inits, e)
+}
+
+// AddTrans conjoins a constraint on transitions (may mention both
+// current- and next-state variables).
+func (s *System) AddTrans(e *expr.Expr) {
+	s.mustBool("TRANS", e)
+	s.trans = append(s.trans, e)
+}
+
+// AddInvar conjoins a state invariant, restricting every reachable
+// state (initial and successor alike).
+func (s *System) AddInvar(e *expr.Expr) {
+	s.mustBool("INVAR", e)
+	if expr.HasNext(e) {
+		panic("ts: INVAR constraint mentions next()")
+	}
+	s.invars = append(s.invars, e)
+}
+
+// AddFairness adds a justice constraint: the condition must hold
+// infinitely often along any fair execution. Liveness checking
+// restricts attention to fair executions.
+func (s *System) AddFairness(e *expr.Expr) {
+	s.mustBool("FAIRNESS", e)
+	if expr.HasNext(e) {
+		panic("ts: FAIRNESS constraint mentions next()")
+	}
+	s.fairness = append(s.fairness, e)
+}
+
+// Assign constrains next(v) = e, the functional-assignment style most
+// controller models use. Equivalent to AddTrans(Eq(v.Next(), e)) but
+// also recorded so engines know v is deterministic given the
+// surrounding state.
+func (s *System) Assign(v *expr.Var, e *expr.Expr) {
+	if v.Param {
+		panic(fmt.Sprintf("ts: Assign to parameter %s", v.Name))
+	}
+	if s.assigned[v] {
+		panic(fmt.Sprintf("ts: duplicate Assign to %s", v.Name))
+	}
+	s.assigned[v] = true
+	s.trans = append(s.trans, expr.Eq(v.Next(), e))
+}
+
+// Keep constrains v to hold its value across every transition.
+func (s *System) Keep(v *expr.Var) { s.Assign(v, v.Ref()) }
+
+// Init constrains v's initial value.
+func (s *System) Init(v *expr.Var, val *expr.Expr) {
+	s.AddInit(expr.Eq(v.Ref(), val))
+}
+
+func (s *System) mustBool(where string, e *expr.Expr) {
+	if e.Type().Kind != expr.KindBool {
+		panic(fmt.Sprintf("ts: %s constraint has type %s, want bool", where, e.Type()))
+	}
+}
+
+// --- Accessors ---
+
+// Vars returns the state variables in declaration order.
+func (s *System) Vars() []*expr.Var { return s.vars }
+
+// Params returns the parameters in declaration order.
+func (s *System) Params() []*expr.Var { return s.params }
+
+// AllVars returns state variables followed by parameters.
+func (s *System) AllVars() []*expr.Var {
+	out := make([]*expr.Var, 0, len(s.vars)+len(s.params))
+	out = append(out, s.vars...)
+	out = append(out, s.params...)
+	return out
+}
+
+// VarByName looks a variable or parameter up by name.
+func (s *System) VarByName(name string) (*expr.Var, bool) {
+	v, ok := s.byName[name]
+	return v, ok
+}
+
+// DefineByName looks a macro up by name.
+func (s *System) DefineByName(name string) (*expr.Expr, bool) {
+	e, ok := s.defines[name]
+	return e, ok
+}
+
+// DefineNames returns macro names in declaration order.
+func (s *System) DefineNames() []string { return s.defOrd }
+
+// InitExpr returns the conjunction of all INIT constraints and
+// invariants' initial instances.
+func (s *System) InitExpr() *expr.Expr { return expr.And(s.inits...) }
+
+// TransExpr returns the conjunction of all TRANS constraints. The
+// frozen semantics of parameters (next(p) = p) is enforced by the
+// engines, not included here.
+func (s *System) TransExpr() *expr.Expr { return expr.And(s.trans...) }
+
+// InvarExpr returns the conjunction of all INVAR constraints.
+func (s *System) InvarExpr() *expr.Expr { return expr.And(s.invars...) }
+
+// Fairness returns the justice constraints.
+func (s *System) Fairness() []*expr.Expr { return s.fairness }
+
+// Assigned reports whether v has a functional Assign.
+func (s *System) Assigned(v *expr.Var) bool { return s.assigned[v] }
+
+// Finite reports whether all variables and constraints range over
+// finite domains, making the system checkable by the SAT/BDD engines.
+func (s *System) Finite() bool {
+	for _, v := range s.AllVars() {
+		if !v.T.Finite() {
+			return false
+		}
+	}
+	for _, e := range s.everyExpr() {
+		if !expr.IsFinite(e) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *System) everyExpr() []*expr.Expr {
+	var out []*expr.Expr
+	out = append(out, s.inits...)
+	out = append(out, s.trans...)
+	out = append(out, s.invars...)
+	out = append(out, s.fairness...)
+	for _, n := range s.defOrd {
+		out = append(out, s.defines[n])
+	}
+	return out
+}
+
+// Validate checks structural well-formedness: every variable
+// referenced by a constraint is declared in this system, and no
+// parameter appears under next() in TRANS (parameters are frozen; the
+// engines add next(p) = p themselves, and an explicit next(p) in a
+// model almost always indicates a modeling mistake).
+func (s *System) Validate() error {
+	known := make(map[*expr.Var]bool, len(s.byName))
+	for _, v := range s.byName {
+		known[v] = true
+	}
+	for _, e := range s.everyExpr() {
+		for _, v := range expr.Vars(e) {
+			if !known[v] {
+				return fmt.Errorf("ts %s: constraint references foreign variable %q", s.Name, v.Name)
+			}
+		}
+		var bad *expr.Var
+		expr.Walk(e, func(n *expr.Expr) bool {
+			if n.Op == expr.OpNext && n.V.Param {
+				bad = n.V
+			}
+			return bad == nil
+		})
+		if bad != nil {
+			return fmt.Errorf("ts %s: next(%s) on parameter (parameters are frozen)", s.Name, bad.Name)
+		}
+	}
+	return nil
+}
+
+// StateSpaceSize returns the product of all finite variable domain
+// sizes (state vars and parameters), or 0 if any domain is infinite or
+// the product overflows.
+func (s *System) StateSpaceSize() int64 {
+	size := int64(1)
+	for _, v := range s.AllVars() {
+		n := v.T.Size()
+		if n == 0 {
+			return 0
+		}
+		if size > (1<<62)/n {
+			return 0
+		}
+		size *= n
+	}
+	return size
+}
+
+// SortedVarNames returns all variable and parameter names, sorted —
+// convenient for deterministic printing.
+func (s *System) SortedVarNames() []string {
+	names := make([]string, 0, len(s.byName))
+	for n := range s.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,191 @@
+package ts
+
+import (
+	"strings"
+	"testing"
+
+	"verdict/internal/expr"
+)
+
+func TestDeclarationAndLookup(t *testing.T) {
+	s := New("m")
+	x := s.Int("x", 0, 7)
+	b := s.Bool("b")
+	e := s.Enum("e", "a", "c")
+	r := s.Real("r")
+	p := s.IntParam("p", 1, 4)
+
+	if len(s.Vars()) != 4 || len(s.Params()) != 1 || len(s.AllVars()) != 5 {
+		t.Fatalf("var counts wrong: %d/%d", len(s.Vars()), len(s.Params()))
+	}
+	for _, v := range []*expr.Var{x, b, e, r, p} {
+		got, ok := s.VarByName(v.Name)
+		if !ok || got != v {
+			t.Errorf("lookup %s failed", v.Name)
+		}
+	}
+	if !p.Param || x.Param {
+		t.Error("Param flags wrong")
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	s := New("m")
+	s.Bool("x")
+	assertPanics(t, func() { s.Int("x", 0, 1) }, "duplicate var")
+	s.Define("d", expr.True())
+	assertPanics(t, func() { s.Bool("d") }, "var colliding with define")
+	assertPanics(t, func() { s.Define("d", expr.False()) }, "duplicate define")
+	assertPanics(t, func() { s.Define("x", expr.True()) }, "define colliding with var")
+}
+
+func TestConstraintValidation(t *testing.T) {
+	s := New("m")
+	x := s.Int("x", 0, 3)
+	assertPanics(t, func() { s.AddInit(expr.Eq(x.Next(), expr.IntConst(0))) }, "INIT with next")
+	assertPanics(t, func() { s.AddInvar(expr.Eq(x.Next(), x.Ref())) }, "INVAR with next")
+	assertPanics(t, func() { s.AddFairness(expr.Eq(x.Next(), x.Ref())) }, "FAIRNESS with next")
+	assertPanics(t, func() { s.AddTrans(expr.Add(x.Ref(), x.Ref())) }, "non-bool TRANS")
+}
+
+func TestAssignSemantics(t *testing.T) {
+	s := New("m")
+	x := s.Int("x", 0, 3)
+	p := s.IntParam("p", 0, 1)
+	s.Assign(x, expr.IntConst(1))
+	if !s.Assigned(x) {
+		t.Error("Assigned not recorded")
+	}
+	assertPanics(t, func() { s.Assign(x, expr.IntConst(2)) }, "duplicate Assign")
+	assertPanics(t, func() { s.Assign(p, expr.IntConst(1)) }, "Assign to param")
+
+	s2 := New("m2")
+	y := s2.Int("y", 0, 3)
+	s2.Keep(y)
+	tr := s2.TransExpr()
+	cur := expr.MapEnv{y: expr.IntValue(2)}
+	same := expr.MapEnv{y: expr.IntValue(2)}
+	diff := expr.MapEnv{y: expr.IntValue(3)}
+	if ok, _ := expr.EvalBool(tr, cur, same); !ok {
+		t.Error("Keep rejects identical successor")
+	}
+	if ok, _ := expr.EvalBool(tr, cur, diff); ok {
+		t.Error("Keep accepts changed successor")
+	}
+}
+
+func TestValidateForeignVar(t *testing.T) {
+	s1 := New("a")
+	x := s1.Int("x", 0, 3)
+	s2 := New("b")
+	s2.Int("y", 0, 3)
+	s2.AddTrans(expr.Eq(x.Ref(), expr.IntConst(1))) // references s1's var
+	if err := s2.Validate(); err == nil || !strings.Contains(err.Error(), "foreign") {
+		t.Errorf("Validate = %v, want foreign-variable error", err)
+	}
+}
+
+func TestValidateNextOnParam(t *testing.T) {
+	s := New("m")
+	p := s.IntParam("p", 0, 3)
+	s.Int("x", 0, 3)
+	s.AddTrans(expr.Eq(p.Next(), p.Ref()))
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "frozen") {
+		t.Errorf("Validate = %v, want frozen-parameter error", err)
+	}
+}
+
+func TestStateSpaceSize(t *testing.T) {
+	s := New("m")
+	s.Int("x", 0, 7)           // 8
+	s.Bool("b")                // 2
+	s.Enum("e", "a", "b", "c") // 3
+	if got := s.StateSpaceSize(); got != 48 {
+		t.Errorf("StateSpaceSize = %d, want 48", got)
+	}
+	s.Real("r")
+	if got := s.StateSpaceSize(); got != 0 {
+		t.Errorf("with real var: %d, want 0", got)
+	}
+}
+
+func TestFinite(t *testing.T) {
+	s := New("m")
+	s.Int("x", 0, 3)
+	if !s.Finite() {
+		t.Error("finite system reported infinite")
+	}
+	s.RealParam("t")
+	if s.Finite() {
+		t.Error("system with real param reported finite")
+	}
+}
+
+func TestAdoptVars(t *testing.T) {
+	s1 := New("a")
+	x := s1.Int("x", 0, 3)
+	p := s1.IntParam("p", 0, 1)
+	s1.AddInit(expr.Eq(x.Ref(), expr.IntConst(0)))
+
+	s2 := New("b")
+	s2.AdoptVars(s1)
+	got, ok := s2.VarByName("x")
+	if !ok || got != x {
+		t.Fatal("adopted var not shared")
+	}
+	if gotP, _ := s2.VarByName("p"); gotP != p {
+		t.Fatal("adopted param not shared")
+	}
+	s2.AddTrans(expr.Eq(x.Next(), x.Ref()))
+	if err := s2.Validate(); err != nil {
+		t.Fatalf("adopted system invalid: %v", err)
+	}
+	assertPanics(t, func() { s2.AdoptVars(s1) }, "double adoption")
+}
+
+func TestDefinesOrder(t *testing.T) {
+	s := New("m")
+	s.Define("b", expr.True())
+	s.Define("a", expr.False())
+	names := s.DefineNames()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Errorf("DefineNames = %v, want declaration order", names)
+	}
+	if d, ok := s.DefineByName("a"); !ok || !d.IsFalse() {
+		t.Error("DefineByName broken")
+	}
+}
+
+func TestSortedVarNames(t *testing.T) {
+	s := New("m")
+	s.Bool("zeta")
+	s.Bool("alpha")
+	names := s.SortedVarNames()
+	if names[0] != "alpha" || names[1] != "zeta" {
+		t.Errorf("SortedVarNames = %v", names)
+	}
+}
+
+func TestInitHelper(t *testing.T) {
+	s := New("m")
+	x := s.Int("x", 0, 3)
+	s.Init(x, expr.IntConst(2))
+	ok, err := expr.EvalBool(s.InitExpr(), expr.MapEnv{x: expr.IntValue(2)}, nil)
+	if err != nil || !ok {
+		t.Error("Init helper broken")
+	}
+	ok, _ = expr.EvalBool(s.InitExpr(), expr.MapEnv{x: expr.IntValue(1)}, nil)
+	if ok {
+		t.Error("Init accepts wrong value")
+	}
+}
+
+func assertPanics(t *testing.T, f func(), what string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,100 @@
+package verdict
+
+import (
+	"verdict/internal/models/incident"
+	"verdict/internal/models/k8s"
+	"verdict/internal/models/lbecmp"
+	"verdict/internal/models/rollout"
+	"verdict/internal/sim"
+	"verdict/internal/topo"
+)
+
+// This file re-exports the built-in model library: generators for the
+// paper's two case studies, the orchestration-controller scenarios,
+// the topology builders they run on, and the executable cluster
+// simulator — so downstream users reach everything through the public
+// verdict package.
+
+// Topology is a network graph consumed by the model generators.
+type Topology = topo.Graph
+
+// TestTopology returns the 6-node topology of the paper's Figure 5.
+func TestTopology() *Topology { return topo.Test() }
+
+// FatTree returns a three-tier fat tree of (even) parameter k, the
+// topology family of the paper's Figure 6 scalability sweep.
+func FatTree(k int) *Topology { return topo.FatTree(k) }
+
+// LBTopology returns the Figure 3 load-balancer topology.
+func LBTopology() *Topology { return topo.LBFigure3() }
+
+// Rollout case study (safety): update rollout + link failures +
+// reachability loop, property G(converged -> available >= m).
+type (
+	RolloutConfig = rollout.Config
+	RolloutModel  = rollout.Model
+)
+
+// BuildRollout generates the case-study-1 model.
+func BuildRollout(cfg RolloutConfig) (*RolloutModel, error) { return rollout.Build(cfg) }
+
+// Load-balancer + ECMP case study (liveness): the Figure 3 model with
+// real-valued traffic parameters, properties F(G(stable)) and
+// stable -> F(G(stable)).
+type (
+	LBECMPConfig = lbecmp.Config
+	LBECMPModel  = lbecmp.Model
+)
+
+// DefaultLBECMP returns the oscillation-admitting latency curves.
+func DefaultLBECMP() LBECMPConfig { return lbecmp.Default() }
+
+// BuildLBECMP generates the case-study-2 model.
+func BuildLBECMP(cfg LBECMPConfig) *LBECMPModel { return lbecmp.Build(cfg) }
+
+// Incident models (§3.1): Google ticket #18037, the BigQuery
+// router/GC/load-balancer capacity spiral.
+type (
+	Incident18037Config = incident.Config18037
+	Incident18037Model  = incident.Model18037
+)
+
+// BuildIncident18037 models the router-server capacity spiral.
+func BuildIncident18037(cfg Incident18037Config) (*Incident18037Model, error) {
+	return incident.Build18037(cfg)
+}
+
+// Orchestration-controller scenarios (§3.2/§3.3).
+type (
+	TaintLoopConfig   = k8s.TaintLoopConfig
+	TaintLoopModel    = k8s.TaintLoopModel
+	HPASurgeConfig    = k8s.HPASurgeConfig
+	HPASurgeModel     = k8s.HPASurgeModel
+	DeschedulerConfig = k8s.DeschedulerConfig
+	DeschedulerModel  = k8s.DeschedulerModel
+)
+
+// BuildTaintLoop models Kubernetes issue #75913.
+func BuildTaintLoop(cfg TaintLoopConfig) *TaintLoopModel { return k8s.BuildTaintLoop(cfg) }
+
+// BuildHPASurge models Kubernetes issue #90461.
+func BuildHPASurge(cfg HPASurgeConfig) (*HPASurgeModel, error) { return k8s.BuildHPASurge(cfg) }
+
+// BuildDescheduler models the §3.3 scheduler/descheduler oscillation.
+func BuildDescheduler(cfg DeschedulerConfig) *DeschedulerModel { return k8s.BuildDescheduler(cfg) }
+
+// Executable cluster simulation (the Figure 2 experiment substrate).
+type (
+	Cluster         = sim.Cluster
+	Figure2Config   = sim.Figure2Config
+	PlacementSample = sim.PlacementSample
+)
+
+// SimulateFigure2 runs the descheduler-oscillation experiment and
+// returns the pod-placement series of the paper's Figure 2.
+func SimulateFigure2(cfg Figure2Config) ([]PlacementSample, *Cluster) {
+	return sim.Figure2(cfg)
+}
+
+// SimTransitions counts placement changes in a Figure 2 series.
+func SimTransitions(series []PlacementSample) int { return sim.Transitions(series) }

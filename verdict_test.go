@@ -1,0 +1,138 @@
+package verdict_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"verdict"
+)
+
+func counter() (*verdict.System, *verdict.Var) {
+	sys := verdict.NewSystem("counter")
+	x := sys.Int("x", 0, 7)
+	sys.Init(x, verdict.IntConst(0))
+	sys.Assign(x, verdict.Ite(
+		verdict.Lt(x.Ref(), verdict.IntConst(7)),
+		verdict.Add(x.Ref(), verdict.IntConst(1)),
+		verdict.IntConst(0)))
+	return sys, x
+}
+
+func TestFacadeCheck(t *testing.T) {
+	sys, x := counter()
+	res, err := verdict.Check(sys,
+		verdict.G(verdict.Atom(verdict.Le(x.Ref(), verdict.IntConst(7)))),
+		verdict.Options{})
+	if err != nil || res.Status != verdict.Holds {
+		t.Fatalf("%v %v", res, err)
+	}
+	res, err = verdict.Check(sys,
+		verdict.G(verdict.Atom(verdict.Ne(x.Ref(), verdict.IntConst(4)))),
+		verdict.Options{})
+	if err != nil || res.Status != verdict.Violated {
+		t.Fatalf("%v %v", res, err)
+	}
+	if err := verdict.ValidateTrace(sys, res.Trace); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestFacadeLivenessAndCTL(t *testing.T) {
+	sys, x := counter()
+	// The counter visits every value infinitely often.
+	res, err := verdict.Check(sys,
+		verdict.G(verdict.F(verdict.Atom(verdict.Eq(x.Ref(), verdict.IntConst(3))))),
+		verdict.Options{})
+	if err != nil || res.Status != verdict.Holds {
+		t.Fatalf("GF(x=3): %v %v", res, err)
+	}
+	rc, err := verdict.CheckCTL(sys,
+		verdict.AG(verdict.EF(verdict.CTLAtom(verdict.Eq(x.Ref(), verdict.IntConst(0))))),
+		verdict.Options{})
+	if err != nil || rc.Status != verdict.Holds {
+		t.Fatalf("AG EF (x=0): %v %v", rc, err)
+	}
+}
+
+func TestFacadeProveAndRefute(t *testing.T) {
+	sys, x := counter()
+	res, err := verdict.ProveInvariant(sys, verdict.Le(x.Ref(), verdict.IntConst(7)), verdict.Options{})
+	if err != nil || res.Status != verdict.Holds {
+		t.Fatalf("%v %v", res, err)
+	}
+	res, err = verdict.FindCounterexample(sys,
+		verdict.G(verdict.Atom(verdict.Lt(x.Ref(), verdict.IntConst(7)))),
+		verdict.Options{MaxDepth: 10})
+	if err != nil || res.Status != verdict.Violated {
+		t.Fatalf("%v %v", res, err)
+	}
+	res, err = verdict.CheckInvariantBDD(sys, verdict.Le(x.Ref(), verdict.IntConst(7)), verdict.Options{})
+	if err != nil || res.Status != verdict.Holds {
+		t.Fatalf("bdd: %v %v", res, err)
+	}
+}
+
+func TestFacadeModelLibrary(t *testing.T) {
+	if got := len(verdict.TestTopology().Nodes); got != 7 {
+		t.Errorf("test topology nodes = %d", got)
+	}
+	if got := len(verdict.FatTree(4).Links); got != 32 {
+		t.Errorf("fattree4 links = %d", got)
+	}
+	if got := len(verdict.LBTopology().Nodes); got != 8 {
+		t.Errorf("lb topology nodes = %d", got)
+	}
+	m := verdict.BuildLBECMP(verdict.DefaultLBECMP())
+	if m.Sys == nil || m.PropertyFG == nil {
+		t.Error("lbecmp model incomplete")
+	}
+}
+
+// TestShippedModelFile checks the example .vsmv end to end: the LTL
+// property is violated for small guardrails and synthesis finds
+// minReplicas ∈ {2,3} safe.
+func TestShippedModelFile(t *testing.T) {
+	src, err := os.ReadFile("examples/models/replica-guard.vsmv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := verdict.ParseModel(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.LTLSpecs) != 1 || len(prog.CTLSpecs) != 1 {
+		t.Fatalf("specs: %d/%d", len(prog.LTLSpecs), len(prog.CTLSpecs))
+	}
+	res, err := verdict.Check(prog.Sys, prog.LTLSpecs[0], verdict.Options{})
+	if err != nil || res.Status != verdict.Violated {
+		t.Fatalf("check: %v %v", res, err)
+	}
+	sres, err := verdict.SynthesizeParams(prog.Sys, prog.LTLSpecs[0], verdict.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var safe []string
+	for _, a := range sres.Safe {
+		safe = append(safe, a.String())
+	}
+	if strings.Join(safe, ",") != "minReplicas=2,minReplicas=3" {
+		t.Errorf("safe = %v", safe)
+	}
+}
+
+func TestFacadeParseErrors(t *testing.T) {
+	if _, err := verdict.ParseModel("VAR x : broken"); err == nil {
+		t.Error("bad model accepted")
+	}
+}
+
+func TestFacadeSimulator(t *testing.T) {
+	series, cluster := verdict.SimulateFigure2(verdict.Figure2Config{Minutes: 10})
+	if len(series) != 10 || cluster == nil {
+		t.Fatal("simulator facade broken")
+	}
+	if verdict.SimTransitions(series) == 0 {
+		t.Error("expected oscillation")
+	}
+}
