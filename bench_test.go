@@ -8,6 +8,7 @@
 package verdict_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"verdict/internal/mc"
 	"verdict/internal/models/lbecmp"
 	"verdict/internal/models/rollout"
+	"verdict/internal/pool"
 	"verdict/internal/sat"
 	"verdict/internal/smt"
 	"verdict/internal/topo"
@@ -341,6 +343,111 @@ func BenchmarkAblationIncremental(b *testing.B) {
 				r, err := mc.BMC(m.Sys, m.Property, mc.Options{MaxDepth: 10, IncrementalBMC: mode.inc})
 				if err != nil || r.Status != mc.Violated {
 					b.Fatalf("%v %v", r, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPortfolio races BMC, k-induction and the BDD engine on the
+// Figure 5 violation instance against BMC alone. On a multi-core host
+// the portfolio should cost about the same wall-clock as the fastest
+// member; on one core it measures the overhead of running the losers.
+func BenchmarkPortfolio(b *testing.B) {
+	build := func() *rollout.Model {
+		m, err := rollout.Build(rollout.Config{Topo: topo.Test(), P: 1, K: 2, M: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	b.Run("bmc-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := build()
+			res, err := mc.BMC(m.Sys, m.Property, mc.Options{MaxDepth: 10})
+			if err != nil || res.Status != mc.Violated {
+				b.Fatalf("%v %v", res, err)
+			}
+		}
+	})
+	b.Run("portfolio", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := build()
+			res, err := mc.Portfolio(m.Sys, m.Property, mc.Options{MaxDepth: 10})
+			if err != nil || res.Status != mc.Violated {
+				b.Fatalf("%v %v", res, err)
+			}
+			if res.Stats == nil {
+				b.Fatal("portfolio winner lost its stats")
+			}
+		}
+	})
+}
+
+// BenchmarkSynthParallel fans the rollout parameter space (p ∈ 0..4)
+// over worker goroutines. The valuations are independent checks, so
+// on a multi-core host workers=4 should approach a 4x speedup over
+// workers=1 with byte-identical Safe/Unsafe partitions.
+func BenchmarkSynthParallel(b *testing.B) {
+	build := func() *rollout.Model {
+		m, err := rollout.Build(rollout.Config{
+			Topo: topo.Test(), SynthP: true, PMax: 4, K: 1, M: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := build()
+				r, err := mc.SynthesizeParamsEnum(m.Sys, m.Property, mc.Options{
+					MaxDepth: 20, Timeout: 5 * time.Minute, Workers: workers,
+				})
+				if err != nil || len(r.Safe) != 2 {
+					b.Fatalf("%v %v", r, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6Parallel runs a small slice of the Figure 6 sweep —
+// the (topology, k) verification cells for test and fattree4 — both
+// serially and over 4 workers, mirroring `verdict-bench -exp fig6
+// -workers N`.
+func BenchmarkFig6Parallel(b *testing.B) {
+	type cell struct {
+		topo func() *topo.Graph
+		k    int
+	}
+	var cells []cell
+	for _, tb := range []func() *topo.Graph{topo.Test, func() *topo.Graph { return topo.FatTree(4) }} {
+		for k := 0; k <= 2; k++ {
+			cells = append(cells, cell{tb, k})
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := pool.Run(context.Background(), workers, len(cells), func(ctx context.Context, j int) error {
+					c := cells[j]
+					m, err := rollout.Build(rollout.Config{Topo: c.topo(), P: 1, K: c.k, M: 1})
+					if err != nil {
+						return err
+					}
+					res, err := mc.CheckLTL(m.Sys, m.Property, mc.Options{MaxDepth: 30, Context: ctx})
+					if err != nil {
+						return err
+					}
+					if res.Status == mc.Unknown {
+						return fmt.Errorf("cell k=%d undecided", c.k)
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -16,14 +16,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"verdict"
 	"verdict/internal/incidents"
+	"verdict/internal/pool"
 )
 
 func main() {
@@ -34,8 +38,16 @@ func main() {
 		timeout = flag.Duration("timeout", 30*time.Second, "per-verification budget for fig6 (paper used 1h)")
 		maxK    = flag.Int("max-fattree", 8, "largest fat-tree parameter for fig6 (paper: 12)")
 		engine  = flag.String("verify-engine", "kind", "fig6 verification engine: kind (k-induction; fast, the property is 2-inductive) or bdd (exhaustive reachability, reproducing the paper's NuXMV behavior)")
+		workers = flag.Int("workers", 1, "worker goroutines for the fig6 sweep cells (0 = NumCPU, 1 = serial)")
+		stats   = flag.Bool("stats", false, "print per-engine statistics for each fig6 cell")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the sweep: in-flight cells stop at their next
+	// cooperative poll, queued cells never start, and "all" stops
+	// between experiments.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
 
 	run := map[string]func(){
 		"table1": table1,
@@ -43,10 +55,13 @@ func main() {
 		"fig5":   fig5,
 		"synth":  synth,
 		"lbecmp": lbecmp,
-		"fig6":   func() { fig6(*timeout, *maxK, *engine) },
+		"fig6":   func() { fig6(ctx, *timeout, *maxK, *engine, *workers, *stats) },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"table1", "fig2", "fig5", "synth", "lbecmp", "fig6"} {
+			if ctx.Err() != nil {
+				log.Fatalf("interrupted before %s", name)
+			}
 			banner(name)
 			run[name]()
 		}
@@ -163,7 +178,12 @@ func lbecmp() {
 // fig6 regenerates the scalability sweep: per topology, the time to
 // find the violation at the critical k, and verification times for
 // k = 0, 1, 2 under a wall-clock budget.
-func fig6(budget time.Duration, maxFatTree int, engine string) {
+//
+// Every (topology, k) cell is an independent verification problem, so
+// the cells fan out over a worker pool (-workers). Results land in
+// per-cell slots and the table prints in a fixed order once the sweep
+// finishes, so the output is identical for any worker count.
+func fig6(ctx context.Context, budget time.Duration, maxFatTree int, engine string, workers int, stats bool) {
 	type tc struct {
 		name  string
 		topo  *verdict.Topology
@@ -173,49 +193,80 @@ func fig6(budget time.Duration, maxFatTree int, engine string) {
 	for k := 4; k <= maxFatTree; k += 2 {
 		cases = append(cases, tc{fmt.Sprintf("fattree%d", k), verdict.FatTree(k), k / 2})
 	}
-	fmt.Printf("%-10s %8s %8s | %-14s | %s\n", "topology", "nodes", "links", "violation(kv)", "verification k=0,1,2")
-	for _, c := range cases {
-		nodes := len(c.topo.Nodes)
-		links := len(c.topo.Links)
 
-		// Violation run at the critical k.
-		m, err := verdict.BuildRollout(verdict.RolloutConfig{Topo: c.topo, P: 1, K: c.kViol, M: 1})
+	// Flatten the sweep into independent cells: per topology, one
+	// violation run at the critical k plus verification runs for
+	// k = 0, 1, 2 (the property holds below the critical k for every
+	// topology here except test/fattree4 at k=2, mirroring the paper's
+	// footnote 6).
+	const perCase = 4 // violation + k=0,1,2
+	type cellOut struct {
+		text  string
+		stats *verdict.Stats
+	}
+	cells := make([]cellOut, len(cases)*perCase)
+	err := pool.Run(ctx, workers, len(cells), func(ctx context.Context, i int) error {
+		c := cases[i/perCase]
+		slot := i % perCase
+		opts := verdict.Options{Timeout: budget, Context: ctx}
+		if slot == 0 {
+			m, err := verdict.BuildRollout(verdict.RolloutConfig{Topo: c.topo, P: 1, K: c.kViol, M: 1})
+			if err != nil {
+				return err
+			}
+			opts.MaxDepth = 10
+			start := time.Now()
+			res, err := verdict.FindCounterexample(m.Sys, m.Property, opts)
+			if err != nil {
+				return err
+			}
+			cells[i] = cellOut{fmt.Sprintf("%v k=%d %s", time.Since(start).Round(time.Millisecond), c.kViol, res.Status), res.Stats}
+			return nil
+		}
+		k := slot - 1
+		m, err := verdict.BuildRollout(verdict.RolloutConfig{Topo: c.topo, P: 1, K: k, M: 1})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		start := time.Now()
-		res, err := verdict.FindCounterexample(m.Sys, m.Property, verdict.Options{MaxDepth: 10, Timeout: budget})
-		if err != nil {
-			log.Fatal(err)
+		var r *verdict.Result
+		if engine == "bdd" {
+			r, err = verdict.CheckInvariantBDD(m.Sys, m.SafetyPredicate(), opts)
+		} else {
+			opts.MaxDepth = 30
+			r, err = verdict.Check(m.Sys, m.Property, opts)
 		}
-		viol := fmt.Sprintf("%v k=%d %s", time.Since(start).Round(time.Millisecond), c.kViol, res.Status)
+		if err != nil {
+			return err
+		}
+		el := time.Since(start).Round(time.Millisecond)
+		if r.Status == verdict.Unknown {
+			cells[i] = cellOut{fmt.Sprintf("k=%d timeout(>%v)", k, budget), r.Stats}
+		} else {
+			cells[i] = cellOut{fmt.Sprintf("k=%d %v %s", k, el, r.Status), r.Stats}
+		}
+		return nil
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			log.Fatal("fig6 interrupted")
+		}
+		log.Fatal(err)
+	}
 
-		// Verification runs for k = 0, 1, 2 (property holds below the
-		// critical k for every topology here except test/fattree4 at
-		// k=2, mirroring the paper's footnote 6).
+	fmt.Printf("%-10s %8s %8s | %-14s | %s\n", "topology", "nodes", "links", "violation(kv)", "verification k=0,1,2")
+	for ci, c := range cases {
 		var ver []string
 		for k := 0; k <= 2; k++ {
-			m, err := verdict.BuildRollout(verdict.RolloutConfig{Topo: c.topo, P: 1, K: k, M: 1})
-			if err != nil {
-				log.Fatal(err)
-			}
-			start := time.Now()
-			var r *verdict.Result
-			if engine == "bdd" {
-				r, err = verdict.CheckInvariantBDD(m.Sys, m.SafetyPredicate(), verdict.Options{Timeout: budget})
-			} else {
-				r, err = verdict.Check(m.Sys, m.Property, verdict.Options{MaxDepth: 30, Timeout: budget})
-			}
-			if err != nil {
-				log.Fatal(err)
-			}
-			el := time.Since(start).Round(time.Millisecond)
-			if r.Status == verdict.Unknown {
-				ver = append(ver, fmt.Sprintf("k=%d timeout(>%v)", k, budget))
-			} else {
-				ver = append(ver, fmt.Sprintf("k=%d %v %s", k, el, r.Status))
+			ver = append(ver, cells[ci*perCase+1+k].text)
+		}
+		fmt.Printf("%-10s %8d %8d | %-14s | %s\n", c.name, len(c.topo.Nodes), len(c.topo.Links), cells[ci*perCase].text, strings.Join(ver, ", "))
+		if stats {
+			for slot := 0; slot < perCase; slot++ {
+				if s := cells[ci*perCase+slot].stats; s != nil {
+					fmt.Printf("    stats[%s/%d]: %s\n", c.name, slot, s)
+				}
 			}
 		}
-		fmt.Printf("%-10s %8d %8d | %-14s | %s\n", c.name, nodes, links, viol, strings.Join(ver, ", "))
 	}
 }

@@ -28,6 +28,32 @@ import (
 	"verdict"
 )
 
+var (
+	// showStats mirrors -stats; usePortfolio mirrors -portfolio;
+	// useEnumSynth mirrors -synth-engine=enum.
+	showStats    bool
+	usePortfolio bool
+	useEnumSynth bool
+)
+
+// check dispatches to the portfolio racer or the default engine
+// pipeline, honoring -portfolio.
+func check(sys *verdict.System, phi *verdict.LTL, opts verdict.Options) (*verdict.Result, error) {
+	if usePortfolio {
+		return verdict.CheckPortfolio(sys, phi, opts)
+	}
+	return verdict.Check(sys, phi, opts)
+}
+
+// synthesize dispatches to BDD projection (default) or per-valuation
+// enumeration, which fans out over -workers goroutines.
+func synthesize(sys *verdict.System, phi *verdict.LTL, opts verdict.Options) (*verdict.SynthResult, error) {
+	if useEnumSynth {
+		return verdict.SynthesizeParamsEnum(sys, phi, opts)
+	}
+	return verdict.SynthesizeParams(sys, phi, opts)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("verdict: ")
@@ -39,10 +65,23 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
 		fullTrace = flag.Bool("full-trace", false, "print every variable in every trace state")
 		verify    = flag.Bool("verify", true, "replay counterexample traces through the semantics")
+		stats     = flag.Bool("stats", false, "print per-engine statistics (SAT conflicts/decisions/propagations, BDD nodes, time per depth)")
+		workers   = flag.Int("workers", 0, "worker goroutines for parameter synthesis (0 = NumCPU, 1 = serial)")
+		portfolio = flag.Bool("portfolio", false, "race BMC, k-induction and the BDD engine; first conclusive answer wins")
+		synthEng  = flag.String("synth-engine", "bdd", "parameter-synthesis engine: bdd (set projection) or enum (checks every valuation separately, parallel over -workers)")
 	)
 	flag.Parse()
 
-	opts := verdict.Options{MaxDepth: *depth, Timeout: *timeout}
+	showStats = *stats
+	usePortfolio = *portfolio
+	switch *synthEng {
+	case "bdd":
+	case "enum":
+		useEnumSynth = true
+	default:
+		log.Fatalf("unknown -synth-engine %q (want bdd or enum)", *synthEng)
+	}
+	opts := verdict.Options{MaxDepth: *depth, Timeout: *timeout, Workers: *workers}
 	switch {
 	case *modelPath != "":
 		runModel(*modelPath, *synth, *fullTrace, *verify, opts)
@@ -68,14 +107,14 @@ func runModel(path string, synth, fullTrace, verify bool, opts verdict.Options) 
 	}
 	for i, spec := range prog.LTLSpecs {
 		if synth {
-			res, err := verdict.SynthesizeParams(prog.Sys, spec, opts)
+			res, err := synthesize(prog.Sys, spec, opts)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("LTLSPEC %d: %s\n  safe  : %v\n  unsafe: %v\n", i, spec, res.Safe, res.Unsafe)
 			continue
 		}
-		res, err := verdict.Check(prog.Sys, spec, opts)
+		res, err := check(prog.Sys, spec, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -102,7 +141,7 @@ func runScenario(name string, synth, fullTrace, verify bool, opts verdict.Option
 			log.Fatal(err)
 		}
 		if synth {
-			res, err := verdict.SynthesizeParams(m.Sys, m.Property, opts)
+			res, err := synthesize(m.Sys, m.Property, opts)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -124,14 +163,14 @@ func runScenario(name string, synth, fullTrace, verify bool, opts verdict.Option
 	case "taint":
 		m := verdict.BuildTaintLoop(verdict.TaintLoopConfig{SynthRespect: synth})
 		if synth {
-			res, err := verdict.SynthesizeParams(m.Sys, m.Property, opts)
+			res, err := synthesize(m.Sys, m.Property, opts)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("safe: %v\nunsafe: %v\n", res.Safe, res.Unsafe)
 			return
 		}
-		res, err := verdict.Check(m.Sys, m.Property, opts)
+		res, err := check(m.Sys, m.Property, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -144,7 +183,7 @@ func runScenario(name string, synth, fullTrace, verify bool, opts verdict.Option
 			log.Fatal(err)
 		}
 		if synth {
-			res, err := verdict.SynthesizeParams(m.Sys, m.Property, opts)
+			res, err := synthesize(m.Sys, m.Property, opts)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -164,14 +203,14 @@ func runScenario(name string, synth, fullTrace, verify bool, opts verdict.Option
 			log.Fatal(err)
 		}
 		if synth {
-			res, err := verdict.SynthesizeParams(m.Sys, m.Property, opts)
+			res, err := synthesize(m.Sys, m.Property, opts)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("safe abuse thresholds: %v\nunsafe: %v\n", res.Safe, res.Unsafe)
 			return
 		}
-		res, err := verdict.Check(m.Sys, m.Property, opts)
+		res, err := check(m.Sys, m.Property, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -181,14 +220,14 @@ func runScenario(name string, synth, fullTrace, verify bool, opts verdict.Option
 			RequestCPU: 50, Threshold: 45, SynthThreshold: synth,
 		})
 		if synth {
-			res, err := verdict.SynthesizeParams(m.Sys, m.Property, opts)
+			res, err := synthesize(m.Sys, m.Property, opts)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("%d safe thresholds, %d unsafe\n", len(res.Safe), len(res.Unsafe))
 			return
 		}
-		res, err := verdict.Check(m.Sys, m.Property, opts)
+		res, err := check(m.Sys, m.Property, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -200,6 +239,9 @@ func runScenario(name string, synth, fullTrace, verify bool, opts verdict.Option
 
 func report(sys *verdict.System, what string, res *verdict.Result, fullTrace, verify bool) {
 	fmt.Printf("%s\n  -> %s\n", what, res)
+	if showStats && res.Stats != nil {
+		fmt.Printf("  stats: %s\n", res.Stats)
+	}
 	if res.Trace == nil {
 		return
 	}

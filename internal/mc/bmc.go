@@ -34,12 +34,26 @@ func BMC(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) {
 	// instead extends one solver across depths (see the comment on the
 	// option for why rebuild is the default).
 	var u *unroller
+	stats := &Stats{}
+	// finish folds the live solver's counters in and attaches the
+	// stats; every rebuilt-and-discarded solver was folded in already.
+	finish := func(r *Result) *Result {
+		if u != nil {
+			stats.addSolver(u.sats)
+		}
+		r.Stats = stats
+		return r
+	}
 	for k := 0; k <= opts.maxDepth(); k++ {
+		depthStart := time.Now()
 		if opts.expired(start) {
-			return &Result{Status: Unknown, Engine: engine, Depth: k, Elapsed: time.Since(start), Note: "timeout"}, nil
+			return finish(&Result{Status: Unknown, Engine: engine, Depth: k, Elapsed: time.Since(start), Note: opts.stopNote()}), nil
 		}
 		var err error
 		if u == nil || !opts.IncrementalBMC {
+			if u != nil {
+				stats.addSolver(u.sats)
+			}
 			u, err = newUnroller(sys, k, opts, start)
 		} else {
 			err = u.extend()
@@ -50,50 +64,50 @@ func BMC(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) {
 		// No-loop witness.
 		st := u.solve(u.benc.EncodeNoLoop(neg))
 		if st == sat.Sat {
-			return &Result{
+			return finish(&Result{
 				Status:  Violated,
 				Trace:   u.extractTrace(-1),
 				Engine:  engine,
 				Depth:   k,
 				Elapsed: time.Since(start),
-			}, nil
+			}), nil
 		}
 		if st == sat.Unknown {
-			return &Result{Status: Unknown, Engine: engine, Depth: k, Elapsed: time.Since(start), Note: "timeout"}, nil
+			return finish(&Result{Status: Unknown, Engine: engine, Depth: k, Elapsed: time.Since(start), Note: opts.stopNote()}), nil
 		}
 		// Lasso witnesses, one loop index at a time. Pure co-safety
 		// witnesses (no G/R in the negated NNF) are always caught by a
 		// finite prefix, so the loop search is skipped for them.
-		if coSafety(neg) {
-			continue
+		if !coSafety(neg) {
+			for l := 0; l <= k; l++ {
+				if opts.expired(start) {
+					return finish(&Result{Status: Unknown, Engine: engine, Depth: k, Elapsed: time.Since(start), Note: opts.stopNote()}), nil
+				}
+				w := u.benc.EncodeLoop(neg, l)
+				st := u.solve(w, u.loopLit(l))
+				if st == sat.Sat {
+					return finish(&Result{
+						Status:  Violated,
+						Trace:   u.extractTrace(l),
+						Engine:  engine,
+						Depth:   k,
+						Elapsed: time.Since(start),
+					}), nil
+				}
+				if st == sat.Unknown {
+					return finish(&Result{Status: Unknown, Engine: engine, Depth: k, Elapsed: time.Since(start), Note: opts.stopNote()}), nil
+				}
+			}
 		}
-		for l := 0; l <= k; l++ {
-			if opts.expired(start) {
-				return &Result{Status: Unknown, Engine: engine, Depth: k, Elapsed: time.Since(start), Note: "timeout"}, nil
-			}
-			w := u.benc.EncodeLoop(neg, l)
-			st := u.solve(w, u.loopLit(l))
-			if st == sat.Sat {
-				return &Result{
-					Status:  Violated,
-					Trace:   u.extractTrace(l),
-					Engine:  engine,
-					Depth:   k,
-					Elapsed: time.Since(start),
-				}, nil
-			}
-			if st == sat.Unknown {
-				return &Result{Status: Unknown, Engine: engine, Depth: k, Elapsed: time.Since(start), Note: "timeout"}, nil
-			}
-		}
+		stats.DepthTime = append(stats.DepthTime, time.Since(depthStart))
 	}
-	return &Result{
+	return finish(&Result{
 		Status:  Unknown,
 		Engine:  engine,
 		Depth:   opts.maxDepth(),
 		Elapsed: time.Since(start),
 		Note:    fmt.Sprintf("no counterexample up to depth %d", opts.maxDepth()),
-	}, nil
+	}), nil
 }
 
 // coSafety reports whether an NNF formula is a pure finite-witness

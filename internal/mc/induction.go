@@ -31,9 +31,15 @@ func KInduction(sys *ts.System, p *expr.Expr, opts Options) (*Result, error) {
 	}
 	start := time.Now()
 
+	stats := &Stats{}
+	finish := func(r *Result) *Result {
+		r.Stats = stats
+		return r
+	}
 	for k := 0; k <= opts.maxDepth(); k++ {
+		depthStart := time.Now()
 		if opts.expired(start) {
-			return &Result{Status: Unknown, Engine: "k-induction", Depth: k, Elapsed: time.Since(start), Note: "timeout"}, nil
+			return finish(&Result{Status: Unknown, Engine: "k-induction", Depth: k, Elapsed: time.Since(start), Note: opts.stopNote()}), nil
 		}
 		// Base case: init path of k steps ending in ¬p.
 		base, err := newUnroller(sys, k, opts, start)
@@ -41,17 +47,18 @@ func KInduction(sys *ts.System, p *expr.Expr, opts Options) (*Result, error) {
 			return nil, err
 		}
 		st := base.solve(base.enc.Lit(expr.Not(p), base.frames[k], nil))
+		stats.addSolver(base.sats)
 		switch st {
 		case sat.Sat:
-			return &Result{
+			return finish(&Result{
 				Status:  Violated,
 				Trace:   base.extractTrace(-1),
 				Engine:  "k-induction",
 				Depth:   k,
 				Elapsed: time.Since(start),
-			}, nil
+			}), nil
 		case sat.Unknown:
-			return &Result{Status: Unknown, Engine: "k-induction", Depth: k, Elapsed: time.Since(start), Note: "timeout"}, nil
+			return finish(&Result{Status: Unknown, Engine: "k-induction", Depth: k, Elapsed: time.Since(start), Note: opts.stopNote()}), nil
 		}
 
 		// Induction step: p-states 0..k on a simple path, ¬p at k+1.
@@ -71,26 +78,28 @@ func KInduction(sys *ts.System, p *expr.Expr, opts Options) (*Result, error) {
 			}
 		}
 		st = step.solve(step.enc.Lit(expr.Not(p), step.frames[k+1], nil))
+		stats.addSolver(step.sats)
+		stats.DepthTime = append(stats.DepthTime, time.Since(depthStart))
 		switch st {
 		case sat.Unsat:
-			return &Result{
+			return finish(&Result{
 				Status:  Holds,
 				Engine:  "k-induction",
 				Depth:   k,
 				Elapsed: time.Since(start),
 				Note:    fmt.Sprintf("proved at induction depth %d", k),
-			}, nil
+			}), nil
 		case sat.Unknown:
-			return &Result{Status: Unknown, Engine: "k-induction", Depth: k, Elapsed: time.Since(start), Note: "timeout"}, nil
+			return finish(&Result{Status: Unknown, Engine: "k-induction", Depth: k, Elapsed: time.Since(start), Note: opts.stopNote()}), nil
 		}
 	}
-	return &Result{
+	return finish(&Result{
 		Status:  Unknown,
 		Engine:  "k-induction",
 		Depth:   opts.maxDepth(),
 		Elapsed: time.Since(start),
 		Note:    fmt.Sprintf("not inductive up to depth %d", opts.maxDepth()),
-	}, nil
+	}), nil
 }
 
 // newStepUnroller builds an unrolled chain WITHOUT the initial-state

@@ -1,0 +1,117 @@
+package mc
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"verdict/internal/ltl"
+	"verdict/internal/ts"
+)
+
+// Portfolio races the applicable engines on the same (system,
+// property) instance and returns the first conclusive Result,
+// cancelling the rest. No single engine dominates: BMC refutes fast
+// but never proves, k-induction proves fast when the property is
+// inductive at small depth but diverges otherwise, and the BDD engine
+// decides everything eventually but can blow up building the
+// transition relation. Racing them turns "fast on its lucky workload"
+// into "fast on every workload that any engine is lucky on".
+//
+// The lineup, derived from the instance:
+//
+//   - BMC — always (the only engine for real-valued systems; it can
+//     only conclude Violated).
+//   - k-induction — finite systems with a safety-invariant property
+//     G(p); concludes both ways.
+//   - BDD — finite systems (reachability for invariants, the tableau
+//     fair-cycle product for general LTL); concludes both ways.
+//
+// Every engine runs in its own goroutine with its own solver state
+// over a shared child of opts.Context; the winner's cancel signal
+// reaches the losers through the same cooperative polling that
+// implements wall-clock deadlines. Losing goroutines may outlive this
+// call briefly (until their next poll); they hold no shared mutable
+// state — ts.System and expression trees are immutable during
+// checking — so this is safe, merely a little CPU spent after the
+// answer is in.
+//
+// The winning Result keeps the deciding engine's stats and depth and
+// gets "portfolio/" prefixed to its engine name. If no engine
+// concludes, the deepest Unknown is returned; engine errors are
+// reported only when no engine produced a usable result.
+func Portfolio(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	ctx, cancel := context.WithCancel(opts.ctx())
+	defer cancel()
+	inner := opts
+	inner.Context = ctx
+
+	type run struct {
+		name string
+		fn   func() (*Result, error)
+	}
+	runs := []run{{"bmc", func() (*Result, error) { return BMC(sys, phi, inner) }}}
+	if sys.Finite() {
+		if p, ok := ltl.IsSafetyInvariant(phi); ok {
+			runs = append(runs, run{"k-induction", func() (*Result, error) {
+				return KInduction(sys, p, inner)
+			}})
+		}
+		runs = append(runs, run{"bdd", func() (*Result, error) {
+			sym, err := NewSym(sys, inner)
+			if err == ErrTimeout {
+				return &Result{Status: Unknown, Engine: "bdd", Elapsed: time.Since(start), Note: inner.stopNote()}, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			return sym.CheckLTL(phi)
+		}})
+	}
+
+	type outcome struct {
+		name string
+		res  *Result
+		err  error
+	}
+	// Buffered so losers finishing after we return never block.
+	ch := make(chan outcome, len(runs))
+	for _, r := range runs {
+		r := r
+		go func() {
+			res, err := r.fn()
+			ch <- outcome{r.name, res, err}
+		}()
+	}
+
+	var best *Result
+	var firstErr error
+	for range runs {
+		o := <-ch
+		switch {
+		case o.err != nil:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("mc: portfolio engine %s: %w", o.name, o.err)
+			}
+		case o.res.Status != Unknown:
+			cancel()
+			o.res.Engine = "portfolio/" + o.res.Engine
+			o.res.Elapsed = time.Since(start)
+			return o.res, nil
+		default:
+			if best == nil || o.res.Depth > best.Depth {
+				best = o.res
+			}
+		}
+	}
+	if best != nil {
+		best.Engine = "portfolio/" + best.Engine
+		best.Elapsed = time.Since(start)
+		return best, nil
+	}
+	return nil, firstErr
+}

@@ -7,9 +7,13 @@
 package mc
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"strings"
 	"time"
 
+	"verdict/internal/sat"
 	"verdict/internal/trace"
 )
 
@@ -51,6 +55,66 @@ type Result struct {
 	// Note carries engine-specific details (timeout reason, fixpoint
 	// iteration counts, ...).
 	Note string
+	// Stats carries the deciding engine's observability counters (nil
+	// for engines that do not report any).
+	Stats *Stats
+}
+
+// Stats aggregates an engine's observability counters: SAT search
+// effort summed over every solver the check used, the BDD arena size,
+// and wall time per unroll/induction depth. It is reported on Result
+// and printed by `cmd/verdict -stats` and `cmd/verdict-bench -stats`.
+type Stats struct {
+	// SAT search counters (BMC, k-induction, SMT-BMC).
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Learnts      int64
+	Restarts     int64
+	// BDDNodes is the final BDD arena size (BDD engine only).
+	BDDNodes int
+	// DepthTime records the wall time the engine spent at each unroll
+	// (BMC) or induction (k-induction) depth, index = depth.
+	DepthTime []time.Duration
+}
+
+// addSolver folds a solver's counters into the stats. Call it exactly
+// once per solver, when the engine is done with it.
+func (st *Stats) addSolver(s *sat.Solver) {
+	if s == nil {
+		return
+	}
+	ss := s.Stats()
+	st.Conflicts += ss.Conflicts
+	st.Decisions += ss.Decisions
+	st.Propagations += ss.Propagations
+	st.Learnts += ss.Learnts
+	st.Restarts += ss.Restarts
+}
+
+func (st *Stats) String() string {
+	if st == nil {
+		return ""
+	}
+	var parts []string
+	if st.Conflicts != 0 || st.Decisions != 0 || st.Propagations != 0 {
+		parts = append(parts, fmt.Sprintf("sat: %d conflicts, %d decisions, %d propagations, %d learnts, %d restarts",
+			st.Conflicts, st.Decisions, st.Propagations, st.Learnts, st.Restarts))
+	}
+	if st.BDDNodes != 0 {
+		parts = append(parts, fmt.Sprintf("bdd: %d nodes", st.BDDNodes))
+	}
+	if len(st.DepthTime) > 0 {
+		var ds []string
+		for k, d := range st.DepthTime {
+			ds = append(ds, fmt.Sprintf("%d:%v", k, d.Round(time.Microsecond)))
+		}
+		parts = append(parts, "per-depth: "+strings.Join(ds, " "))
+	}
+	if len(parts) == 0 {
+		return "no counters recorded"
+	}
+	return strings.Join(parts, "; ")
 }
 
 func (r *Result) String() string {
@@ -82,6 +146,16 @@ type Options struct {
 	IncrementalBMC bool
 	// MaxExplicitStates caps explicit-state enumeration (default 1e6).
 	MaxExplicitStates int
+	// Workers caps the goroutine fan-out of the concurrent entry
+	// points (Portfolio, SynthesizeParamsEnum, the verdict-bench
+	// sweep). 0 means runtime.NumCPU(); 1 forces the serial path.
+	Workers int
+	// Context, when non-nil, cancels in-flight checks cooperatively:
+	// the engines poll it at the same points as the wall-clock
+	// deadline and return Unknown once it is done. Portfolio and the
+	// parallel synthesizer derive per-run child contexts from it to
+	// cancel losing engines and sibling workers.
+	Context context.Context
 }
 
 func (o Options) maxDepth() int {
@@ -98,15 +172,63 @@ func (o Options) maxExplicit() int {
 	return o.MaxExplicitStates
 }
 
-// deadline returns a poll function and the zero time check.
-func (o Options) interrupt(start time.Time) func() bool {
-	if o.Timeout <= 0 {
-		return nil
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.NumCPU()
 	}
-	dl := start.Add(o.Timeout)
-	return func() bool { return time.Now().After(dl) }
+	return o.Workers
 }
 
+// ctx returns the cancellation context (never nil).
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// interrupt returns the cooperative-cancellation poll installed into
+// the SAT solver and BDD manager: it fires on the wall-clock deadline
+// and on Context cancellation. nil when neither bound is set.
+func (o Options) interrupt(start time.Time) func() bool {
+	if o.Timeout <= 0 && o.Context == nil {
+		return nil
+	}
+	var dl time.Time
+	if o.Timeout > 0 {
+		dl = start.Add(o.Timeout)
+	}
+	ctx := o.Context
+	return func() bool {
+		if !dl.IsZero() && time.Now().After(dl) {
+			return true
+		}
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return true
+			default:
+			}
+		}
+		return false
+	}
+}
+
+// expired reports whether the check should stop: deadline passed or
+// context cancelled. Engines poll it between depths and fixpoint
+// iterations.
 func (o Options) expired(start time.Time) bool {
-	return o.Timeout > 0 && time.Since(start) > o.Timeout
+	if o.Timeout > 0 && time.Since(start) > o.Timeout {
+		return true
+	}
+	return o.Context != nil && o.Context.Err() != nil
+}
+
+// stopNote labels an Unknown result caused by expired: "cancelled"
+// when the context was cancelled, "timeout" otherwise.
+func (o Options) stopNote() string {
+	if o.Context != nil && o.Context.Err() != nil {
+		return "cancelled"
+	}
+	return "timeout"
 }

@@ -622,12 +622,15 @@ func (s *Sym) fairStates(care bdd.Node) (bdd.Node, error) {
 	return s.egFair(care, care)
 }
 
+// stats snapshots the engine's observability counters.
+func (s *Sym) stats() *Stats { return &Stats{BDDNodes: s.m.Size()} }
+
 // recoverTimeout converts a BDD interrupt panic into an Unknown
 // result; install it with defer in every public checking method.
 func (s *Sym) recoverTimeout(res **Result, err *error, start time.Time) {
 	if r := recover(); r != nil {
 		if r == bdd.ErrInterrupted {
-			*res = &Result{Status: Unknown, Engine: "bdd", Elapsed: time.Since(start), Note: "timeout"}
+			*res = &Result{Status: Unknown, Engine: "bdd", Elapsed: time.Since(start), Note: s.opts.stopNote(), Stats: s.stats()}
 			*err = nil
 			return
 		}
@@ -642,14 +645,14 @@ func (s *Sym) CheckCTL(f *ctl.Formula) (res *Result, err error) {
 	defer s.recoverTimeout(&res, &err, start)
 	reach, err := s.Reach()
 	if err != nil {
-		return &Result{Status: Unknown, Engine: "bdd", Elapsed: time.Since(start), Note: "timeout"}, nil
+		return &Result{Status: Unknown, Engine: "bdd", Elapsed: time.Since(start), Note: s.opts.stopNote(), Stats: s.stats()}, nil
 	}
 	sat, err := s.evalCTL(ctl.Normalize(f), reach)
 	if err != nil {
-		return &Result{Status: Unknown, Engine: "bdd", Elapsed: time.Since(start), Note: "timeout"}, nil
+		return &Result{Status: Unknown, Engine: "bdd", Elapsed: time.Since(start), Note: s.opts.stopNote(), Stats: s.stats()}, nil
 	}
 	bad := s.m.And(s.init, s.m.Not(sat))
-	res = &Result{Engine: "bdd", Elapsed: time.Since(start)}
+	res = &Result{Engine: "bdd", Elapsed: time.Since(start), Stats: s.stats()}
 	if bad == bdd.False {
 		res.Status = Holds
 	} else {
@@ -839,7 +842,7 @@ func (s *Sym) CheckLTL(phi *ltl.Formula) (res *Result, err error) {
 	frontier := pinit
 	for frontier != bdd.False {
 		if s.opts.expired(s.start) {
-			return &Result{Status: Unknown, Engine: "bdd", Elapsed: time.Since(start), Note: "timeout"}, nil
+			return &Result{Status: Unknown, Engine: "bdd", Elapsed: time.Since(start), Note: s.opts.stopNote(), Stats: s.stats()}, nil
 		}
 		img := s.Image(frontier)
 		frontier = s.m.And(img, s.m.Not(reach))
@@ -847,9 +850,9 @@ func (s *Sym) CheckLTL(phi *ltl.Formula) (res *Result, err error) {
 	}
 	fair, err := s.fairStates(reach)
 	if err != nil {
-		return &Result{Status: Unknown, Engine: "bdd", Elapsed: time.Since(start), Note: "timeout"}, nil
+		return &Result{Status: Unknown, Engine: "bdd", Elapsed: time.Since(start), Note: s.opts.stopNote(), Stats: s.stats()}, nil
 	}
-	res = &Result{Engine: "bdd", Elapsed: time.Since(start)}
+	res = &Result{Engine: "bdd", Elapsed: time.Since(start), Stats: s.stats()}
 	if s.m.And(pinit, fair) == bdd.False {
 		res.Status = Holds
 	} else {
@@ -866,10 +869,10 @@ func (s *Sym) CheckInvariant(p *expr.Expr) (res *Result, err error) {
 	defer s.recoverTimeout(&res, &err, start)
 	reach, err := s.Reach()
 	if err != nil {
-		return &Result{Status: Unknown, Engine: "bdd", Elapsed: time.Since(start), Note: "timeout"}, nil
+		return &Result{Status: Unknown, Engine: "bdd", Elapsed: time.Since(start), Note: s.opts.stopNote(), Stats: s.stats()}, nil
 	}
 	bad := s.m.And(reach, s.m.Not(s.compileBool(p)))
-	res = &Result{Engine: "bdd", Elapsed: time.Since(start)}
+	res = &Result{Engine: "bdd", Elapsed: time.Since(start), Stats: s.stats()}
 	if bad == bdd.False {
 		res.Status = Holds
 		res.Depth = len(s.layers)

@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,6 +10,8 @@ import (
 	"verdict/internal/bdd"
 	"verdict/internal/expr"
 	"verdict/internal/ltl"
+	"verdict/internal/pool"
+	"verdict/internal/trace"
 	"verdict/internal/ts"
 )
 
@@ -35,6 +38,11 @@ type SynthResult struct {
 	Safe []ParamAssignment
 	// Unsafe valuations admit at least one violating execution.
 	Unsafe []ParamAssignment
+	// Witnesses maps an unsafe assignment's String() to a violating
+	// trace, when the deciding engine produced one (enumeration
+	// synthesis only; the BDD-projection path decides whole parameter
+	// sets at once and records no per-valuation traces).
+	Witnesses map[string]*trace.Trace
 	// Engine and Elapsed describe how the split was computed.
 	Engine  string
 	Elapsed time.Duration
@@ -198,6 +206,15 @@ func (s *Sym) enumParams(f bdd.Node) []ParamAssignment {
 // SynthesizeParamsEnum is the enumeration fallback (and ablation
 // baseline): it checks the property separately for every parameter
 // valuation using k-induction/BMC, rather than projecting BDD sets.
+//
+// The finite valuation space is embarrassingly parallel, so the
+// valuations fan out over Options.Workers goroutines (0 = NumCPU, 1 =
+// serial), each checking its own pinned clone of the system with its
+// own solvers. Results land in per-valuation slots and are merged in
+// enumeration order, then sorted by assignment string, so Safe,
+// Unsafe, and Witnesses are byte-identical regardless of worker count
+// or goroutine scheduling. The first undecided valuation or engine
+// error cancels the remaining workers.
 func SynthesizeParamsEnum(sys *ts.System, phi *ltl.Formula, opts Options) (*SynthResult, error) {
 	start := time.Now()
 	params := sys.Params()
@@ -209,41 +226,65 @@ func SynthesizeParamsEnum(sys *ts.System, phi *ltl.Formula, opts Options) (*Synt
 			return nil, fmt.Errorf("mc: enumeration synthesis requires finite parameters (%s is real)", p.Name)
 		}
 	}
-	res := &SynthResult{Engine: "enum-synth"}
-	var rec func(i int, pin []*expr.Expr, vals ParamAssignment) error
-	rec = func(i int, pin []*expr.Expr, vals ParamAssignment) error {
+
+	// Enumerate the full valuation space up front (cheap: it is the
+	// product of small finite domains) so the checks can be scheduled
+	// in any order while keeping a canonical index per valuation.
+	type job struct {
+		vals ParamAssignment
+		pins []*expr.Expr
+	}
+	var jobs []job
+	var rec func(i int, pins []*expr.Expr, vals ParamAssignment)
+	rec = func(i int, pins []*expr.Expr, vals ParamAssignment) {
 		if i == len(params) {
-			sysPinned := clonePinned(sys, pin)
-			r, err := CheckLTL(sysPinned, phi, opts)
-			if err != nil {
-				return err
-			}
 			cp := ParamAssignment{}
 			for k, v := range vals {
 				cp[k] = v
 			}
-			switch r.Status {
-			case Holds:
-				res.Safe = append(res.Safe, cp)
-			case Violated:
-				res.Unsafe = append(res.Unsafe, cp)
-			default:
-				return fmt.Errorf("mc: enumeration synthesis undecided for %s", cp)
-			}
-			return nil
+			jobs = append(jobs, job{cp, append([]*expr.Expr(nil), pins...)})
+			return
 		}
 		p := params[i]
 		for _, val := range domainValues(p.T) {
 			vals[p.Name] = val
-			err := rec(i+1, append(pin, expr.Eq(p.Ref(), expr.Const(val, p.T))), vals)
-			if err != nil {
-				return err
+			rec(i+1, append(pins, expr.Eq(p.Ref(), expr.Const(val, p.T))), vals)
+		}
+	}
+	rec(0, nil, ParamAssignment{})
+
+	results := make([]*Result, len(jobs))
+	err := pool.Run(opts.ctx(), opts.workers(), len(jobs), func(ctx context.Context, i int) error {
+		inner := opts
+		inner.Context = ctx
+		r, err := CheckLTL(clonePinned(sys, jobs[i].pins), phi, inner)
+		if err != nil {
+			return err
+		}
+		if r.Status == Unknown {
+			if ctx.Err() != nil {
+				return ctx.Err() // cancelled by a sibling's failure
+			}
+			return fmt.Errorf("mc: enumeration synthesis undecided for %s", jobs[i].vals)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SynthResult{Engine: "enum-synth", Witnesses: make(map[string]*trace.Trace)}
+	for i, r := range results {
+		switch r.Status {
+		case Holds:
+			res.Safe = append(res.Safe, jobs[i].vals)
+		case Violated:
+			res.Unsafe = append(res.Unsafe, jobs[i].vals)
+			if r.Trace != nil {
+				res.Witnesses[jobs[i].vals.String()] = r.Trace
 			}
 		}
-		return nil
-	}
-	if err := rec(0, nil, ParamAssignment{}); err != nil {
-		return nil, err
 	}
 	sort.Slice(res.Safe, func(i, j int) bool { return res.Safe[i].String() < res.Safe[j].String() })
 	sort.Slice(res.Unsafe, func(i, j int) bool { return res.Unsafe[i].String() < res.Unsafe[j].String() })

@@ -1,0 +1,97 @@
+// Package pool provides the bounded worker pool shared by verdict's
+// concurrent entry points: enumeration-based parameter synthesis, the
+// engine portfolio's helpers, and the cmd/verdict-bench sweep. It is a
+// deliberately small abstraction — fan a fixed index space out over a
+// capped number of goroutines, stop early on the first error or on
+// context cancellation, and report exactly one error back — so that
+// every concurrent layer cancels and fails the same way.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count request: values <= 0 mean
+// runtime.NumCPU(), and the count is never larger than n (there is no
+// point spawning goroutines with nothing to do). An explicit request
+// above NumCPU is honored — oversubscription is harmless for the
+// solver workloads here and keeps `-workers 4` meaningful on small
+// containers.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run invokes fn(ctx, i) for every i in [0, n) from Workers(workers, n)
+// goroutines and waits for them all. The context passed to fn is a
+// child of ctx that is cancelled as soon as any invocation returns a
+// non-nil error; invocations already running observe the cancellation
+// cooperatively (verdict's engines poll it like a deadline), and
+// indices not yet started are skipped. Run returns the first error
+// observed, or ctx.Err() if the parent context was cancelled.
+//
+// fn must confine its writes to per-index state (e.g. results[i]);
+// Run provides the necessary happens-before edges between fn calls
+// and Run's return, but no other synchronization.
+func Run(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers, n)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	jobs := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // drain remaining indices after cancellation
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,79 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.NumCPU() {
+		t.Errorf("Workers(0, 100) = %d, want NumCPU (%d)", got, runtime.NumCPU())
+	}
+	if got := Workers(4, 2); got != 2 {
+		t.Errorf("Workers(4, 2) = %d, want capped at 2 jobs", got)
+	}
+	// Explicit counts above NumCPU are honored, not capped: that is
+	// what exercises the race detector on single-CPU hosts.
+	if got := Workers(64, 100); got != 64 {
+		t.Errorf("Workers(64, 100) = %d, want 64", got)
+	}
+}
+
+func TestRunAllJobs(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var done [37]atomic.Bool
+		err := Run(context.Background(), workers, len(done), func(ctx context.Context, i int) error {
+			if done[i].Swap(true) {
+				return fmt.Errorf("job %d ran twice", i)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range done {
+			if !done[i].Load() {
+				t.Errorf("workers=%d: job %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var cancelled atomic.Int32
+	err := Run(context.Background(), 2, 50, func(ctx context.Context, i int) error {
+		if i == 3 {
+			return boom
+		}
+		if ctx.Err() != nil {
+			cancelled.Add(1)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestRunParentCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := Run(ctx, 4, 10, func(ctx context.Context, i int) error {
+		if ctx.Err() == nil {
+			ran.Add(1)
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d jobs observed a live context under a dead parent", ran.Load())
+	}
+}

@@ -1,0 +1,137 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Differential fuzzing of the CDCL solver against a brute-force
+// enumerator on small CNFs (≤ 12 variables, so the enumerator can
+// decide by trying all ≤ 4096 assignments). Two entry points share
+// the oracle: FuzzSolver explores byte-encoded CNFs under `go test
+// -fuzz`, and TestSolverVsBruteForce replays a seeded random corpus on
+// every plain `go test` run.
+
+const fuzzMaxVars = 12
+
+// decodeCNF maps arbitrary bytes onto a CNF: the first byte fixes the
+// variable count, zero bytes end clauses, and every other byte is one
+// literal. Any input decodes to something, so the fuzzer wastes no
+// executions on parse failures.
+func decodeCNF(data []byte) (nVars int, clauses [][]Lit) {
+	if len(data) == 0 {
+		return 1, nil
+	}
+	nVars = 1 + int(data[0])%fuzzMaxVars
+	var cur []Lit
+	for _, b := range data[1:] {
+		if b == 0 {
+			if len(cur) > 0 {
+				clauses = append(clauses, cur)
+				cur = nil
+			}
+			continue
+		}
+		if len(cur) < 8 {
+			cur = append(cur, MkLit(int(b>>1)%nVars, b&1 == 1))
+		}
+		if len(clauses) == 64 {
+			return nVars, clauses
+		}
+	}
+	if len(cur) > 0 {
+		clauses = append(clauses, cur)
+	}
+	return nVars, clauses
+}
+
+// checkCNF runs the solver on the CNF and cross-checks status and
+// model against the enumerator.
+func checkCNF(t *testing.T, nVars int, clauses [][]Lit) {
+	t.Helper()
+	s := New()
+	for i := 0; i < nVars; i++ {
+		s.NewVar()
+	}
+	addOK := true
+	for _, c := range clauses {
+		if !s.AddClause(c...) {
+			addOK = false
+			break
+		}
+	}
+	wantSat := bruteForce(nVars, clauses) // enumeration oracle from sat_test.go
+	if !addOK {
+		// AddClause detected top-level unsatisfiability early; the
+		// enumerator must agree.
+		if wantSat {
+			t.Fatalf("AddClause says unsat, brute force says sat\nnVars=%d clauses=%v", nVars, clauses)
+		}
+		return
+	}
+	st := s.Solve()
+	if st == Unknown {
+		t.Fatalf("solver returned unknown without a budget\nnVars=%d clauses=%v", nVars, clauses)
+	}
+	if (st == Sat) != wantSat {
+		t.Fatalf("solver says %v, brute force says sat=%v\nnVars=%d clauses=%v", st, wantSat, nVars, clauses)
+	}
+	if st != Sat {
+		return
+	}
+	// The solver's model must actually satisfy every input clause.
+	for _, c := range clauses {
+		ok := false
+		for _, l := range c {
+			switch s.ValueLit(l) {
+			case TrueV:
+				ok = true
+			case Undef:
+				t.Fatalf("sat model leaves %v unassigned\nnVars=%d clauses=%v", l, nVars, clauses)
+			}
+			if ok {
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("model falsifies clause %v\nnVars=%d clauses=%v", c, nVars, clauses)
+		}
+	}
+}
+
+func FuzzSolver(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 2, 3, 0, 5, 0})            // (x1 ∨ ¬x1)(¬x2)
+	f.Add([]byte{1, 2, 0, 3, 0})               // x1 ∧ ¬x1: unsat
+	f.Add([]byte{11, 4, 7, 0, 9, 12, 0, 2, 0}) // mixed 3-clause instance
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nVars, clauses := decodeCNF(data)
+		checkCNF(t, nVars, clauses)
+	})
+}
+
+// TestSolverVsBruteForce replays a fixed random corpus so the
+// differential oracle runs on every `go test`, not only under -fuzz.
+func TestSolverVsBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 300
+	if testing.Short() {
+		n = 100
+	}
+	for i := 0; i < n; i++ {
+		nVars := 1 + r.Intn(fuzzMaxVars)
+		nClauses := r.Intn(4 * nVars)
+		clauses := make([][]Lit, 0, nClauses)
+		for j := 0; j < nClauses; j++ {
+			width := 1 + r.Intn(4)
+			c := make([]Lit, 0, width)
+			for k := 0; k < width; k++ {
+				// Duplicate and complementary literals are left in on
+				// purpose: AddClause must handle both.
+				c = append(c, MkLit(r.Intn(nVars), r.Intn(2) == 1))
+			}
+			clauses = append(clauses, c)
+		}
+		checkCNF(t, nVars, clauses)
+	}
+}

@@ -128,7 +128,8 @@ type Solver struct {
 	ok       bool  // false once a top-level conflict proves UNSAT
 	conflict []Lit // final conflict clause over assumptions (negated)
 
-	// Statistics, exported for the benchmark harness.
+	// Statistics, exported for the benchmark harness; Stats() returns
+	// them as one snapshot.
 	Conflicts    int64
 	Decisions    int64
 	Propagations int64
@@ -744,6 +745,32 @@ func (s *Solver) Core() []Lit {
 
 // Okay reports whether the solver is still consistent at level 0.
 func (s *Solver) Okay() bool { return s.ok }
+
+// Stats is a snapshot of the solver's search counters.
+type Stats struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Learnts      int64
+	Restarts     int64
+	Vars         int
+	Clauses      int
+}
+
+// Stats snapshots the search counters. The caller owns the copy; the
+// solver keeps counting. Snapshots must be taken from the goroutine
+// driving Solve — the counters are not synchronized.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		Conflicts:    s.Conflicts,
+		Decisions:    s.Decisions,
+		Propagations: s.Propagations,
+		Learnts:      s.Learnts,
+		Restarts:     int64(s.restartCnt),
+		Vars:         s.NumVars(),
+		Clauses:      s.NumClauses(),
+	}
+}
 
 // NumClauses returns the number of live problem clauses (excluding
 // learnt ones).

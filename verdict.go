@@ -193,12 +193,14 @@ func EG(f *CTL) *CTL { return ctl.EG(f) }
 
 // --- checking ---
 
-// Options tunes the engines; Result reports outcomes; Trace is a
+// Options tunes the engines; Result reports outcomes; Stats carries
+// the deciding engine's observability counters; Trace is a
 // counterexample execution.
 type (
 	Options = mc.Options
 	Result  = mc.Result
 	Status  = mc.Status
+	Stats   = mc.Stats
 	Trace   = trace.Trace
 )
 
@@ -215,6 +217,15 @@ const (
 // refute but not prove).
 func Check(sys *System, phi *LTL, opts Options) (*Result, error) {
 	return mc.CheckLTL(sys, phi, opts)
+}
+
+// CheckPortfolio races every applicable engine — BMC, k-induction,
+// and the BDD engine — on the same instance as cancellable goroutines
+// and returns the first conclusive result, cancelling the rest. Use
+// it when no single engine is known to be fast for the workload; set
+// opts.Context to cancel the whole race externally.
+func CheckPortfolio(sys *System, phi *LTL, opts Options) (*Result, error) {
+	return mc.Portfolio(sys, phi, opts)
 }
 
 // FindCounterexample runs bounded model checking only: it searches for
@@ -267,6 +278,15 @@ type (
 // exactly, using BDD projection.
 func SynthesizeParams(sys *System, phi *LTL, opts Options) (*SynthResult, error) {
 	return mc.SynthesizeParams(sys, phi, opts)
+}
+
+// SynthesizeParamsEnum computes the same safe/unsafe split by
+// checking every parameter valuation separately, fanning the
+// valuations out over opts.Workers goroutines (0 = NumCPU). Slower
+// than BDD projection on large spaces but embarrassingly parallel,
+// and it records a violating witness trace per unsafe valuation.
+func SynthesizeParamsEnum(sys *System, phi *LTL, opts Options) (*SynthResult, error) {
+	return mc.SynthesizeParamsEnum(sys, phi, opts)
 }
 
 // BlastRadius reports how far a metric can degrade across states
