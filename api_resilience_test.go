@@ -1,0 +1,90 @@
+package verdict_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"verdict"
+)
+
+func TestLoadModel(t *testing.T) {
+	prog, err := verdict.LoadModel("examples/models/replica-guard.vsmv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Sys.Name != "replica_guard" {
+		t.Errorf("module %q", prog.Sys.Name)
+	}
+
+	if _, err := verdict.LoadModel(filepath.Join(t.TempDir(), "missing.vsmv")); err == nil {
+		t.Error("missing file accepted")
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.vsmv")
+	if err := os.WriteFile(bad, []byte("MODULE m\nVAR\n  x : 0..3;\n  x : boolean;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = verdict.LoadModel(bad)
+	if err == nil || !strings.Contains(err.Error(), "duplicate variable") {
+		t.Errorf("want duplicate-variable diagnostic, got %v", err)
+	}
+}
+
+func TestFacadeCheckWithRetry(t *testing.T) {
+	sys, x := counter()
+	res, err := verdict.CheckWithRetry(sys,
+		verdict.G(verdict.Atom(verdict.Le(x.Ref(), verdict.IntConst(7)))),
+		verdict.Options{Budget: verdict.Budget{SATConflicts: 1, BDDNodes: 64}},
+		verdict.RetryPolicy{Attempts: 4, Factor: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != verdict.Holds {
+		t.Fatalf("retry ladder never reached a conclusive budget: %v", res)
+	}
+}
+
+func TestFacadeBudgetDegradesToUnknown(t *testing.T) {
+	sys, x := counter()
+	res, err := verdict.Check(sys,
+		verdict.G(verdict.Atom(verdict.Le(x.Ref(), verdict.IntConst(7)))),
+		verdict.Options{Budget: verdict.Budget{Time: time.Nanosecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != verdict.Unknown {
+		t.Fatalf("1ns budget produced %v", res)
+	}
+}
+
+func TestFacadeCompileErrorIsError(t *testing.T) {
+	// var*var multiplication is unsupported by the finite pipeline; the
+	// facade must hand back an error, never a panic, and never an
+	// *EngineError (this is rejected input, not an engine defect).
+	sys := verdict.NewSystem("nl")
+	x := sys.Int("x", 0, 3)
+	y := sys.Int("y", 1, 2)
+	sys.Init(x, verdict.IntConst(1))
+	sys.Init(y, verdict.IntConst(2))
+	sys.Assign(x, verdict.Ite(
+		verdict.Lt(verdict.Mul(x.Ref(), y.Ref()), verdict.IntConst(4)),
+		verdict.Mul(x.Ref(), y.Ref()), verdict.IntConst(3)))
+	sys.Assign(y, y.Ref())
+	_, err := verdict.FindCounterexample(sys,
+		verdict.G(verdict.Atom(verdict.Le(x.Ref(), verdict.IntConst(3)))),
+		verdict.Options{MaxDepth: 3})
+	if err == nil {
+		t.Fatal("nonlinear model accepted")
+	}
+	var ee *verdict.EngineError
+	if errors.As(err, &ee) {
+		t.Fatalf("compile error misclassified as engine panic: %v", err)
+	}
+	if !strings.Contains(err.Error(), "multiplication") {
+		t.Errorf("error %q does not name the unsupported construct", err)
+	}
+}

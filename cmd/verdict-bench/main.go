@@ -28,6 +28,7 @@ import (
 	"verdict"
 	"verdict/internal/incidents"
 	"verdict/internal/pool"
+	"verdict/internal/resilience"
 )
 
 func main() {
@@ -40,6 +41,8 @@ func main() {
 		engine  = flag.String("verify-engine", "kind", "fig6 verification engine: kind (k-induction; fast, the property is 2-inductive) or bdd (exhaustive reachability, reproducing the paper's NuXMV behavior)")
 		workers = flag.Int("workers", 1, "worker goroutines for the fig6 sweep cells (0 = NumCPU, 1 = serial)")
 		stats   = flag.Bool("stats", false, "print per-engine statistics for each fig6 cell")
+		ckpt    = flag.String("checkpoint", "", "fig6: persist each completed sweep cell to this JSON file, so a killed run can be resumed")
+		resume  = flag.Bool("resume", false, "fig6: skip cells already recorded in the -checkpoint file, replaying their stored rows")
 	)
 	flag.Parse()
 
@@ -55,7 +58,7 @@ func main() {
 		"fig5":   fig5,
 		"synth":  synth,
 		"lbecmp": lbecmp,
-		"fig6":   func() { fig6(ctx, *timeout, *maxK, *engine, *workers, *stats) },
+		"fig6":   func() { fig6(ctx, *timeout, *maxK, *engine, *workers, *stats, *ckpt, *resume) },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"table1", "fig2", "fig5", "synth", "lbecmp", "fig6"} {
@@ -183,7 +186,13 @@ func lbecmp() {
 // the cells fan out over a worker pool (-workers). Results land in
 // per-cell slots and the table prints in a fixed order once the sweep
 // finishes, so the output is identical for any worker count.
-func fig6(ctx context.Context, budget time.Duration, maxFatTree int, engine string, workers int, stats bool) {
+//
+// With -checkpoint set, each finished cell is persisted (key =
+// "<topology>/<slot>") through an atomic temp-file rename; a run
+// killed mid-sweep restarts with -resume, which replays the recorded
+// rows verbatim and computes only the missing cells — the merged table
+// is identical to an uninterrupted run's.
+func fig6(ctx context.Context, budget time.Duration, maxFatTree int, engine string, workers int, stats bool, ckptPath string, resume bool) {
 	type tc struct {
 		name  string
 		topo  *verdict.Topology
@@ -201,13 +210,40 @@ func fig6(ctx context.Context, budget time.Duration, maxFatTree int, engine stri
 	// footnote 6).
 	const perCase = 4 // violation + k=0,1,2
 	type cellOut struct {
-		text  string
-		stats *verdict.Stats
+		Text  string `json:"text"`
+		Stats string `json:"stats,omitempty"`
+	}
+	var ckpt *resilience.Checkpoint
+	if ckptPath != "" {
+		var err error
+		ckpt, err = resilience.OpenCheckpoint(ckptPath, resume)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ckpt.Flush()
+		if resume && ckpt.Len() > 0 {
+			fmt.Printf("resuming: %d of %d cells already in %s\n", ckpt.Len(), len(cases)*perCase, ckptPath)
+		}
 	}
 	cells := make([]cellOut, len(cases)*perCase)
 	err := pool.Run(ctx, workers, len(cells), func(ctx context.Context, i int) error {
 		c := cases[i/perCase]
 		slot := i % perCase
+		key := fmt.Sprintf("%s/%d", c.name, slot)
+		if ckpt != nil && resume {
+			var cell cellOut
+			if ckpt.Lookup(key, &cell) {
+				cells[i] = cell
+				return nil
+			}
+		}
+		done := func(cell cellOut) error {
+			cells[i] = cell
+			if ckpt != nil {
+				return ckpt.Mark(key, cell)
+			}
+			return nil
+		}
 		opts := verdict.Options{Timeout: budget, Context: ctx}
 		if slot == 0 {
 			m, err := verdict.BuildRollout(verdict.RolloutConfig{Topo: c.topo, P: 1, K: c.kViol, M: 1})
@@ -220,8 +256,7 @@ func fig6(ctx context.Context, budget time.Duration, maxFatTree int, engine stri
 			if err != nil {
 				return err
 			}
-			cells[i] = cellOut{fmt.Sprintf("%v k=%d %s", time.Since(start).Round(time.Millisecond), c.kViol, res.Status), res.Stats}
-			return nil
+			return done(cellOut{fmt.Sprintf("%v k=%d %s", time.Since(start).Round(time.Millisecond), c.kViol, res.Status), res.Stats.String()})
 		}
 		k := slot - 1
 		m, err := verdict.BuildRollout(verdict.RolloutConfig{Topo: c.topo, P: 1, K: k, M: 1})
@@ -241,14 +276,15 @@ func fig6(ctx context.Context, budget time.Duration, maxFatTree int, engine stri
 		}
 		el := time.Since(start).Round(time.Millisecond)
 		if r.Status == verdict.Unknown {
-			cells[i] = cellOut{fmt.Sprintf("k=%d timeout(>%v)", k, budget), r.Stats}
-		} else {
-			cells[i] = cellOut{fmt.Sprintf("k=%d %v %s", k, el, r.Status), r.Stats}
+			return done(cellOut{fmt.Sprintf("k=%d timeout(>%v)", k, budget), r.Stats.String()})
 		}
-		return nil
+		return done(cellOut{fmt.Sprintf("k=%d %v %s", k, el, r.Status), r.Stats.String()})
 	})
 	if err != nil {
 		if ctx.Err() != nil {
+			if ckpt != nil {
+				log.Fatalf("fig6 interrupted — finished cells saved, rerun with -checkpoint %s -resume to continue", ckptPath)
+			}
 			log.Fatal("fig6 interrupted")
 		}
 		log.Fatal(err)
@@ -258,12 +294,12 @@ func fig6(ctx context.Context, budget time.Duration, maxFatTree int, engine stri
 	for ci, c := range cases {
 		var ver []string
 		for k := 0; k <= 2; k++ {
-			ver = append(ver, cells[ci*perCase+1+k].text)
+			ver = append(ver, cells[ci*perCase+1+k].Text)
 		}
-		fmt.Printf("%-10s %8d %8d | %-14s | %s\n", c.name, len(c.topo.Nodes), len(c.topo.Links), cells[ci*perCase].text, strings.Join(ver, ", "))
+		fmt.Printf("%-10s %8d %8d | %-14s | %s\n", c.name, len(c.topo.Nodes), len(c.topo.Links), cells[ci*perCase].Text, strings.Join(ver, ", "))
 		if stats {
 			for slot := 0; slot < perCase; slot++ {
-				if s := cells[ci*perCase+slot].stats; s != nil {
+				if s := cells[ci*perCase+slot].Stats; s != "" {
 					fmt.Printf("    stats[%s/%d]: %s\n", c.name, slot, s)
 				}
 			}

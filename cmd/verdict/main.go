@@ -30,19 +30,27 @@ import (
 
 var (
 	// showStats mirrors -stats; usePortfolio mirrors -portfolio;
-	// useEnumSynth mirrors -synth-engine=enum.
+	// useEnumSynth mirrors -synth-engine=enum; retryPolicy mirrors
+	// -retry-budgets (zero Attempts = single run).
 	showStats    bool
 	usePortfolio bool
 	useEnumSynth bool
+	retryPolicy  verdict.RetryPolicy
 )
 
 // check dispatches to the portfolio racer or the default engine
-// pipeline, honoring -portfolio.
+// pipeline, honoring -portfolio and the -retry-budgets ladder.
 func check(sys *verdict.System, phi *verdict.LTL, opts verdict.Options) (*verdict.Result, error) {
-	if usePortfolio {
+	switch {
+	case usePortfolio && retryPolicy.Attempts > 0:
+		return verdict.CheckPortfolioWithRetry(sys, phi, opts, retryPolicy)
+	case usePortfolio:
 		return verdict.CheckPortfolio(sys, phi, opts)
+	case retryPolicy.Attempts > 0:
+		return verdict.CheckWithRetry(sys, phi, opts, retryPolicy)
+	default:
+		return verdict.Check(sys, phi, opts)
 	}
-	return verdict.Check(sys, phi, opts)
 }
 
 // synthesize dispatches to BDD projection (default) or per-valuation
@@ -69,6 +77,9 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker goroutines for parameter synthesis (0 = NumCPU, 1 = serial)")
 		portfolio = flag.Bool("portfolio", false, "race BMC, k-induction and the BDD engine; first conclusive answer wins")
 		synthEng  = flag.String("synth-engine", "bdd", "parameter-synthesis engine: bdd (set projection) or enum (checks every valuation separately, parallel over -workers)")
+		satBudget = flag.Int64("sat-budget", 0, "CDCL conflict budget per solver; exhaustion degrades the verdict to unknown (0 = unlimited)")
+		bddBudget = flag.Int("bdd-budget", 0, "BDD arena node budget; exhaustion degrades the verdict to unknown (0 = unlimited)")
+		retries   = flag.Int("retry-budgets", 0, "on an unknown verdict, re-run up to N times with the -sat-budget/-bdd-budget/-timeout budgets scaled 4x each retry (0 = single run)")
 	)
 	flag.Parse()
 
@@ -81,7 +92,19 @@ func main() {
 	default:
 		log.Fatalf("unknown -synth-engine %q (want bdd or enum)", *synthEng)
 	}
-	opts := verdict.Options{MaxDepth: *depth, Timeout: *timeout, Workers: *workers}
+	if *retries > 0 {
+		if *satBudget == 0 && *bddBudget == 0 && *timeout == 0 {
+			log.Fatal("-retry-budgets needs a budget to escalate: set -sat-budget, -bdd-budget or -timeout")
+		}
+		retryPolicy = verdict.RetryPolicy{Attempts: *retries, Factor: 4}
+	}
+	opts := verdict.Options{MaxDepth: *depth, Timeout: *timeout, Workers: *workers,
+		Budget: verdict.Budget{SATConflicts: *satBudget, BDDNodes: *bddBudget}}
+	if retryPolicy.Attempts > 0 {
+		// Under a retry ladder the wall clock is a per-attempt budget to
+		// escalate, not a fixed cap, so it moves into the Budget.
+		opts.Budget.Time, opts.Timeout = *timeout, 0
+	}
 	switch {
 	case *modelPath != "":
 		runModel(*modelPath, *synth, *fullTrace, *verify, opts)

@@ -53,11 +53,20 @@ type Manager struct {
 	// panicking with ErrInterrupted. Callers implementing timeouts
 	// must recover it.
 	Interrupt func() bool
-	mkCount   int
+	// NodeBudget, when positive, bounds the arena size (mirroring
+	// sat.Solver.ConflictBudget): allocating a node past the budget
+	// aborts the in-flight operation by panicking with ErrNodeBudget,
+	// which callers recover into an Unknown verdict instead of letting
+	// the arena blow up the process.
+	NodeBudget int
+	mkCount    int
 }
 
 // ErrInterrupted is the panic value thrown when Interrupt fires.
 var ErrInterrupted = fmt.Errorf("bdd: interrupted")
+
+// ErrNodeBudget is the panic value thrown when NodeBudget is exceeded.
+var ErrNodeBudget = fmt.Errorf("bdd: node budget exhausted")
 
 // New returns a manager with n variables.
 func New(n int) *Manager {
@@ -101,6 +110,9 @@ func (m *Manager) mk(level int32, lo, hi Node) Node {
 	key := triple{level, lo, hi}
 	if n, ok := m.unique[key]; ok {
 		return n
+	}
+	if m.NodeBudget > 0 && len(m.nodes) >= m.NodeBudget {
+		panic(ErrNodeBudget)
 	}
 	n := Node(len(m.nodes))
 	m.nodes = append(m.nodes, nodeData{level, lo, hi})

@@ -1,0 +1,38 @@
+package bdd
+
+import "testing"
+
+// Exceeding the node budget must abort with ErrNodeBudget instead of
+// growing the arena without bound.
+func TestNodeBudget(t *testing.T) {
+	m := New(64)
+	m.NodeBudget = 16
+	defer func() {
+		if r := recover(); r != ErrNodeBudget {
+			t.Fatalf("recover() = %v, want ErrNodeBudget", r)
+		}
+		if m.Size() > 16 {
+			t.Errorf("arena grew to %d nodes past the budget of 16", m.Size())
+		}
+	}()
+	// A parity chain blows past any small budget (BDD for XOR of n
+	// variables has 2n+2 nodes, plus intermediate results).
+	acc := m.Var(0)
+	for v := 1; v < 64; v++ {
+		acc = m.Xor(acc, m.Var(v))
+	}
+	t.Fatal("unreachable: parity over 64 vars fits no 16-node budget")
+}
+
+// A budget large enough for the computation must not interfere.
+func TestNodeBudgetNotHit(t *testing.T) {
+	m := New(8)
+	m.NodeBudget = 1 << 20
+	acc := m.Var(0)
+	for v := 1; v < 8; v++ {
+		acc = m.Xor(acc, m.Var(v))
+	}
+	if acc == False || acc == True {
+		t.Fatal("parity collapsed to a terminal")
+	}
+}

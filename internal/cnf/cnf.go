@@ -20,6 +20,22 @@ import (
 	"verdict/internal/sat"
 )
 
+// CompileError reports an input expression the encoder cannot compile
+// to CNF: an unsupported operator, a non-finite type reaching the
+// bit-blaster, or variable*variable multiplication. The encoder panics
+// with it — the recursive compilation has no error plumbing — and the
+// model-checking entry points recover it into an ordinary error, so
+// library callers never observe the panic. Internal-invariant
+// violations still panic with plain strings and are not recovered.
+type CompileError struct{ Msg string }
+
+func (e *CompileError) Error() string { return "cnf: " + e.Msg }
+
+// failf panics with a CompileError for an input-reachable defect.
+func failf(format string, args ...any) {
+	panic(&CompileError{Msg: fmt.Sprintf(format, args...)})
+}
+
 // Frame assigns SAT variables to a set of ts variables at one point in
 // time. Frames are created by Encoder.NewFrame.
 type Frame struct {
@@ -132,7 +148,8 @@ func (e *Encoder) newVarBits(t expr.Type) bv {
 		e.assertLeConst(ls, span)
 		return bv{lits: ls, off: lo}
 	}
-	panic(fmt.Sprintf("cnf: cannot allocate SAT bits for %s-typed variable", t))
+	failf("cannot allocate SAT bits for %s-typed variable", t)
+	panic("unreachable")
 }
 
 func domainBounds(t expr.Type) (int64, int64) {
@@ -142,7 +159,8 @@ func domainBounds(t expr.Type) (int64, int64) {
 	case expr.KindEnum:
 		return 0, int64(len(t.Values) - 1)
 	}
-	panic("cnf: domainBounds on " + t.String())
+	failf("domainBounds on %s", t)
+	panic("unreachable")
 }
 
 // assertLeConst asserts that the unsigned value of ls is <= c.
@@ -174,7 +192,7 @@ func (e *Encoder) Assert(ex *expr.Expr, cur, next *Frame) {
 // Lit compiles a boolean expression to a literal.
 func (e *Encoder) Lit(ex *expr.Expr, cur, next *Frame) sat.Lit {
 	if ex.Type().Kind != expr.KindBool {
-		panic(fmt.Sprintf("cnf: Lit on %s-typed expression", ex.Type()))
+		failf("Lit on %s-typed expression", ex.Type())
 	}
 	key := boolKey{ex, frameID(cur), frameID(next)}
 	if l, ok := e.boolMemo[key]; ok {
@@ -253,7 +271,8 @@ func (e *Encoder) compileBool(ex *expr.Expr, cur, next *Frame) sat.Lit {
 	case expr.OpEq, expr.OpNe, expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe:
 		return e.compileCompare(ex, cur, next)
 	}
-	panic(fmt.Sprintf("cnf: cannot compile boolean op %v (expression %s)", ex.Op, ex))
+	failf("cannot compile boolean op %v (expression %s)", ex.Op, ex)
+	panic("unreachable")
 }
 
 func (e *Encoder) compileCompare(ex *expr.Expr, cur, next *Frame) sat.Lit {
@@ -352,7 +371,8 @@ func (e *Encoder) compileBV(ex *expr.Expr, cur, next *Frame) bv {
 		// A boolean used in an integer context (e.g. via Ite branches).
 		return bv{lits: []sat.Lit{e.Lit(ex, cur, next)}}
 	}
-	panic(fmt.Sprintf("cnf: cannot bit-blast op %v in %s", ex.Op, ex))
+	failf("cannot bit-blast op %v in %s", ex.Op, ex)
+	panic("unreachable")
 }
 
 // negBV negates an offset bitvector: -(off + U) where U has width w is
@@ -406,7 +426,7 @@ func (e *Encoder) bitAt(a bv, i int) sat.Lit {
 // real-valued ones go through the SMT engine instead.
 func (e *Encoder) mkMulBV(a, b bv) bv {
 	if len(a.lits) > 0 && len(b.lits) > 0 {
-		panic("cnf: variable*variable multiplication is not supported in the SAT encoding")
+		failf("variable*variable multiplication is not supported in the SAT encoding")
 	}
 	if len(a.lits) == 0 {
 		a, b = b, a

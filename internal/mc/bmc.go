@@ -19,7 +19,11 @@ import (
 // pure SAT pipeline; systems with real-valued variables automatically
 // go through the lazy SMT(LRA) context. BMC never returns Holds — use
 // KInduction or the BDD engine to prove properties.
-func BMC(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) {
+func BMC(sys *ts.System, phi *ltl.Formula, opts Options) (res *Result, err error) {
+	// The CNF encoder reports unsupported input (e.g. var*var
+	// multiplication in TRANS) by panicking with a typed CompileError;
+	// this API boundary turns it back into an ordinary error.
+	defer recoverCompile(&err)
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -73,7 +77,7 @@ func BMC(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) {
 			}), nil
 		}
 		if st == sat.Unknown {
-			return finish(&Result{Status: Unknown, Engine: engine, Depth: k, Elapsed: time.Since(start), Note: opts.stopNote()}), nil
+			return finish(&Result{Status: Unknown, Engine: engine, Depth: k, Elapsed: time.Since(start), Note: opts.solverNote(u.sats, start)}), nil
 		}
 		// Lasso witnesses, one loop index at a time. Pure co-safety
 		// witnesses (no G/R in the negated NNF) are always caught by a
@@ -95,7 +99,7 @@ func BMC(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) {
 					}), nil
 				}
 				if st == sat.Unknown {
-					return finish(&Result{Status: Unknown, Engine: engine, Depth: k, Elapsed: time.Since(start), Note: opts.stopNote()}), nil
+					return finish(&Result{Status: Unknown, Engine: engine, Depth: k, Elapsed: time.Since(start), Note: opts.solverNote(u.sats, start)}), nil
 				}
 			}
 		}
@@ -108,6 +112,19 @@ func BMC(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) {
 		Elapsed: time.Since(start),
 		Note:    fmt.Sprintf("no counterexample up to depth %d", opts.maxDepth()),
 	}), nil
+}
+
+// recoverCompile converts a cnf.CompileError panic from the encoder
+// into an ordinary error at an engine's API boundary; any other panic
+// is re-raised (internal invariants should crash loudly in tests).
+func recoverCompile(err *error) {
+	if r := recover(); r != nil {
+		if ce, ok := r.(*cnf.CompileError); ok {
+			*err = fmt.Errorf("mc: %w", ce)
+			return
+		}
+		panic(r)
+	}
 }
 
 // coSafety reports whether an NNF formula is a pure finite-witness
@@ -174,6 +191,7 @@ func newUnroller(sys *ts.System, k int, opts Options, start time.Time) (*unrolle
 		u.enc.NoSeqCounter = opts.NoSeqCounter
 	}
 	u.sats.Interrupt = opts.interrupt(start)
+	u.sats.ConflictBudget = opts.Budget.SATConflicts
 
 	u.params = u.enc.NewFrame(u.finiteParams)
 	u.enc.Params = u.params

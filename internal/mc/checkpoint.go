@@ -1,0 +1,151 @@
+package mc
+
+import (
+	"fmt"
+	"math/big"
+	"strconv"
+	"strings"
+
+	"verdict/internal/expr"
+	"verdict/internal/trace"
+)
+
+// synthCell is the checkpoint payload recorded per parameter valuation
+// by SynthesizeParamsEnum: the verdict plus the witness trace for
+// violated cells, so a resumed sweep reproduces the original result
+// byte for byte without re-running the check.
+type synthCell struct {
+	Status string        `json:"status"` // "holds" | "violated"
+	Trace  *tracePayload `json:"trace,omitempty"`
+}
+
+// tracePayload is a trace in checkpoint form. Values are encoded as
+// tagged strings (see encodeValue) because expr.Value is a tagged
+// union that JSON round-trips ambiguously on its own.
+type tracePayload struct {
+	LoopStart int                 `json:"loop"`
+	Params    map[string]string   `json:"params,omitempty"`
+	States    []map[string]string `json:"states,omitempty"`
+}
+
+// encodeValue renders a value as a tagged string: "b:true", "i:3",
+// "e:sym", "r:num/den".
+func encodeValue(v expr.Value) string {
+	switch v.Kind {
+	case expr.KindBool:
+		return "b:" + strconv.FormatBool(v.B)
+	case expr.KindInt:
+		return "i:" + strconv.FormatInt(v.I, 10)
+	case expr.KindEnum:
+		return "e:" + v.Sym
+	case expr.KindReal:
+		return "r:" + v.R.Num().String() + "/" + v.R.Denom().String()
+	}
+	return "?"
+}
+
+func decodeValue(s string) (expr.Value, error) {
+	tag, payload, ok := strings.Cut(s, ":")
+	if !ok {
+		return expr.Value{}, fmt.Errorf("mc: malformed checkpoint value %q", s)
+	}
+	switch tag {
+	case "b":
+		b, err := strconv.ParseBool(payload)
+		if err != nil {
+			return expr.Value{}, fmt.Errorf("mc: malformed checkpoint bool %q", s)
+		}
+		return expr.BoolValue(b), nil
+	case "i":
+		i, err := strconv.ParseInt(payload, 10, 64)
+		if err != nil {
+			return expr.Value{}, fmt.Errorf("mc: malformed checkpoint int %q", s)
+		}
+		return expr.IntValue(i), nil
+	case "e":
+		return expr.EnumValue(payload), nil
+	case "r":
+		r, ok := new(big.Rat).SetString(payload)
+		if !ok {
+			return expr.Value{}, fmt.Errorf("mc: malformed checkpoint rational %q", s)
+		}
+		return expr.RealValue(r), nil
+	}
+	return expr.Value{}, fmt.Errorf("mc: unknown checkpoint value tag %q", s)
+}
+
+func encodeTrace(t *trace.Trace) *tracePayload {
+	if t == nil {
+		return nil
+	}
+	p := &tracePayload{LoopStart: t.LoopStart}
+	if len(t.Params) > 0 {
+		p.Params = make(map[string]string, len(t.Params))
+		for k, v := range t.Params {
+			p.Params[k] = encodeValue(v)
+		}
+	}
+	for _, s := range t.States {
+		enc := make(map[string]string, len(s.Values))
+		for k, v := range s.Values {
+			enc[k] = encodeValue(v)
+		}
+		p.States = append(p.States, enc)
+	}
+	return p
+}
+
+func decodeTrace(p *tracePayload) (*trace.Trace, error) {
+	if p == nil {
+		return nil, nil
+	}
+	t := trace.New()
+	t.LoopStart = p.LoopStart
+	for k, s := range p.Params {
+		v, err := decodeValue(s)
+		if err != nil {
+			return nil, err
+		}
+		t.Params[k] = v
+	}
+	for _, enc := range p.States {
+		st := trace.NewState()
+		for k, s := range enc {
+			v, err := decodeValue(s)
+			if err != nil {
+				return nil, err
+			}
+			st.Values[k] = v
+		}
+		t.States = append(t.States, st)
+	}
+	return t, nil
+}
+
+// cellFromResult converts a conclusive check result into its
+// checkpoint payload.
+func cellFromResult(r *Result) synthCell {
+	c := synthCell{Status: r.Status.String()}
+	if r.Status == Violated {
+		c.Trace = encodeTrace(r.Trace)
+	}
+	return c
+}
+
+// resultFromCell reconstructs a Result from a checkpoint cell.
+func (c synthCell) result() (*Result, error) {
+	var st Status
+	switch c.Status {
+	case "holds":
+		st = Holds
+	case "violated":
+		st = Violated
+	default:
+		return nil, fmt.Errorf("mc: checkpoint cell has unknown status %q", c.Status)
+	}
+	t, err := decodeTrace(c.Trace)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Status: st, Trace: t, Engine: "checkpoint"}, nil
+}

@@ -1,0 +1,48 @@
+package mc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"verdict/internal/cnf"
+	"verdict/internal/expr"
+	"verdict/internal/ltl"
+	"verdict/internal/ts"
+)
+
+// nonlinearSystem steps x by x*y — a var*var product the finite CNF
+// pipeline cannot bit-blast. Loading such a model used to panic deep
+// inside the encoder; it must now surface as a CompileError.
+func nonlinearSystem() (*ts.System, *expr.Expr) {
+	sys := ts.New("nonlinear")
+	x := sys.Int("x", 0, 3)
+	y := sys.Int("y", 1, 2)
+	sys.Init(x, expr.IntConst(1))
+	sys.Init(y, expr.IntConst(2))
+	sys.Assign(x, expr.Ite(expr.Lt(expr.Mul(x.Ref(), y.Ref()), expr.IntConst(4)),
+		expr.Mul(x.Ref(), y.Ref()), expr.IntConst(3)))
+	sys.Assign(y, y.Ref())
+	return sys, expr.Le(x.Ref(), expr.IntConst(3))
+}
+
+func TestBMCCompileErrorNotPanic(t *testing.T) {
+	sys, p := nonlinearSystem()
+	_, err := BMC(sys, ltl.G(ltl.Atom(p)), Options{MaxDepth: 3})
+	var ce *cnf.CompileError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *cnf.CompileError, got %v", err)
+	}
+	if !strings.Contains(ce.Msg, "multiplication") {
+		t.Errorf("message %q does not name the unsupported construct", ce.Msg)
+	}
+}
+
+func TestKInductionCompileErrorNotPanic(t *testing.T) {
+	sys, p := nonlinearSystem()
+	_, err := KInduction(sys, p, Options{MaxDepth: 3})
+	var ce *cnf.CompileError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *cnf.CompileError, got %v", err)
+	}
+}

@@ -1,0 +1,175 @@
+package mc
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"verdict/internal/expr"
+	"verdict/internal/ltl"
+	"verdict/internal/resilience"
+)
+
+func engineErrorsContain(r *Result, sub string) bool {
+	if r.Stats == nil {
+		return false
+	}
+	for _, e := range r.Stats.EngineErrors {
+		if strings.Contains(e, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// A panicking engine must not decide the race or crash it: the
+// survivors conclude and the failure is recorded in the stats.
+func TestPortfolioSurvivesPanickingEngine(t *testing.T) {
+	restore := resilience.InjectFaults(map[string]resilience.Fault{
+		"portfolio/bdd": resilience.FaultPanic,
+	})
+	defer restore()
+	sys, x := counterSystem()
+	r, err := Portfolio(sys, ltl.G(ltl.Atom(expr.Le(x.Ref(), expr.IntConst(7)))), Options{MaxDepth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Holds {
+		t.Fatalf("with bdd panicking: %v, want holds from a survivor", r)
+	}
+	if r.Engine != "portfolio/k-induction" {
+		t.Errorf("winner %q, want portfolio/k-induction (bdd dead, bmc cannot prove)", r.Engine)
+	}
+	if !engineErrorsContain(r, "bdd") {
+		t.Errorf("stats should record the dead engine, got %v", r.Stats)
+	}
+}
+
+// The ISSUE acceptance scenario: on seeded differential-test systems,
+// one engine panics and another stalls, and the portfolio still
+// returns the verdict the explicit-state referee expects.
+func TestPortfolioFaultInjectionDifferential(t *testing.T) {
+	n := int64(10)
+	for seed := int64(1); seed <= n; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			sys, p := randDiffSystem(rng, fmt.Sprintf("fault%d", seed))
+			phi := ltl.G(ltl.Atom(p))
+
+			ex, err := NewExplicit(sys, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := ex.CheckInvariant(p)
+			if err != nil || ref.Status == Unknown {
+				t.Fatalf("referee must be conclusive: %v %v", ref, err)
+			}
+
+			// Kill the engines the surviving one does not need: when the
+			// property is violated, BMC refutes while the BDD engine is
+			// panicked and k-induction stalls; when it holds, k-induction
+			// proves while the BDD engine is panicked and BMC stalls.
+			faults := map[string]resilience.Fault{
+				"portfolio/bdd": resilience.FaultPanic,
+			}
+			if ref.Status == Violated {
+				faults["portfolio/k-induction"] = resilience.FaultStall
+			} else {
+				faults["portfolio/bmc"] = resilience.FaultStall
+			}
+			restore := resilience.InjectFaults(faults)
+			defer restore()
+
+			r, err := Portfolio(sys, phi, Options{MaxDepth: diffMaxDepth})
+			if err != nil {
+				t.Fatalf("portfolio under faults: %v\n%s", err, dumpSystem(sys, p))
+			}
+			if r.Status != ref.Status {
+				t.Fatalf("portfolio under faults: %v, referee says %v\n%s", r, ref.Status, dumpSystem(sys, p))
+			}
+			if r.Status == Violated {
+				replayCex(t, sys, r.Trace, p, r.Engine)
+			}
+			if !engineErrorsContain(r, "bdd") {
+				t.Errorf("stats should record the panicked bdd engine, got %v", r.Stats)
+			}
+		})
+	}
+}
+
+// When every engine hangs, the stall deadline (time limit + grace)
+// bounds the wait and the portfolio degrades to Unknown, naming the
+// hung engines, instead of blocking forever.
+func TestPortfolioAllEnginesStall(t *testing.T) {
+	restore := resilience.InjectFaults(map[string]resilience.Fault{
+		"portfolio/bmc":         resilience.FaultStall,
+		"portfolio/k-induction": resilience.FaultStall,
+		"portfolio/bdd":         resilience.FaultStall,
+	})
+	defer restore()
+	sys, x := counterSystem()
+	startAt := time.Now()
+	r, err := Portfolio(sys, ltl.G(ltl.Atom(expr.Le(x.Ref(), expr.IntConst(7)))),
+		Options{MaxDepth: 20, Timeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(startAt); elapsed > 5*time.Second {
+		t.Fatalf("stalled portfolio took %v, stall deadline did not fire", elapsed)
+	}
+	if r.Status != Unknown || r.Note != "timeout" {
+		t.Fatalf("all-stalled portfolio: %v, want unknown/timeout", r)
+	}
+	if r.Stats == nil || len(r.Stats.EngineErrors) != 3 {
+		t.Fatalf("want 3 stalled engines recorded, got %v", r.Stats)
+	}
+	for _, e := range r.Stats.EngineErrors {
+		if !strings.Contains(e, "stalled") {
+			t.Errorf("engine error %q should say stalled", e)
+		}
+	}
+}
+
+// Cancelling mid-run returns a partial result promptly and leaks no
+// goroutines: every engine goroutine winds down once the context dies
+// (the module has no goleak dependency, so the check is a goroutine
+// counter with a settle loop).
+func TestPortfolioCancelMidRunNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// A system large enough that engines are still busy at cancel time.
+	sys, sum := wideSystem(5)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	r, err := Portfolio(sys, ltl.G(ltl.Atom(sum)), Options{MaxDepth: 200, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil {
+		t.Fatal("cancelled portfolio must still return a (partial) result")
+	}
+	// A conclusive verdict before the cancel is fine; otherwise the
+	// partial result must be a cancelled Unknown.
+	if r.Status == Unknown && r.Note != "cancelled" && !strings.Contains(r.Note, "budget") {
+		t.Errorf("partial result note %q, want cancelled", r.Note)
+	}
+
+	// Engines poll cooperatively, so the goroutines must drain. Allow a
+	// generous settle window before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after settle — portfolio leaked", before, runtime.NumGoroutine())
+}

@@ -19,7 +19,10 @@ import (
 // reachable in exactly k steps; the induction step checks that any
 // simple path of k+1 p-states cannot be extended to a ¬p state. Base
 // violated → Violated with trace; step unsatisfiable → Holds.
-func KInduction(sys *ts.System, p *expr.Expr, opts Options) (*Result, error) {
+func KInduction(sys *ts.System, p *expr.Expr, opts Options) (res *Result, err error) {
+	// See BMC: unsupported input surfaces as a cnf.CompileError panic
+	// and is converted to an error here rather than crashing the caller.
+	defer recoverCompile(&err)
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -58,7 +61,7 @@ func KInduction(sys *ts.System, p *expr.Expr, opts Options) (*Result, error) {
 				Elapsed: time.Since(start),
 			}), nil
 		case sat.Unknown:
-			return finish(&Result{Status: Unknown, Engine: "k-induction", Depth: k, Elapsed: time.Since(start), Note: opts.stopNote()}), nil
+			return finish(&Result{Status: Unknown, Engine: "k-induction", Depth: k, Elapsed: time.Since(start), Note: opts.solverNote(base.sats, start)}), nil
 		}
 
 		// Induction step: p-states 0..k on a simple path, ¬p at k+1.
@@ -90,7 +93,7 @@ func KInduction(sys *ts.System, p *expr.Expr, opts Options) (*Result, error) {
 				Note:    fmt.Sprintf("proved at induction depth %d", k),
 			}), nil
 		case sat.Unknown:
-			return finish(&Result{Status: Unknown, Engine: "k-induction", Depth: k, Elapsed: time.Since(start), Note: opts.stopNote()}), nil
+			return finish(&Result{Status: Unknown, Engine: "k-induction", Depth: k, Elapsed: time.Since(start), Note: opts.solverNote(step.sats, start)}), nil
 		}
 	}
 	return finish(&Result{
@@ -119,6 +122,7 @@ func newStepUnroller(sys *ts.System, k int, opts Options, start time.Time) (*unr
 	u.sats = sat.New()
 	u.enc = cnfEncoder(u.sats, opts)
 	u.sats.Interrupt = opts.interrupt(start)
+	u.sats.ConflictBudget = opts.Budget.SATConflicts
 	u.params = u.enc.NewFrame(u.finiteParams)
 	u.enc.Params = u.params
 	for i := 0; i <= k; i++ {

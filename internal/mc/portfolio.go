@@ -6,8 +6,17 @@ import (
 	"time"
 
 	"verdict/internal/ltl"
+	"verdict/internal/resilience"
 	"verdict/internal/ts"
 )
+
+// stallGrace is how long the portfolio waits, after cancelling the
+// losing engines, for their final outcomes before writing them off as
+// stalled. Engines poll cancellation cooperatively at conflict/node
+// granularity, so a healthy loser reports within microseconds; only a
+// genuinely hung engine (deadlock, runaway non-polling loop, injected
+// stall) runs into this deadline.
+const stallGrace = 250 * time.Millisecond
 
 // Portfolio races the applicable engines on the same (system,
 // property) instance and returns the first conclusive Result,
@@ -36,10 +45,17 @@ import (
 // checking — so this is safe, merely a little CPU spent after the
 // answer is in.
 //
+// The race is fault-isolated: an engine that panics is recovered in
+// its own goroutine into a structured *resilience.EngineError and the
+// race continues with the survivors; an engine that hangs (stops
+// polling) is written off once the wall-clock limit plus a grace
+// period passes. Either way the failure is recorded in the returned
+// Result's Stats.EngineErrors, so degraded races are visible.
+//
 // The winning Result keeps the deciding engine's stats and depth and
 // gets "portfolio/" prefixed to its engine name. If no engine
-// concludes, the deepest Unknown is returned; engine errors are
-// reported only when no engine produced a usable result.
+// concludes, the deepest Unknown is returned; an error comes back only
+// when every engine failed.
 func Portfolio(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
@@ -66,6 +82,10 @@ func Portfolio(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) 
 			if err == ErrTimeout {
 				return &Result{Status: Unknown, Engine: "bdd", Elapsed: time.Since(start), Note: inner.stopNote()}, nil
 			}
+			if err == ErrBudget {
+				return &Result{Status: Unknown, Engine: "bdd", Elapsed: time.Since(start),
+					Note: fmt.Sprintf("bdd node budget exhausted (%d nodes)", inner.Budget.BDDNodes)}, nil
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -83,35 +103,127 @@ func Portfolio(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) 
 	for _, r := range runs {
 		r := r
 		go func() {
-			res, err := r.fn()
-			ch <- outcome{r.name, res, err}
+			o := outcome{name: r.name}
+			defer func() {
+				if p := recover(); p != nil {
+					// A panicking engine must not take the race (or the
+					// caller's goroutine) down: capture it as a
+					// structured failure; the survivors keep racing.
+					o.res, o.err = nil, resilience.NewEngineError(r.name, p)
+				}
+				ch <- o
+			}()
+			resilience.At(ctx, "portfolio/"+r.name)
+			o.res, o.err = r.fn()
 		}()
 	}
 
-	var best *Result
-	var firstErr error
-	for range runs {
-		o := <-ch
-		switch {
-		case o.err != nil:
-			if firstErr == nil {
-				firstErr = fmt.Errorf("mc: portfolio engine %s: %w", o.name, o.err)
+	var (
+		best        *Result
+		failures    []string
+		firstErr    error
+		pending     = len(runs)
+		outstanding = make(map[string]bool, len(runs))
+	)
+	for _, r := range runs {
+		outstanding[r.name] = true
+	}
+	fail := func(name string, err error) {
+		failures = append(failures, name+": "+err.Error())
+		if firstErr == nil {
+			firstErr = fmt.Errorf("mc: portfolio engine %s: %w", name, err)
+		}
+	}
+	take := func(o outcome) {
+		pending--
+		delete(outstanding, o.name)
+		if o.err != nil {
+			fail(o.name, o.err)
+		}
+	}
+	writeOffStalled := func() {
+		for name := range outstanding {
+			failures = append(failures, name+": stalled (no response to cancellation)")
+		}
+		pending = 0
+	}
+	attach := func(r *Result) *Result {
+		if len(failures) > 0 {
+			if r.Stats == nil {
+				r.Stats = &Stats{}
 			}
-		case o.res.Status != Unknown:
+			r.Stats.EngineErrors = append(r.Stats.EngineErrors, failures...)
+		}
+		r.Engine = "portfolio/" + r.Engine
+		r.Elapsed = time.Since(start)
+		return r
+	}
+	// finish cancels the losers, then gives them one grace period to
+	// report so their failures (if any) land in the winner's stats.
+	finish := func(winner *Result) *Result {
+		cancel()
+		grace := time.NewTimer(stallGrace)
+		defer grace.Stop()
+		for pending > 0 {
+			select {
+			case o := <-ch:
+				take(o)
+			case <-grace.C:
+				writeOffStalled()
+			}
+		}
+		return attach(winner)
+	}
+
+	// Collection loop. It never blocks forever on a hung engine: the
+	// wall-clock limit plus grace, or the parent context dying, puts a
+	// deadline on the remaining outcomes.
+	var stallC <-chan time.Time
+	if t := opts.timeLimit(); t > 0 {
+		timer := time.NewTimer(t + stallGrace)
+		defer timer.Stop()
+		stallC = timer.C
+	}
+	parentDone := opts.ctx().Done()
+	for pending > 0 {
+		select {
+		case o := <-ch:
+			if o.err == nil && o.res.Status != Unknown {
+				pending--
+				delete(outstanding, o.name)
+				return finish(o.res), nil
+			}
+			take(o)
+			if o.err == nil {
+				if best == nil || o.res.Depth > best.Depth {
+					best = o.res
+				}
+			}
+		case <-parentDone:
+			// The caller gave up: engines wind down cooperatively, but
+			// only wait one grace period for them (a hung engine never
+			// answers).
+			parentDone = nil
 			cancel()
-			o.res.Engine = "portfolio/" + o.res.Engine
-			o.res.Elapsed = time.Since(start)
-			return o.res, nil
-		default:
-			if best == nil || o.res.Depth > best.Depth {
-				best = o.res
-			}
+			stallC = time.After(stallGrace)
+		case <-stallC:
+			cancel()
+			writeOffStalled()
 		}
 	}
 	if best != nil {
-		best.Engine = "portfolio/" + best.Engine
-		best.Elapsed = time.Since(start)
-		return best, nil
+		return attach(best), nil
+	}
+	if len(outstanding) == len(runs) || firstErr == nil {
+		// No engine produced a usable result (all stalled, or the
+		// parent died before any outcome): degrade to Unknown rather
+		// than failing the caller — the race ran out of road, not the
+		// model.
+		r := &Result{Status: Unknown, Engine: "portfolio", Elapsed: time.Since(start), Note: opts.stopNote()}
+		if len(failures) > 0 {
+			r.Stats = &Stats{EngineErrors: failures}
+		}
+		return r, nil
 	}
 	return nil, firstErr
 }

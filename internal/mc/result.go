@@ -76,6 +76,10 @@ type Stats struct {
 	// DepthTime records the wall time the engine spent at each unroll
 	// (BMC) or induction (k-induction) depth, index = depth.
 	DepthTime []time.Duration
+	// EngineErrors lists portfolio engines that died (panicked or
+	// errored) while the race continued with the survivors; each entry
+	// is "engine: cause". Empty on single-engine checks.
+	EngineErrors []string
 }
 
 // addSolver folds a solver's counters into the stats. Call it exactly
@@ -111,6 +115,9 @@ func (st *Stats) String() string {
 		}
 		parts = append(parts, "per-depth: "+strings.Join(ds, " "))
 	}
+	if len(st.EngineErrors) > 0 {
+		parts = append(parts, "engine failures: "+strings.Join(st.EngineErrors, "; "))
+	}
 	if len(parts) == 0 {
 		return "no counters recorded"
 	}
@@ -123,6 +130,58 @@ func (r *Result) String() string {
 		s += " — " + r.Note
 	}
 	return s
+}
+
+// Budget caps the resources a single check may consume. A zero field
+// means unlimited. On exhaustion an engine returns Unknown with a note
+// naming the spent budget — graceful degradation instead of an
+// unbounded search; WithRetry can then re-run under a larger budget.
+type Budget struct {
+	// Time bounds wall-clock; combined with Options.Timeout the
+	// tighter bound wins.
+	Time time.Duration
+	// SATConflicts bounds total CDCL conflicts per solver
+	// (sat.Solver.ConflictBudget).
+	SATConflicts int64
+	// BDDNodes bounds the BDD arena size (bdd.Manager.NodeBudget).
+	BDDNodes int
+}
+
+// IsZero reports whether no budget dimension is set.
+func (b Budget) IsZero() bool {
+	return b.Time == 0 && b.SATConflicts == 0 && b.BDDNodes == 0
+}
+
+// Scale multiplies every set dimension by f (for retry escalation).
+func (b Budget) Scale(f float64) Budget {
+	out := b
+	if b.Time > 0 {
+		out.Time = time.Duration(float64(b.Time) * f)
+	}
+	if b.SATConflicts > 0 {
+		out.SATConflicts = int64(float64(b.SATConflicts) * f)
+	}
+	if b.BDDNodes > 0 {
+		out.BDDNodes = int(float64(b.BDDNodes) * f)
+	}
+	return out
+}
+
+func (b Budget) String() string {
+	var parts []string
+	if b.Time > 0 {
+		parts = append(parts, fmt.Sprintf("time=%v", b.Time))
+	}
+	if b.SATConflicts > 0 {
+		parts = append(parts, fmt.Sprintf("sat-conflicts=%d", b.SATConflicts))
+	}
+	if b.BDDNodes > 0 {
+		parts = append(parts, fmt.Sprintf("bdd-nodes=%d", b.BDDNodes))
+	}
+	if len(parts) == 0 {
+		return "unlimited"
+	}
+	return strings.Join(parts, " ")
 }
 
 // Options tunes the engines.
@@ -156,6 +215,18 @@ type Options struct {
 	// parallel synthesizer derive per-run child contexts from it to
 	// cancel losing engines and sibling workers.
 	Context context.Context
+	// Budget caps SAT conflicts, BDD arena nodes, and wall-clock per
+	// check; exhaustion degrades to Unknown instead of running
+	// unbounded. See WithRetry for escalating re-runs.
+	Budget Budget
+	// Checkpoint, when non-empty, makes SynthesizeParamsEnum persist
+	// every completed valuation to this JSON file so an interrupted
+	// sweep can resume.
+	Checkpoint string
+	// Resume makes SynthesizeParamsEnum skip valuations already
+	// recorded in the Checkpoint file, reusing their stored verdicts
+	// and witness traces.
+	Resume bool
 }
 
 func (o Options) maxDepth() int {
@@ -187,16 +258,26 @@ func (o Options) ctx() context.Context {
 	return context.Background()
 }
 
+// timeLimit resolves the effective wall-clock bound: the tighter of
+// Timeout and Budget.Time (0 = none).
+func (o Options) timeLimit() time.Duration {
+	t := o.Timeout
+	if o.Budget.Time > 0 && (t == 0 || o.Budget.Time < t) {
+		t = o.Budget.Time
+	}
+	return t
+}
+
 // interrupt returns the cooperative-cancellation poll installed into
 // the SAT solver and BDD manager: it fires on the wall-clock deadline
 // and on Context cancellation. nil when neither bound is set.
 func (o Options) interrupt(start time.Time) func() bool {
-	if o.Timeout <= 0 && o.Context == nil {
+	if o.timeLimit() <= 0 && o.Context == nil {
 		return nil
 	}
 	var dl time.Time
-	if o.Timeout > 0 {
-		dl = start.Add(o.Timeout)
+	if t := o.timeLimit(); t > 0 {
+		dl = start.Add(t)
 	}
 	ctx := o.Context
 	return func() bool {
@@ -218,7 +299,7 @@ func (o Options) interrupt(start time.Time) func() bool {
 // context cancelled. Engines poll it between depths and fixpoint
 // iterations.
 func (o Options) expired(start time.Time) bool {
-	if o.Timeout > 0 && time.Since(start) > o.Timeout {
+	if t := o.timeLimit(); t > 0 && time.Since(start) > t {
 		return true
 	}
 	return o.Context != nil && o.Context.Err() != nil
@@ -231,4 +312,14 @@ func (o Options) stopNote() string {
 		return "cancelled"
 	}
 	return "timeout"
+}
+
+// solverNote labels an Unknown verdict from a SAT-backed engine,
+// distinguishing conflict-budget exhaustion from deadline/cancellation
+// so graceful degradation is visible in the result.
+func (o Options) solverNote(s *sat.Solver, start time.Time) string {
+	if s != nil && s.LastStop() == sat.StopBudget {
+		return fmt.Sprintf("sat conflict budget exhausted (%d conflicts)", o.Budget.SATConflicts)
+	}
+	return o.stopNote()
 }

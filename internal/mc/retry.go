@@ -1,0 +1,79 @@
+package mc
+
+import (
+	"fmt"
+
+	"verdict/internal/ltl"
+	"verdict/internal/resilience"
+	"verdict/internal/ts"
+)
+
+// WithRetry runs check under opts, and while the verdict is Unknown
+// re-runs it with the budget scaled by the policy's escalation factor
+// (resilience.RetryPolicy.Scale) — the standard restart ladder for
+// budgeted solvers: spend a small budget on the easy cases, escalate
+// geometrically only for the hard ones. The last attempt's result is
+// returned, its Note annotated with the attempt count. If no budget
+// dimension is set there is nothing to escalate, so check runs once.
+//
+// A cancelled context is respected: retries stop as soon as
+// opts.Context is done, since a bigger budget cannot help a caller
+// that has given up.
+func WithRetry(opts Options, pol resilience.RetryPolicy, check func(Options) (*Result, error)) (*Result, error) {
+	if opts.Budget.IsZero() {
+		return check(opts)
+	}
+	attempts := pol.Attempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	base := opts.Budget
+	var last *Result
+	for attempt := 0; attempt < attempts; attempt++ {
+		cur := opts
+		cur.Budget = base.Scale(pol.Scale(attempt))
+		r, err := check(cur)
+		if err != nil || r == nil {
+			return r, err
+		}
+		if r.Status != Unknown {
+			if attempt > 0 {
+				r.Note = noteWithAttempt(r.Note, attempt+1, cur.Budget)
+			}
+			return r, nil
+		}
+		last = r
+		if opts.Context != nil && opts.Context.Err() != nil {
+			break
+		}
+	}
+	if last != nil {
+		last.Note = noteWithAttempt(last.Note, attempts, base.Scale(pol.Scale(attempts-1)))
+	}
+	return last, nil
+}
+
+func noteWithAttempt(note string, attempt int, b Budget) string {
+	tag := fmt.Sprintf("retry attempt %d, budget %s", attempt, b)
+	if note == "" {
+		return tag
+	}
+	return note + " (" + tag + ")"
+}
+
+// CheckLTLWithRetry is CheckLTL under a WithRetry escalation ladder:
+// Unknown verdicts caused by budget exhaustion trigger re-runs with
+// geometrically larger budgets, up to pol.Attempts tries.
+func CheckLTLWithRetry(sys *ts.System, phi *ltl.Formula, opts Options, pol resilience.RetryPolicy) (*Result, error) {
+	return WithRetry(opts, pol, func(o Options) (*Result, error) {
+		return CheckLTL(sys, phi, o)
+	})
+}
+
+// CheckPortfolioWithRetry races the portfolio under the same
+// escalation ladder.
+func CheckPortfolioWithRetry(sys *ts.System, phi *ltl.Formula, opts Options, pol resilience.RetryPolicy) (*Result, error) {
+	return WithRetry(opts, pol, func(o Options) (*Result, error) {
+		return Portfolio(sys, phi, o)
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"verdict/internal/ctl"
 	"verdict/internal/expr"
 	"verdict/internal/ltl"
+	"verdict/internal/resilience"
 	"verdict/internal/trace"
 	"verdict/internal/ts"
 )
@@ -18,6 +19,12 @@ import (
 // ErrTimeout is returned when a BDD engine construction or fixpoint
 // exceeds its wall-clock budget.
 var ErrTimeout = errors.New("mc: timeout")
+
+// ErrBudget is returned when a BDD engine construction exceeds its
+// node budget (Options.Budget.BDDNodes) before the transition relation
+// is even built; checks that exhaust the budget later degrade to
+// Unknown instead.
+var ErrBudget = errors.New("mc: bdd node budget exhausted")
 
 // varLayout records where a finite variable's bits live in the BDD
 // order: bit j's current-state copy is at level base+2j, its
@@ -68,18 +75,23 @@ type intVec struct {
 	off  int64
 }
 
-// NewSym compiles a finite system into BDD form. With opts.Timeout
-// set, both construction and later checks abort cleanly when the
-// budget expires (construction returns an error; checks return
-// Unknown).
+// NewSym compiles a finite system into BDD form. With opts.Timeout or
+// a budget set, both construction and later checks abort cleanly when
+// the bound is hit (construction returns ErrTimeout/ErrBudget; checks
+// return Unknown). Any other panic while compiling the model is
+// captured into a structured error — NewSym is an API boundary and
+// must not take the caller's goroutine down on malformed input.
 func NewSym(sys *ts.System, opts Options) (s *Sym, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			if r == bdd.ErrInterrupted {
+			switch r {
+			case bdd.ErrInterrupted:
 				s, err = nil, ErrTimeout
-				return
+			case bdd.ErrNodeBudget:
+				s, err = nil, ErrBudget
+			default:
+				s, err = nil, resilience.NewEngineError("bdd-compile", r)
 			}
-			panic(r)
 		}
 	}()
 	if err := sys.Validate(); err != nil {
@@ -108,6 +120,7 @@ func NewSym(sys *ts.System, opts Options) (s *Sym, err error) {
 	}
 	s.m = bdd.New(total)
 	s.m.Interrupt = opts.interrupt(s.start)
+	s.m.NodeBudget = opts.Budget.BDDNodes
 	for _, v := range sys.AllVars() {
 		if v.Param {
 			// Parameters are frozen: they keep their current-state
@@ -625,16 +638,23 @@ func (s *Sym) fairStates(care bdd.Node) (bdd.Node, error) {
 // stats snapshots the engine's observability counters.
 func (s *Sym) stats() *Stats { return &Stats{BDDNodes: s.m.Size()} }
 
-// recoverTimeout converts a BDD interrupt panic into an Unknown
-// result; install it with defer in every public checking method.
+// recoverTimeout converts a BDD interrupt or node-budget panic into an
+// Unknown result, and any other panic into a structured engine error;
+// install it with defer in every public checking method. The engine
+// degrades gracefully — it never takes the process down mid-check.
 func (s *Sym) recoverTimeout(res **Result, err *error, start time.Time) {
 	if r := recover(); r != nil {
-		if r == bdd.ErrInterrupted {
+		switch r {
+		case bdd.ErrInterrupted:
 			*res = &Result{Status: Unknown, Engine: "bdd", Elapsed: time.Since(start), Note: s.opts.stopNote(), Stats: s.stats()}
 			*err = nil
-			return
+		case bdd.ErrNodeBudget:
+			*res = &Result{Status: Unknown, Engine: "bdd", Elapsed: time.Since(start),
+				Note: fmt.Sprintf("bdd node budget exhausted (%d nodes)", s.opts.Budget.BDDNodes), Stats: s.stats()}
+			*err = nil
+		default:
+			*res, *err = nil, resilience.NewEngineError("bdd", r)
 		}
-		panic(r)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"verdict/internal/expr"
 	"verdict/internal/ltl"
 	"verdict/internal/pool"
+	"verdict/internal/resilience"
 	"verdict/internal/trace"
 	"verdict/internal/ts"
 )
@@ -58,11 +59,14 @@ func SynthesizeParams(sys *ts.System, phi *ltl.Formula, opts Options) (res *Synt
 	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
-			if r == bdd.ErrInterrupted {
+			switch r {
+			case bdd.ErrInterrupted:
 				res, err = nil, fmt.Errorf("mc: synthesis timed out")
-				return
+			case bdd.ErrNodeBudget:
+				res, err = nil, fmt.Errorf("mc: synthesis exhausted bdd node budget (%d nodes)", opts.Budget.BDDNodes)
+			default:
+				res, err = nil, resilience.NewEngineError("bdd-synth", r)
 			}
-			panic(r)
 		}
 	}()
 	if len(sys.Params()) == 0 {
@@ -253,8 +257,36 @@ func SynthesizeParamsEnum(sys *ts.System, phi *ltl.Formula, opts Options) (*Synt
 	}
 	rec(0, nil, ParamAssignment{})
 
+	// With Options.Checkpoint set, every completed valuation is
+	// persisted (key = the assignment's canonical string), and with
+	// Resume the recorded verdicts are replayed instead of re-checked —
+	// so a killed sweep picks up where it stopped and produces the same
+	// merged result.
+	var ckpt *resilience.Checkpoint
+	if opts.Checkpoint != "" {
+		var err error
+		ckpt, err = resilience.OpenCheckpoint(opts.Checkpoint, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer ckpt.Flush()
+	}
+
 	results := make([]*Result, len(jobs))
 	err := pool.Run(opts.ctx(), opts.workers(), len(jobs), func(ctx context.Context, i int) error {
+		key := jobs[i].vals.String()
+		if ckpt != nil && opts.Resume {
+			var cell synthCell
+			if ckpt.Lookup(key, &cell) {
+				r, err := cell.result()
+				if err != nil {
+					return err
+				}
+				results[i] = r
+				return nil
+			}
+		}
+		resilience.At(ctx, fmt.Sprintf("synth/%d", i))
 		inner := opts
 		inner.Context = ctx
 		r, err := CheckLTL(clonePinned(sys, jobs[i].pins), phi, inner)
@@ -268,10 +300,15 @@ func SynthesizeParamsEnum(sys *ts.System, phi *ltl.Formula, opts Options) (*Synt
 			return fmt.Errorf("mc: enumeration synthesis undecided for %s", jobs[i].vals)
 		}
 		results[i] = r
+		if ckpt != nil {
+			if err := ckpt.Mark(key, cellFromResult(r)); err != nil {
+				return err
+			}
+		}
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, err // deferred Flush keeps the cells finished before the failure
 	}
 
 	res := &SynthResult{Engine: "enum-synth", Witnesses: make(map[string]*trace.Trace)}

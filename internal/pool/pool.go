@@ -9,9 +9,28 @@ package pool
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
+
+	"verdict/internal/resilience"
 )
+
+// SkippedError reports that Run stopped early: Cause is the first
+// failure (a worker error, a recovered worker panic, or the parent
+// context's error) and Skipped counts the indices that were never
+// attempted because of it. It unwraps to Cause, so errors.Is/As on
+// Run's result keep seeing the underlying failure.
+type SkippedError struct {
+	Skipped int
+	Cause   error
+}
+
+func (e *SkippedError) Error() string {
+	return fmt.Sprintf("%v (%d of the remaining indices skipped)", e.Cause, e.Skipped)
+}
+
+func (e *SkippedError) Unwrap() error { return e.Cause }
 
 // Workers resolves a worker-count request: values <= 0 mean
 // runtime.NumCPU(), and the count is never larger than n (there is no
@@ -39,7 +58,15 @@ func Workers(requested, n int) int {
 // non-nil error; invocations already running observe the cancellation
 // cooperatively (verdict's engines poll it like a deadline), and
 // indices not yet started are skipped. Run returns the first error
-// observed, or ctx.Err() if the parent context was cancelled.
+// observed, or ctx.Err() if the parent context was cancelled; when the
+// early stop left indices unattempted, the error is a *SkippedError
+// carrying that count (it unwraps to the first failure, so errors.Is
+// still matches the cause).
+//
+// A panicking fn does not take the pool down: the panic is recovered
+// into a structured *resilience.EngineError naming the worker and
+// carrying the stack, and treated like any other first error —
+// remaining indices are cancelled and the error is returned.
 //
 // fn must confine its writes to per-index state (e.g. results[i]);
 // Run provides the necessary happens-before edges between fn calls
@@ -56,6 +83,7 @@ func Run(ctx context.Context, workers, n int, fn func(ctx context.Context, i int
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		skipped  int
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -65,6 +93,13 @@ func Run(ctx context.Context, workers, n int, fn func(ctx context.Context, i int
 		mu.Unlock()
 		cancel()
 	}
+	// call isolates one index: a panic in fn (or injected by a test via
+	// resilience.InjectFaults at site "pool/<i>") becomes an error.
+	call := func(i int) (err error) {
+		defer resilience.RecoverTo(fmt.Sprintf("pool-worker[%d]", i), &err)
+		resilience.At(ctx, fmt.Sprintf("pool/%d", i))
+		return fn(ctx, i)
+	}
 
 	jobs := make(chan int)
 	wg.Add(workers)
@@ -73,9 +108,15 @@ func Run(ctx context.Context, workers, n int, fn func(ctx context.Context, i int
 			defer wg.Done()
 			for i := range jobs {
 				if ctx.Err() != nil {
-					continue // drain remaining indices after cancellation
+					// Drain remaining indices after cancellation, but
+					// account for them: callers distinguish "all done"
+					// from "stopped early" by the SkippedError count.
+					mu.Lock()
+					skipped++
+					mu.Unlock()
+					continue
 				}
-				if err := fn(ctx, i); err != nil {
+				if err := call(i); err != nil {
 					fail(err)
 				}
 			}
@@ -88,10 +129,13 @@ func Run(ctx context.Context, workers, n int, fn func(ctx context.Context, i int
 	wg.Wait()
 
 	mu.Lock()
-	err := firstErr
+	err, nskip := firstErr, skipped
 	mu.Unlock()
-	if err != nil {
-		return err
+	if err == nil {
+		err = ctx.Err()
 	}
-	return ctx.Err()
+	if err != nil && nskip > 0 {
+		return &SkippedError{Skipped: nskip, Cause: err}
+	}
+	return err
 }

@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"verdict/internal/resilience"
 )
 
 func TestWorkers(t *testing.T) {
@@ -57,6 +59,61 @@ func TestRunFirstErrorCancels(t *testing.T) {
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestRunRecoversWorkerPanic(t *testing.T) {
+	err := Run(context.Background(), 2, 20, func(ctx context.Context, i int) error {
+		if i == 5 {
+			panic("worker exploded")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panicking worker should surface an error")
+	}
+	var ee *resilience.EngineError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %T %v, want *resilience.EngineError", err, err)
+	}
+	if ee.Engine != "pool-worker[5]" || ee.Panic != "worker exploded" {
+		t.Errorf("EngineError = %+v, want engine pool-worker[5] / panic %q", ee, "worker exploded")
+	}
+	if ee.Stack == "" {
+		t.Error("EngineError should carry the panic stack")
+	}
+}
+
+func TestRunSkippedErrorCountsUnattempted(t *testing.T) {
+	boom := errors.New("boom")
+	// Serial worker, fail at index 0: every later index is skipped.
+	err := Run(context.Background(), 1, 10, func(ctx context.Context, i int) error {
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, should unwrap to boom", err)
+	}
+	var se *SkippedError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T %v, want *SkippedError", err, err)
+	}
+	if se.Skipped != 9 {
+		t.Errorf("Skipped = %d, want 9", se.Skipped)
+	}
+}
+
+func TestRunInjectedFault(t *testing.T) {
+	restore := resilience.InjectFaults(map[string]resilience.Fault{
+		"pool/3": resilience.FaultPanic,
+	})
+	defer restore()
+	err := Run(context.Background(), 2, 8, func(ctx context.Context, i int) error { return nil })
+	var ee *resilience.EngineError
+	if !errors.As(err, &ee) || ee.Engine != "pool-worker[3]" {
+		t.Fatalf("injected panic at pool/3: err = %v, want EngineError from pool-worker[3]", err)
 	}
 }
 

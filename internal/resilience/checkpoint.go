@@ -1,0 +1,137 @@
+package resilience
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Checkpoint persists completed work cells of a long-running sweep so
+// a crashed or killed run can resume without redoing them. The on-disk
+// form is a single JSON object mapping cell keys to caller-defined
+// payloads; writes go through a temp-file rename, so the file is
+// always a complete, parseable snapshot even if the process dies
+// mid-flush. All methods are safe for concurrent use by pool workers.
+type Checkpoint struct {
+	path string
+
+	mu    sync.Mutex
+	cells map[string]json.RawMessage
+	dirty int
+	// FlushEvery controls how many Marks accumulate before an
+	// automatic flush (default 1: flush on every completed cell, the
+	// safest choice for crash recovery; sweeps with very cheap cells
+	// can raise it). Set before the first Mark.
+	FlushEvery int
+}
+
+// OpenCheckpoint opens or creates the checkpoint file at path. With
+// resume set, an existing file's cells are loaded and reported as
+// already done; without it the checkpoint starts empty and the first
+// flush overwrites whatever was there. A missing file is not an error
+// in either mode.
+func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
+	c := &Checkpoint{path: path, cells: make(map[string]json.RawMessage), FlushEvery: 1}
+	if !resume {
+		return c, nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("resilience: reading checkpoint: %w", err)
+	}
+	if err := json.Unmarshal(data, &c.cells); err != nil {
+		return nil, fmt.Errorf("resilience: checkpoint %s is corrupt: %w", path, err)
+	}
+	return c, nil
+}
+
+// Len reports how many completed cells the checkpoint holds.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cells)
+}
+
+// Lookup decodes the payload of a completed cell into out and reports
+// whether the cell was present. A decode failure is reported as
+// not-present so a resumed run recomputes the cell instead of failing.
+func (c *Checkpoint) Lookup(key string, out any) bool {
+	c.mu.Lock()
+	raw, ok := c.cells[key]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, out) == nil
+}
+
+// Mark records a completed cell and flushes to disk when FlushEvery
+// marks have accumulated.
+func (c *Checkpoint) Mark(key string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("resilience: encoding checkpoint cell %q: %w", key, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cells[key] = raw
+	c.dirty++
+	every := c.FlushEvery
+	if every <= 0 {
+		every = 1
+	}
+	if c.dirty >= every {
+		return c.flushLocked()
+	}
+	return nil
+}
+
+// Flush writes the current snapshot to disk unconditionally; call it
+// once at the end of a sweep so the final cells are never lost.
+func (c *Checkpoint) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked()
+}
+
+func (c *Checkpoint) flushLocked() error {
+	// Stable key order keeps successive snapshots diffable.
+	keys := make([]string, 0, len(c.cells))
+	for k := range c.cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make(map[string]json.RawMessage, len(c.cells))
+	for _, k := range keys {
+		ordered[k] = c.cells[k]
+	}
+	data, err := json.MarshalIndent(ordered, "", " ")
+	if err != nil {
+		return fmt.Errorf("resilience: encoding checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(c.path), ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("resilience: writing checkpoint: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("resilience: writing checkpoint: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resilience: committing checkpoint: %w", err)
+	}
+	c.dirty = 0
+	return nil
+}

@@ -1,0 +1,78 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// Fault is a failure mode the test-only injector can force at an
+// instrumented site.
+type Fault int
+
+const (
+	// FaultNone leaves the site untouched.
+	FaultNone Fault = iota
+	// FaultPanic makes At panic at the site, exercising the panic
+	// isolation of the enclosing worker or engine goroutine.
+	FaultPanic
+	// FaultStall makes At block until the site's context is cancelled,
+	// modelling a hung engine that never reports back.
+	FaultStall
+	// FaultExhaust is returned to the caller, which must react as if
+	// its resource budget just ran out.
+	FaultExhaust
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultPanic:
+		return "panic"
+	case FaultStall:
+		return "stall"
+	case FaultExhaust:
+		return "exhaust"
+	}
+	return "none"
+}
+
+// faultTable is installed atomically so At stays a cheap nil check on
+// production paths and race-clean under `go test -race`.
+var faultTable atomic.Pointer[map[string]Fault]
+
+// InjectFaults installs a site→fault table and returns a restore
+// function; tests defer the restore (or register it with t.Cleanup).
+// Installing replaces any previous table wholesale.
+func InjectFaults(faults map[string]Fault) (restore func()) {
+	cp := make(map[string]Fault, len(faults))
+	for k, v := range faults {
+		cp[k] = v
+	}
+	faultTable.Store(&cp)
+	return func() { faultTable.Store(nil) }
+}
+
+// At is the fault-injection hook compiled into the runtime's
+// instrumented sites (portfolio engines, pool workers, synthesis
+// jobs). With no table installed — always, outside tests — it is a
+// single atomic load. With a table installed it executes the
+// configured fault: FaultPanic panics, FaultStall blocks until ctx is
+// done (then returns FaultStall so the caller can fall into its normal
+// cancellation path), and FaultExhaust is returned for the caller to
+// interpret as budget exhaustion.
+func At(ctx context.Context, site string) Fault {
+	t := faultTable.Load()
+	if t == nil {
+		return FaultNone
+	}
+	f := (*t)[site]
+	switch f {
+	case FaultPanic:
+		panic(fmt.Sprintf("resilience: injected panic at %s", site))
+	case FaultStall:
+		if ctx != nil {
+			<-ctx.Done()
+		}
+	}
+	return f
+}

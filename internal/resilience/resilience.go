@@ -1,0 +1,99 @@
+// Package resilience is the fault-tolerance layer of the verification
+// runtime: structured panic capture at goroutine boundaries, a retry
+// policy that escalates resource budgets on inconclusive verdicts, a
+// JSON checkpoint store for resumable sweeps, and a deterministic
+// fault injector used by the tests to prove all of the above works.
+//
+// The package sits below internal/mc and internal/pool in the import
+// graph (it depends only on the standard library), so every concurrent
+// layer — the engine portfolio, the synthesis worker pool, the
+// verdict-bench sweep — can share one vocabulary for "a worker died",
+// "a budget ran out", and "this cell is already done".
+package resilience
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// EngineError is a panic recovered at an engine or worker boundary,
+// carrying enough structure to report which engine died and why
+// without taking the process down with it.
+type EngineError struct {
+	// Engine names the goroutine that panicked ("bdd", "k-induction",
+	// "pool-worker[3]", ...).
+	Engine string
+	// Panic is the recovered panic value.
+	Panic any
+	// Stack is the panicking goroutine's stack trace, captured at
+	// recovery time.
+	Stack string
+}
+
+func (e *EngineError) Error() string {
+	return fmt.Sprintf("resilience: engine %s panicked: %v", e.Engine, e.Panic)
+}
+
+// NewEngineError wraps a recovered panic value, capturing the current
+// goroutine's stack. Call it directly inside the deferred recover so
+// the stack still shows the panic site.
+func NewEngineError(engine string, panicValue any) *EngineError {
+	return &EngineError{Engine: engine, Panic: panicValue, Stack: string(debug.Stack())}
+}
+
+// RecoverTo is the one-line recovery boundary: deferred in a function
+// with a named error return, it converts a panic into an *EngineError
+// assigned through errp. Sentinel panic values the caller wants to
+// keep propagating can be filtered with passthrough.
+//
+//	func Check(...) (res *Result, err error) {
+//	    defer resilience.RecoverTo("bmc", &err)
+//	    ...
+//	}
+func RecoverTo(engine string, errp *error, passthrough ...any) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	for _, p := range passthrough {
+		if r == p {
+			panic(r)
+		}
+	}
+	*errp = NewEngineError(engine, r)
+}
+
+// RetryPolicy re-runs inconclusive (Unknown) verification attempts
+// under exponentially escalating resource budgets: attempt i runs with
+// the base budget scaled by Scale(i). The zero value never retries.
+type RetryPolicy struct {
+	// Attempts is the number of re-runs after the initial try
+	// (0 = never retry).
+	Attempts int
+	// Factor is the per-retry budget multiplier (values < 2 are
+	// treated as the default 2).
+	Factor float64
+	// MaxScale caps the cumulative multiplier so escalation cannot run
+	// away on a sweep of thousands of cells (0 = uncapped).
+	MaxScale float64
+}
+
+// Scale returns the budget multiplier for attempt i (attempt 0 is the
+// initial run and always scales by 1).
+func (p RetryPolicy) Scale(attempt int) float64 {
+	if attempt <= 0 {
+		return 1
+	}
+	f := p.Factor
+	if f < 2 {
+		f = 2
+	}
+	s := 1.0
+	for i := 0; i < attempt; i++ {
+		s *= f
+		if p.MaxScale > 0 && s >= p.MaxScale {
+			return p.MaxScale
+		}
+	}
+	return s
+}

@@ -1,0 +1,226 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecoverToCapturesPanic(t *testing.T) {
+	f := func() (err error) {
+		defer RecoverTo("test-engine", &err)
+		panic("boom")
+	}
+	err := f()
+	var ee *EngineError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %v, want *EngineError", err)
+	}
+	if ee.Engine != "test-engine" || ee.Panic != "boom" {
+		t.Errorf("EngineError = %+v", ee)
+	}
+	if !strings.Contains(ee.Stack, "resilience") {
+		t.Errorf("stack not captured: %q", ee.Stack[:min(len(ee.Stack), 80)])
+	}
+}
+
+func TestRecoverToPassthrough(t *testing.T) {
+	sentinel := errors.New("keep me")
+	f := func() (err error) {
+		defer RecoverTo("x", &err, sentinel)
+		panic(sentinel)
+	}
+	defer func() {
+		if recover() != sentinel {
+			t.Error("sentinel panic was swallowed")
+		}
+	}()
+	f()
+	t.Fatal("unreachable: panic should have propagated")
+}
+
+func TestRecoverToNoPanic(t *testing.T) {
+	f := func() (err error) {
+		defer RecoverTo("x", &err)
+		return nil
+	}
+	if err := f(); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+}
+
+func TestRetryPolicyScale(t *testing.T) {
+	p := RetryPolicy{Attempts: 4, Factor: 2}
+	for i, want := range []float64{1, 2, 4, 8, 16} {
+		if got := p.Scale(i); got != want {
+			t.Errorf("Scale(%d) = %v, want %v", i, got, want)
+		}
+	}
+	capped := RetryPolicy{Attempts: 10, Factor: 4, MaxScale: 10}
+	if got := capped.Scale(5); got != 10 {
+		t.Errorf("capped Scale(5) = %v, want 10", got)
+	}
+	var zero RetryPolicy
+	if got := zero.Scale(1); got != 2 {
+		t.Errorf("zero-policy Scale(1) = %v, want default factor 2", got)
+	}
+}
+
+func TestInjectPanic(t *testing.T) {
+	restore := InjectFaults(map[string]Fault{"site-a": FaultPanic})
+	defer restore()
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil || !strings.Contains(r.(string), "site-a") {
+				t.Errorf("recover() = %v, want injected panic naming site-a", r)
+			}
+		}()
+		At(context.Background(), "site-a")
+		t.Error("unreachable: At should have panicked")
+	}()
+	// Uninstrumented sites stay untouched while the table is live.
+	if f := At(context.Background(), "site-b"); f != FaultNone {
+		t.Errorf("At(site-b) = %v, want none", f)
+	}
+	restore()
+	if f := At(context.Background(), "site-a"); f != FaultNone {
+		t.Errorf("after restore, At(site-a) = %v, want none", f)
+	}
+}
+
+func TestInjectStallBlocksUntilCancel(t *testing.T) {
+	restore := InjectFaults(map[string]Fault{"slow": FaultStall})
+	defer restore()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Fault, 1)
+	go func() { done <- At(ctx, "slow") }()
+	select {
+	case <-done:
+		t.Fatal("stalled site returned before cancellation")
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case f := <-done:
+		if f != FaultStall {
+			t.Errorf("At = %v, want FaultStall", f)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stalled site never woke up after cancellation")
+	}
+}
+
+func TestInjectExhaust(t *testing.T) {
+	restore := InjectFaults(map[string]Fault{"b": FaultExhaust})
+	defer restore()
+	if f := At(context.Background(), "b"); f != FaultExhaust {
+		t.Errorf("At = %v, want FaultExhaust", f)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	type cell struct {
+		Verdict string `json:"verdict"`
+	}
+	c, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mark("a", cell{"holds"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mark("b", cell{"violated"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A resumed run sees both cells; a fresh run sees none.
+	r, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("resumed Len = %d, want 2", r.Len())
+	}
+	var got cell
+	if !r.Lookup("a", &got) || got.Verdict != "holds" {
+		t.Errorf("Lookup(a) = %+v", got)
+	}
+	if r.Lookup("missing", &got) {
+		t.Error("Lookup(missing) reported present")
+	}
+	fresh, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 0 {
+		t.Errorf("fresh Len = %d, want 0", fresh.Len())
+	}
+}
+
+func TestCheckpointCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path, true); err == nil {
+		t.Fatal("resume from corrupt checkpoint: want error")
+	}
+	// Without resume the corrupt file is ignored and overwritten.
+	c, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mark("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path, true); err != nil {
+		t.Fatalf("checkpoint not repaired by fresh run: %v", err)
+	}
+}
+
+func TestCheckpointConcurrentMarks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "conc.json")
+	c, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FlushEvery = 4
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := c.Mark(string(rune('a'+i%26))+string(rune('0'+i/26)), i); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 32 {
+		t.Errorf("Len = %d, want 32", r.Len())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

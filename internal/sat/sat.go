@@ -143,6 +143,9 @@ type Solver struct {
 	// true aborts Solve with Unknown. Used for wall-clock timeouts.
 	Interrupt func() bool
 
+	// stop records why the last Solve returned Unknown; see StopCause.
+	stop StopCause
+
 	numLearnt  int
 	clauseInc  float64
 	maxLearnt  float64
@@ -533,6 +536,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	}
 	s.cancelUntil(0)
 	s.conflict = nil
+	s.stop = StopNone
 	startConflicts := s.Conflicts
 	restart := int64(0)
 
@@ -544,16 +548,37 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		}
 		if s.ConflictBudget > 0 && s.Conflicts-startConflicts >= s.ConflictBudget {
 			s.cancelUntil(0)
+			s.stop = StopBudget
 			return Unknown
 		}
 		if s.Interrupt != nil && s.Interrupt() {
 			s.cancelUntil(0)
+			s.stop = StopInterrupt
 			return Unknown
 		}
 		restart++
 		s.restartCnt++
 	}
 }
+
+// StopCause explains an Unknown verdict from Solve: the conflict
+// budget ran out, or the Interrupt poll fired (wall-clock deadline or
+// cooperative cancellation). It lets engines label their degraded
+// results honestly instead of guessing "timeout".
+type StopCause int
+
+const (
+	// StopNone: the last Solve was conclusive.
+	StopNone StopCause = iota
+	// StopBudget: ConflictBudget was exhausted.
+	StopBudget
+	// StopInterrupt: the Interrupt poll fired.
+	StopInterrupt
+)
+
+// LastStop reports why the most recent Solve returned Unknown
+// (StopNone when it was conclusive).
+func (s *Solver) LastStop() StopCause { return s.stop }
 
 // search runs CDCL until a result, a restart (after maxConfl
 // conflicts; returns Unknown), or budget exhaustion.

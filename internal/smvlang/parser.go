@@ -163,6 +163,14 @@ func (p *parser) parseDecls(param bool) error {
 			return err
 		}
 		sys := p.prog.Sys
+		// Pre-validate here so the user gets a positioned diagnostic
+		// instead of the raw panic ts would raise for the collision.
+		if _, dup := sys.VarByName(nameTok.text); dup {
+			return p.errf(nameTok, "duplicate variable %q", nameTok.text)
+		}
+		if _, dup := sys.DefineByName(nameTok.text); dup {
+			return p.errf(nameTok, "variable %q collides with a DEFINE", nameTok.text)
+		}
 		switch {
 		case param && t.Kind == expr.KindBool:
 			sys.BoolParam(nameTok.text)
@@ -273,6 +281,12 @@ func (p *parser) parseDefines() error {
 		if err := p.expect(";"); err != nil {
 			return err
 		}
+		if _, dup := p.prog.Sys.VarByName(nameTok.text); dup {
+			return p.errf(nameTok, "DEFINE %q collides with a variable", nameTok.text)
+		}
+		if _, dup := p.prog.Sys.DefineByName(nameTok.text); dup {
+			return p.errf(nameTok, "duplicate DEFINE %q", nameTok.text)
+		}
 		p.prog.Sys.Define(nameTok.text, e)
 	}
 	return nil
@@ -280,6 +294,7 @@ func (p *parser) parseDefines() error {
 
 func (p *parser) parseConstraints(section string) error {
 	for !p.atSection() {
+		startTok := p.cur()
 		n, err := p.parseFormula(modeExpr)
 		if err != nil {
 			return err
@@ -290,6 +305,15 @@ func (p *parser) parseConstraints(section string) error {
 		}
 		if err := p.expect(";"); err != nil {
 			return err
+		}
+		// next() is only meaningful in TRANS, and every constraint must
+		// be boolean; catch both here with a position instead of
+		// letting ts panic without one.
+		if section != "TRANS" && expr.HasNext(e) {
+			return p.errf(startTok, "%s constraint must not mention next()", section)
+		}
+		if e.Type().Kind != expr.KindBool {
+			return p.errf(startTok, "%s constraint has type %s, want bool", section, e.Type())
 		}
 		switch section {
 		case "INIT":

@@ -33,12 +33,15 @@
 package verdict
 
 import (
+	"fmt"
 	"math/big"
+	"os"
 
 	"verdict/internal/ctl"
 	"verdict/internal/expr"
 	"verdict/internal/ltl"
 	"verdict/internal/mc"
+	"verdict/internal/resilience"
 	"verdict/internal/smvlang"
 	"verdict/internal/trace"
 	"verdict/internal/ts"
@@ -211,12 +214,44 @@ const (
 	Violated = mc.Violated
 )
 
+// Budget caps the resources a single check may consume (wall clock,
+// SAT conflicts, BDD arena nodes); exhaustion degrades the verdict to
+// Unknown instead of running unbounded. RetryPolicy escalates budgets
+// geometrically across re-runs of an Unknown check.
+type (
+	Budget      = mc.Budget
+	RetryPolicy = resilience.RetryPolicy
+)
+
+// EngineError is the structured failure produced when an engine
+// panics: the engine's name, the panic value, and the stack. Engines
+// are isolated — a panic surfaces as this error (or as an entry in
+// Stats.EngineErrors for portfolio survivors), never as a crash of the
+// calling goroutine.
+type EngineError = resilience.EngineError
+
+// guard makes fn panic-safe: Check and its siblings are API
+// boundaries, so a defect anywhere in the engine stack surfaces as an
+// *EngineError instead of taking the caller down.
+func guard(name string, fn func() (*Result, error)) (res *Result, err error) {
+	defer resilience.RecoverTo(name, &err)
+	return fn()
+}
+
 // Check decides an LTL property: safety invariants go through
 // k-induction, other finite-system properties through BMC plus the
 // BDD engine, and real-valued models through SMT-based BMC (which can
 // refute but not prove).
 func Check(sys *System, phi *LTL, opts Options) (*Result, error) {
-	return mc.CheckLTL(sys, phi, opts)
+	return guard("check", func() (*Result, error) { return mc.CheckLTL(sys, phi, opts) })
+}
+
+// CheckWithRetry is Check under an escalating budget ladder: while the
+// verdict is Unknown, the check re-runs with opts.Budget scaled by
+// pol's factor, up to pol.Attempts tries — spend a small budget on the
+// easy cases and escalate only for the hard ones.
+func CheckWithRetry(sys *System, phi *LTL, opts Options, pol RetryPolicy) (*Result, error) {
+	return guard("check-retry", func() (*Result, error) { return mc.CheckLTLWithRetry(sys, phi, opts, pol) })
 }
 
 // CheckPortfolio races every applicable engine — BMC, k-induction,
@@ -225,19 +260,25 @@ func Check(sys *System, phi *LTL, opts Options) (*Result, error) {
 // it when no single engine is known to be fast for the workload; set
 // opts.Context to cancel the whole race externally.
 func CheckPortfolio(sys *System, phi *LTL, opts Options) (*Result, error) {
-	return mc.Portfolio(sys, phi, opts)
+	return guard("portfolio", func() (*Result, error) { return mc.Portfolio(sys, phi, opts) })
+}
+
+// CheckPortfolioWithRetry is CheckPortfolio under the same escalating
+// budget ladder as CheckWithRetry.
+func CheckPortfolioWithRetry(sys *System, phi *LTL, opts Options, pol RetryPolicy) (*Result, error) {
+	return guard("portfolio-retry", func() (*Result, error) { return mc.CheckPortfolioWithRetry(sys, phi, opts, pol) })
 }
 
 // FindCounterexample runs bounded model checking only: it searches for
 // finite-prefix or lasso counterexamples up to opts.MaxDepth and never
 // proves a property.
 func FindCounterexample(sys *System, phi *LTL, opts Options) (*Result, error) {
-	return mc.BMC(sys, phi, opts)
+	return guard("bmc", func() (*Result, error) { return mc.BMC(sys, phi, opts) })
 }
 
 // ProveInvariant attempts a k-induction proof of G(p).
 func ProveInvariant(sys *System, p *Expr, opts Options) (*Result, error) {
-	return mc.KInduction(sys, p, opts)
+	return guard("k-induction", func() (*Result, error) { return mc.KInduction(sys, p, opts) })
 }
 
 // CheckInvariantBDD decides G(p) by exhaustive symbolic reachability —
@@ -245,24 +286,32 @@ func ProveInvariant(sys *System, p *Expr, opts Options) (*Result, error) {
 // mirrors the search behavior of classic BDD model checkers (used by
 // the Figure 6 harness to reproduce the paper's runtime shape).
 func CheckInvariantBDD(sys *System, p *Expr, opts Options) (*Result, error) {
-	sym, err := mc.NewSym(sys, opts)
-	if err == mc.ErrTimeout {
-		return &Result{Status: Unknown, Engine: "bdd", Note: "timeout while building the BDD transition relation"}, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	return sym.CheckInvariant(p)
+	return guard("bdd", func() (*Result, error) {
+		sym, err := mc.NewSym(sys, opts)
+		if err == mc.ErrTimeout {
+			return &Result{Status: Unknown, Engine: "bdd", Note: "timeout while building the BDD transition relation"}, nil
+		}
+		if err == mc.ErrBudget {
+			return &Result{Status: Unknown, Engine: "bdd",
+				Note: fmt.Sprintf("bdd node budget exhausted (%d nodes) while building the transition relation", opts.Budget.BDDNodes)}, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		return sym.CheckInvariant(p)
+	})
 }
 
 // CheckCTL decides a CTL property with the BDD engine (finite systems
 // only), honoring fairness constraints.
 func CheckCTL(sys *System, phi *CTL, opts Options) (*Result, error) {
-	sym, err := mc.NewSym(sys, opts)
-	if err != nil {
-		return nil, err
-	}
-	return sym.CheckCTL(phi)
+	return guard("ctl", func() (*Result, error) {
+		sym, err := mc.NewSym(sys, opts)
+		if err != nil {
+			return nil, err
+		}
+		return sym.CheckCTL(phi)
+	})
 }
 
 // --- parameter synthesis ---
@@ -276,7 +325,8 @@ type (
 // SynthesizeParams partitions the finite parameter space into safe
 // valuations (property holds on every execution) and unsafe ones,
 // exactly, using BDD projection.
-func SynthesizeParams(sys *System, phi *LTL, opts Options) (*SynthResult, error) {
+func SynthesizeParams(sys *System, phi *LTL, opts Options) (res *SynthResult, err error) {
+	defer resilience.RecoverTo("synth", &err)
 	return mc.SynthesizeParams(sys, phi, opts)
 }
 
@@ -285,7 +335,8 @@ func SynthesizeParams(sys *System, phi *LTL, opts Options) (*SynthResult, error)
 // valuations out over opts.Workers goroutines (0 = NumCPU). Slower
 // than BDD projection on large spaces but embarrassingly parallel,
 // and it records a violating witness trace per unsafe valuation.
-func SynthesizeParamsEnum(sys *System, phi *LTL, opts Options) (*SynthResult, error) {
+func SynthesizeParamsEnum(sys *System, phi *LTL, opts Options) (res *SynthResult, err error) {
+	defer resilience.RecoverTo("synth-enum", &err)
 	return mc.SynthesizeParamsEnum(sys, phi, opts)
 }
 
@@ -314,6 +365,18 @@ type Model = smvlang.Program
 // ParseModel parses a model written in verdict's SMV-like language
 // (see internal/smvlang for the grammar).
 func ParseModel(src string) (*Model, error) { return smvlang.Parse(src) }
+
+// LoadModel reads and parses a model file. Like ParseModel it is a
+// panic-safe boundary: malformed input of any shape yields a
+// positioned error, never a crash (the parser recovers internally and
+// is fuzzed against arbitrary bytes).
+func LoadModel(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("verdict: %w", err)
+	}
+	return ParseModel(string(data))
+}
 
 // RenderModel serializes a model back into the textual language; the
 // output re-parses to an equivalent model (see internal/smvlang for
