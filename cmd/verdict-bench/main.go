@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"verdict"
+	"verdict/internal/buildinfo"
 	"verdict/internal/incidents"
 	"verdict/internal/pool"
 	"verdict/internal/resilience"
@@ -43,8 +44,13 @@ func main() {
 		stats   = flag.Bool("stats", false, "print per-engine statistics for each fig6 cell")
 		ckpt    = flag.String("checkpoint", "", "fig6: persist each completed sweep cell to this JSON file, so a killed run can be resumed")
 		resume  = flag.Bool("resume", false, "fig6: skip cells already recorded in the -checkpoint file, replaying their stored rows")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("verdict-bench"))
+		return
+	}
 
 	// Ctrl-C cancels the sweep: in-flight cells stop at their next
 	// cooperative poll, queued cells never start, and "all" stops

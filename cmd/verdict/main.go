@@ -17,6 +17,10 @@
 //	verdict -scenario hpa         # Kubernetes issue #90461
 //	verdict -scenario descheduler # §3.3 oscillation
 //	verdict -scenario bigquery    # Google incident #18037
+//
+// Submit a check to a verdictd daemon instead of running it locally:
+//
+//	verdict remote check -server http://host:8080 -model cluster.vsmv
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"os"
 
 	"verdict"
+	"verdict/internal/buildinfo"
 )
 
 var (
@@ -65,6 +70,13 @@ func synthesize(sys *verdict.System, phi *verdict.LTL, opts verdict.Options) (*v
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("verdict: ")
+	// Subcommands sit in front of the flag set: `verdict remote ...`
+	// has its own flags (notably -server), so it must dispatch before
+	// flag.Parse sees the arguments.
+	if len(os.Args) > 1 && os.Args[1] == "remote" {
+		runRemote(os.Args[2:])
+		return
+	}
 	var (
 		modelPath = flag.String("model", "", "path to a .vsmv model file")
 		scenario  = flag.String("scenario", "", "built-in scenario: rollout, lbecmp, taint, hpa, descheduler, bigquery")
@@ -80,8 +92,13 @@ func main() {
 		satBudget = flag.Int64("sat-budget", 0, "CDCL conflict budget per solver; exhaustion degrades the verdict to unknown (0 = unlimited)")
 		bddBudget = flag.Int("bdd-budget", 0, "BDD arena node budget; exhaustion degrades the verdict to unknown (0 = unlimited)")
 		retries   = flag.Int("retry-budgets", 0, "on an unknown verdict, re-run up to N times with the -sat-budget/-bdd-budget/-timeout budgets scaled 4x each retry (0 = single run)")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("verdict"))
+		return
+	}
 
 	showStats = *stats
 	usePortfolio = *portfolio

@@ -1,0 +1,100 @@
+// Command verdictd is verdict's verification-as-a-service daemon: a
+// long-running HTTP server that checks models on demand, caches
+// results by content address, sheds load when saturated, and exposes
+// Prometheus metrics.
+//
+// Start it and submit a check:
+//
+//	verdictd -addr :8080 &
+//	curl -s -X POST localhost:8080/v1/checks \
+//	  -d "$(jq -n --rawfile m examples/models/replica-guard.vsmv '{model:$m}')"
+//	curl -s localhost:8080/v1/checks/<id>?wait=1
+//	curl -s localhost:8080/metrics
+//
+// SIGTERM/SIGINT drain gracefully: new submissions get 503, queued
+// and running checks finish (bounded by -drain-timeout), then the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"verdict/internal/buildinfo"
+	"verdict/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("verdictd: ")
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		queueDepth   = flag.Int("queue", 64, "bounded job queue size; a full queue rejects submissions with 429")
+		workers      = flag.Int("workers", 4, "concurrent checks")
+		cacheSize    = flag.Int("cache", 1024, "result-cache capacity (finished checks, LRU)")
+		checkTimeout = flag.Duration("check-timeout", 30*time.Second, "per-check wall-clock ceiling (requests may ask for less, never more)")
+		maxDepth     = flag.Int("max-depth", 100, "largest BMC/induction depth a request may ask for")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long a SIGTERM drain waits for in-flight checks")
+		version      = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("verdictd"))
+		return
+	}
+
+	s := server.New(server.Config{
+		QueueDepth:     *queueDepth,
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *checkTimeout,
+		MaxDepth:       *maxDepth,
+		Log:            log.Default(),
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s listening on %s (queue %d, workers %d, cache %d)",
+		buildinfo.String("verdictd"), ln.Addr(), *queueDepth, *workers, *cacheSize)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case got := <-sig:
+		log.Printf("received %v, draining (timeout %v)", got, *drainTimeout)
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain jobs first, while the HTTP side still serves results, so
+	// a client that submitted before the signal can pick its verdict
+	// up; only then stop the listener.
+	if err := s.Drain(ctx); err != nil {
+		log.Printf("drain: %v", err)
+		s.Close()
+		httpSrv.Close()
+		os.Exit(1)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	s.Close()
+	log.Print("drained cleanly")
+}

@@ -1,0 +1,51 @@
+// Package buildinfo renders the module version and VCS revision
+// baked into the binary by the Go toolchain — the payload of the
+// -version flag on verdict, verdict-bench, and verdictd.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// String returns a one-line "name version (rev, dirty?, go)" stamp.
+// Every field degrades gracefully: binaries built outside a module or
+// without VCS metadata still report what is known.
+func String(name string) string {
+	version, revision, modified, goVersion := "(devel)", "", false, ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		goVersion = bi.GoVersion
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				modified = s.Value == "true"
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", name, version)
+	var extras []string
+	if revision != "" {
+		rev := revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if modified {
+			rev += "-dirty"
+		}
+		extras = append(extras, rev)
+	}
+	if goVersion != "" {
+		extras = append(extras, goVersion)
+	}
+	if len(extras) > 0 {
+		fmt.Fprintf(&b, " (%s)", strings.Join(extras, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,19 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringHasNameAndVersion(t *testing.T) {
+	s := String("verdictd")
+	if !strings.HasPrefix(s, "verdictd ") {
+		t.Fatalf("stamp %q does not lead with the binary name", s)
+	}
+	if len(strings.Fields(s)) < 2 {
+		t.Fatalf("stamp %q has no version field", s)
+	}
+	if strings.Contains(s, "\n") {
+		t.Fatalf("stamp %q is not one line", s)
+	}
+}

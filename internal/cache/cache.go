@@ -1,0 +1,103 @@
+// Package cache provides verdictd's content-addressed result cache:
+// SHA-256 keying over canonical inputs and an LRU store with bounded
+// capacity.
+//
+// The cache is value-agnostic (it stores `any`); the server layer
+// decides what a key covers (canonical model text + property +
+// normalized options) and what a value is (a finished check result).
+// The singleflight guarantee — N identical concurrent requests cost
+// one underlying check — also lives in the server: job identity is
+// the content address, so duplicates collapse at admission.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"sync"
+)
+
+// Key derives the content address of a request: the SHA-256 over the
+// canonical parts, joined with NUL separators so no concatenation of
+// distinct parts can collide with another split of the same bytes.
+func Key(parts ...string) string {
+	h := sha256.Sum256([]byte(strings.Join(parts, "\x00")))
+	return hex.EncodeToString(h[:])
+}
+
+// LRU is a mutex-guarded least-recently-used map with a fixed entry
+// capacity. Get refreshes recency; Add evicts the coldest entry once
+// the capacity is exceeded.
+type LRU struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent; values are *lruEntry
+	items    map[string]*list.Element
+
+	evictions int64
+}
+
+type lruEntry struct {
+	key   string
+	value any
+}
+
+// NewLRU returns an LRU holding at most capacity entries (minimum 1).
+func NewLRU(capacity int) *LRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU{capacity: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value and refreshes its recency.
+func (l *LRU) Get(key string) (any, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.items[key]
+	if !ok {
+		return nil, false
+	}
+	l.order.MoveToFront(el)
+	return el.Value.(*lruEntry).value, true
+}
+
+// Add inserts or replaces a value, evicting the least-recently-used
+// entry when over capacity.
+func (l *LRU) Add(key string, value any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.items[key]; ok {
+		el.Value.(*lruEntry).value = value
+		l.order.MoveToFront(el)
+		return
+	}
+	l.items[key] = l.order.PushFront(&lruEntry{key: key, value: value})
+	for l.order.Len() > l.capacity {
+		oldest := l.order.Back()
+		l.order.Remove(oldest)
+		delete(l.items, oldest.Value.(*lruEntry).key)
+		l.evictions++
+	}
+}
+
+// Len returns the number of live entries.
+func (l *LRU) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.order.Len()
+}
+
+// Evictions returns how many entries have been displaced so far.
+func (l *LRU) Evictions() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evictions
+}
+
+// Singleflight note: verdictd's duplicate suppression does not need a
+// blocking Do-style group — jobs are asynchronous and their identity
+// IS the content address, so the server dedupes at admission by
+// looking the key up in its in-flight table before creating a job.
+// This package therefore stays a pure store: Key + LRU.

@@ -1,0 +1,67 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestKeyDeterministicAndSeparated(t *testing.T) {
+	if Key("a", "b") != Key("a", "b") {
+		t.Fatal("Key is not deterministic")
+	}
+	if Key("a", "b") == Key("ab") || Key("a", "b") == Key("a", "b", "") {
+		t.Error("distinct part splits collide")
+	}
+	if len(Key("x")) != 64 {
+		t.Errorf("key %q is not hex sha256", Key("x"))
+	}
+}
+
+func TestLRUBasics(t *testing.T) {
+	l := NewLRU(2)
+	l.Add("a", 1)
+	l.Add("b", 2)
+	if v, ok := l.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	// "a" was refreshed, so adding "c" evicts "b".
+	l.Add("c", 3)
+	if _, ok := l.Get("b"); ok {
+		t.Error("expected b evicted")
+	}
+	if _, ok := l.Get("a"); !ok {
+		t.Error("recently used a was evicted")
+	}
+	if l.Len() != 2 || l.Evictions() != 1 {
+		t.Errorf("len %d evictions %d, want 2 and 1", l.Len(), l.Evictions())
+	}
+	// Replacing a live key must not evict.
+	l.Add("a", 10)
+	if v, _ := l.Get("a"); v.(int) != 10 {
+		t.Errorf("replace lost the new value: %v", v)
+	}
+	if l.Evictions() != 1 {
+		t.Errorf("replace evicted: %d", l.Evictions())
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	l := NewLRU(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (w*500+i)%100)
+				l.Add(k, i)
+				l.Get(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() > 64 {
+		t.Errorf("capacity exceeded: %d", l.Len())
+	}
+}

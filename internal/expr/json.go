@@ -1,0 +1,82 @@
+package expr
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/big"
+)
+
+// Value marshals as a tagged object so every domain survives a
+// round trip exactly: {"kind":"bool","value":true},
+// {"kind":"int","value":3}, {"kind":"enum","value":"ready"},
+// {"kind":"real","value":"3/2"}. Reals carry their exact rational as
+// a string — a float64 would silently lose precision the simplex
+// engine depends on.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.Kind {
+	case KindBool:
+		return json.Marshal(wireValue{Kind: "bool", Value: jsonRaw(v.B)})
+	case KindInt:
+		return json.Marshal(wireValue{Kind: "int", Value: jsonRaw(v.I)})
+	case KindEnum:
+		return json.Marshal(wireValue{Kind: "enum", Value: jsonRaw(v.Sym)})
+	case KindReal:
+		if v.R == nil {
+			return nil, fmt.Errorf("expr: marshal of real value with nil payload")
+		}
+		return json.Marshal(wireValue{Kind: "real", Value: jsonRaw(v.R.RatString())})
+	}
+	return nil, fmt.Errorf("expr: marshal of value with unknown kind %v", v.Kind)
+}
+
+// UnmarshalJSON is the exact inverse of MarshalJSON.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var w wireValue
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	switch w.Kind {
+	case "bool":
+		var b bool
+		if err := json.Unmarshal(w.Value, &b); err != nil {
+			return fmt.Errorf("expr: bool value: %w", err)
+		}
+		*v = BoolValue(b)
+	case "int":
+		var i int64
+		if err := json.Unmarshal(w.Value, &i); err != nil {
+			return fmt.Errorf("expr: int value: %w", err)
+		}
+		*v = IntValue(i)
+	case "enum":
+		var s string
+		if err := json.Unmarshal(w.Value, &s); err != nil {
+			return fmt.Errorf("expr: enum value: %w", err)
+		}
+		*v = EnumValue(s)
+	case "real":
+		var s string
+		if err := json.Unmarshal(w.Value, &s); err != nil {
+			return fmt.Errorf("expr: real value: %w", err)
+		}
+		r, ok := new(big.Rat).SetString(s)
+		if !ok {
+			return fmt.Errorf("expr: real value %q is not a rational", s)
+		}
+		*v = RealValue(r)
+	default:
+		return fmt.Errorf("expr: value has unknown kind %q", w.Kind)
+	}
+	return nil
+}
+
+type wireValue struct {
+	Kind  string          `json:"kind"`
+	Value json.RawMessage `json:"value"`
+}
+
+// jsonRaw marshals a primitive that cannot fail into a RawMessage.
+func jsonRaw(x any) json.RawMessage {
+	b, _ := json.Marshal(x)
+	return b
+}

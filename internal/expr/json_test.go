@@ -1,0 +1,69 @@
+package expr
+
+import (
+	"encoding/json"
+	"math/big"
+	"testing"
+)
+
+func TestValueJSONRoundTrip(t *testing.T) {
+	vals := []Value{
+		BoolValue(true),
+		BoolValue(false),
+		IntValue(0),
+		IntValue(-42),
+		IntValue(1 << 40),
+		EnumValue("ready"),
+		EnumValue(""),
+		RealValue(big.NewRat(3, 2)),
+		RealValue(big.NewRat(-7, 3)),
+		RealInt(5),
+	}
+	for _, v := range vals {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		var back Value
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: unmarshal %s: %v", v, data, err)
+		}
+		if back.Kind != v.Kind || !back.Equal(v) {
+			t.Errorf("round trip changed %s (%v) into %s (%v) via %s", v, v.Kind, back, back.Kind, data)
+		}
+	}
+}
+
+func TestValueJSONStableEncoding(t *testing.T) {
+	// The wire format is part of verdictd's API: pin the exact bytes.
+	cases := map[string]Value{
+		`{"kind":"bool","value":true}`:  BoolValue(true),
+		`{"kind":"int","value":-3}`:     IntValue(-3),
+		`{"kind":"enum","value":"up"}`:  EnumValue("up"),
+		`{"kind":"real","value":"3/2"}`: RealValue(big.NewRat(3, 2)),
+		`{"kind":"real","value":"5"}`:   RealInt(5),
+	}
+	for want, v := range cases {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != want {
+			t.Errorf("marshal %s = %s, want %s", v, data, want)
+		}
+	}
+}
+
+func TestValueJSONRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		`{"kind":"float","value":1.5}`,
+		`{"kind":"real","value":"not-a-rat"}`,
+		`{"kind":"int","value":"3"}`,
+		`[]`,
+	} {
+		var v Value
+		if err := json.Unmarshal([]byte(bad), &v); err == nil {
+			t.Errorf("unmarshal %s succeeded, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package mc
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"verdict/internal/trace"
+)
+
+// This file gives Result, Status, and Stats a stable JSON wire form —
+// the contract verdictd serves and `verdict remote check` consumes.
+// Verdicts travel as strings ("holds"/"violated"/"unknown"), never as
+// the iota ints, so reordering the Status constants can't silently
+// change the wire; durations travel as integer nanoseconds.
+
+// MarshalJSON encodes the verdict as its string form.
+func (s Status) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON decodes "holds", "violated", or "unknown".
+func (s *Status) UnmarshalJSON(data []byte) error {
+	var str string
+	if err := json.Unmarshal(data, &str); err != nil {
+		return fmt.Errorf("mc: status must be a string: %w", err)
+	}
+	switch str {
+	case "holds":
+		*s = Holds
+	case "violated":
+		*s = Violated
+	case "unknown":
+		*s = Unknown
+	default:
+		return fmt.Errorf("mc: unknown status %q", str)
+	}
+	return nil
+}
+
+type wireResult struct {
+	Status    Status       `json:"status"`
+	Engine    string       `json:"engine,omitempty"`
+	Depth     int          `json:"depth"`
+	ElapsedNS int64        `json:"elapsed_ns"`
+	Note      string       `json:"note,omitempty"`
+	Trace     *trace.Trace `json:"trace,omitempty"`
+	Stats     *Stats       `json:"stats,omitempty"`
+}
+
+// MarshalJSON renders the result in its wire shape.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireResult{
+		Status:    r.Status,
+		Engine:    r.Engine,
+		Depth:     r.Depth,
+		ElapsedNS: r.Elapsed.Nanoseconds(),
+		Note:      r.Note,
+		Trace:     r.Trace,
+		Stats:     r.Stats,
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var w wireResult
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*r = Result{
+		Status:  w.Status,
+		Engine:  w.Engine,
+		Depth:   w.Depth,
+		Elapsed: time.Duration(w.ElapsedNS),
+		Note:    w.Note,
+		Trace:   w.Trace,
+		Stats:   w.Stats,
+	}
+	return nil
+}
+
+type wireStats struct {
+	Conflicts    int64    `json:"conflicts,omitempty"`
+	Decisions    int64    `json:"decisions,omitempty"`
+	Propagations int64    `json:"propagations,omitempty"`
+	Learnts      int64    `json:"learnts,omitempty"`
+	Restarts     int64    `json:"restarts,omitempty"`
+	BDDNodes     int      `json:"bdd_nodes,omitempty"`
+	DepthTimeNS  []int64  `json:"depth_time_ns,omitempty"`
+	EngineErrors []string `json:"engine_errors,omitempty"`
+}
+
+// MarshalJSON renders the stats in their wire shape.
+func (st *Stats) MarshalJSON() ([]byte, error) {
+	w := wireStats{
+		Conflicts:    st.Conflicts,
+		Decisions:    st.Decisions,
+		Propagations: st.Propagations,
+		Learnts:      st.Learnts,
+		Restarts:     st.Restarts,
+		BDDNodes:     st.BDDNodes,
+		EngineErrors: st.EngineErrors,
+	}
+	for _, d := range st.DepthTime {
+		w.DepthTimeNS = append(w.DepthTimeNS, d.Nanoseconds())
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (st *Stats) UnmarshalJSON(data []byte) error {
+	var w wireStats
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*st = Stats{
+		Conflicts:    w.Conflicts,
+		Decisions:    w.Decisions,
+		Propagations: w.Propagations,
+		Learnts:      w.Learnts,
+		Restarts:     w.Restarts,
+		BDDNodes:     w.BDDNodes,
+		EngineErrors: w.EngineErrors,
+	}
+	for _, ns := range w.DepthTimeNS {
+		st.DepthTime = append(st.DepthTime, time.Duration(ns))
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+// Package metrics is a dependency-free Prometheus-text-format
+// instrumentation registry for verdictd: counters, gauges, and
+// histograms with optional labels, rendered deterministically (sorted
+// families, sorted series) by an http.Handler.
+//
+// Only the slice of the exposition format the daemon needs is
+// implemented — `# HELP`/`# TYPE` headers, label sets, and the
+// cumulative _bucket/_sum/_count histogram triple — so the package
+// stays a few hundred lines and imports nothing beyond the standard
+// library.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds metric families and renders them. The zero value is
+// not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	labels []string
+
+	mu      sync.Mutex
+	series  map[string]*series
+	buckets []float64 // histogram only
+}
+
+// series is one label-value combination of a family.
+type series struct {
+	labelValues []string
+	value       float64   // counter/gauge payload
+	counts      []float64 // histogram: per-bucket cumulative counts + +Inf at the end
+	sum         float64   // histogram: sum of observations
+	total       float64   // histogram: observation count
+}
+
+func (r *Registry) register(name, help, typ string, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic("metrics: duplicate family " + name)
+	}
+	f := &family{name: name, help: help, typ: typ, labels: labels,
+		series: make(map[string]*series), buckets: buckets}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers a monotonically increasing counter family.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return &Counter{r.register(name, help, "counter", labels, nil)}
+}
+
+// Gauge registers a gauge family (a value that can go up and down).
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return &Gauge{r.register(name, help, "gauge", labels, nil)}
+}
+
+// Histogram registers a histogram family with the given upper bucket
+// bounds (ascending; +Inf is appended implicitly).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if len(buckets) == 0 {
+		panic("metrics: histogram " + name + " needs buckets")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("metrics: histogram " + name + " buckets not ascending")
+		}
+	}
+	return &Histogram{r.register(name, help, "histogram", labels, buckets)}
+}
+
+func (f *family) get(labelValues []string) *series {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", f.name, len(f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelValues: append([]string(nil), labelValues...)}
+		if f.typ == "histogram" {
+			s.counts = make([]float64, len(f.buckets)+1)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ f *family }
+
+// Inc adds 1 to the series selected by the label values.
+func (c *Counter) Inc(labelValues ...string) { c.Add(1, labelValues...) }
+
+// Add adds delta (must be >= 0) to the series.
+func (c *Counter) Add(delta float64, labelValues ...string) {
+	if delta < 0 {
+		panic("metrics: counter decrease")
+	}
+	s := c.f.get(labelValues)
+	c.f.mu.Lock()
+	s.value += delta
+	c.f.mu.Unlock()
+}
+
+// Value reads the current count (0 for a series never touched).
+func (c *Counter) Value(labelValues ...string) float64 { return c.f.read(labelValues) }
+
+// Gauge is a metric that can move both ways.
+type Gauge struct{ f *family }
+
+// Set pins the series to v.
+func (g *Gauge) Set(v float64, labelValues ...string) {
+	s := g.f.get(labelValues)
+	g.f.mu.Lock()
+	s.value = v
+	g.f.mu.Unlock()
+}
+
+// Add moves the series by delta (may be negative).
+func (g *Gauge) Add(delta float64, labelValues ...string) {
+	s := g.f.get(labelValues)
+	g.f.mu.Lock()
+	s.value += delta
+	g.f.mu.Unlock()
+}
+
+// Value reads the current gauge level.
+func (g *Gauge) Value(labelValues ...string) float64 { return g.f.read(labelValues) }
+
+func (f *family) read(labelValues []string) float64 {
+	s := f.get(labelValues)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.typ == "histogram" {
+		return s.total
+	}
+	return s.value
+}
+
+// Histogram accumulates observations into cumulative buckets.
+type Histogram struct{ f *family }
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64, labelValues ...string) {
+	s := h.f.get(labelValues)
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	for i, ub := range h.f.buckets {
+		if v <= ub {
+			s.counts[i]++
+		}
+	}
+	s.counts[len(h.f.buckets)]++ // +Inf
+	s.sum += v
+	s.total++
+}
+
+// Count reads the number of observations in the series.
+func (h *Histogram) Count(labelValues ...string) float64 { return h.f.read(labelValues) }
+
+// ServeHTTP renders the registry in the Prometheus text exposition
+// format, deterministically ordered.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(r.Render()))
+}
+
+// Render returns the full exposition text.
+func (r *Registry) Render() string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.render(&b)
+	}
+	return b.String()
+}
+
+func (f *family) render(b *strings.Builder) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := f.series[k]
+		if f.typ == "histogram" {
+			for i, ub := range f.buckets {
+				fmt.Fprintf(b, "%s_bucket%s %s\n", f.name,
+					f.labelString(s.labelValues, "le", formatFloat(ub)), formatFloat(s.counts[i]))
+			}
+			fmt.Fprintf(b, "%s_bucket%s %s\n", f.name,
+				f.labelString(s.labelValues, "le", "+Inf"), formatFloat(s.counts[len(f.buckets)]))
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, f.labelString(s.labelValues, "", ""), formatFloat(s.sum))
+			fmt.Fprintf(b, "%s_count%s %s\n", f.name, f.labelString(s.labelValues, "", ""), formatFloat(s.total))
+			continue
+		}
+		fmt.Fprintf(b, "%s%s %s\n", f.name, f.labelString(s.labelValues, "", ""), formatFloat(s.value))
+	}
+}
+
+// labelString renders {a="x",b="y"} plus an optional extra pair (the
+// histogram `le` bound); empty when there are no labels at all.
+func (f *family) labelString(values []string, extraName, extraValue string) string {
+	if len(f.labels) == 0 && extraName == "" {
+		return ""
+	}
+	var parts []string
+	for i, name := range f.labels {
+		// %q escapes \, " and newlines exactly as the exposition
+		// format requires.
+		parts = append(parts, fmt.Sprintf("%s=%q", name, values[i]))
+	}
+	if extraName != "" {
+		parts = append(parts, fmt.Sprintf("%s=%q", extraName, extraValue))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// formatFloat renders integral values without an exponent or decimal
+// point (the common case for counters) and everything else with
+// strconv's shortest representation.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("requests_total", "Total requests.", "code")
+	g := reg.Gauge("queue_depth", "Jobs queued.")
+	c.Inc("200")
+	c.Add(2, "200")
+	c.Inc("429")
+	g.Set(5)
+	g.Add(-2)
+
+	out := reg.Render()
+	for _, want := range []string{
+		"# HELP requests_total Total requests.",
+		"# TYPE requests_total counter",
+		`requests_total{code="200"} 3`,
+		`requests_total{code="429"} 1`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if c.Value("200") != 3 || g.Value() != 3 {
+		t.Errorf("readback: counter %v gauge %v, want 3 and 3", c.Value("200"), g.Value())
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("latency_seconds", "Check latency.", []float64{0.1, 1}, "engine")
+	h.Observe(0.05, "bmc")
+	h.Observe(0.5, "bmc")
+	h.Observe(10, "bmc")
+
+	out := reg.Render()
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{engine="bmc",le="0.1"} 1`,
+		`latency_seconds_bucket{engine="bmc",le="1"} 2`,
+		`latency_seconds_bucket{engine="bmc",le="+Inf"} 3`,
+		`latency_seconds_sum{engine="bmc"} 10.55`,
+		`latency_seconds_count{engine="bmc"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count("bmc") != 3 {
+		t.Errorf("Count = %v, want 3", h.Count("bmc"))
+	}
+}
+
+func TestRenderDeterministicOrder(t *testing.T) {
+	reg := NewRegistry()
+	b := reg.Counter("bbb_total", "b", "l")
+	a := reg.Counter("aaa_total", "a")
+	b.Inc("z")
+	b.Inc("a")
+	a.Inc()
+	first := reg.Render()
+	if second := reg.Render(); first != second {
+		t.Fatalf("render not deterministic:\n%s\n---\n%s", first, second)
+	}
+	if strings.Index(first, "aaa_total") > strings.Index(first, "bbb_total") {
+		t.Errorf("families not sorted:\n%s", first)
+	}
+	if strings.Index(first, `{l="a"}`) > strings.Index(first, `{l="z"}`) {
+		t.Errorf("series not sorted:\n%s", first)
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	reg.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Errorf("body:\n%s", rec.Body.String())
+	}
+}
+
+// TestConcurrentUpdates runs under -race in CI: concurrent writers and
+// renderers must not race, and counts must not be lost.
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ops_total", "ops", "worker")
+	h := reg.Histogram("dur_seconds", "dur", []float64{1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := string(rune('a' + w))
+			for i := 0; i < 1000; i++ {
+				c.Inc(label)
+				h.Observe(0.5)
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		reg.Render()
+	}
+	wg.Wait()
+	var total float64
+	for w := 0; w < 8; w++ {
+		total += c.Value(string(rune('a' + w)))
+	}
+	if total != 8000 || h.Count() != 8000 {
+		t.Errorf("lost updates: counter %v histogram %v, want 8000", total, h.Count())
+	}
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"verdict/internal/ltl"
+	"verdict/internal/mc"
+	"verdict/internal/resilience"
+	"verdict/internal/ts"
+)
+
+// The benchmarks behind the EXPERIMENTS.md daemon micro-experiment:
+// the price of a cache hit vs. a full check, and how admission
+// control behaves when submissions outrun the worker pool.
+
+func benchSubmit(b *testing.B, base string, req CheckRequest) (int, CheckResponse) {
+	b.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/v1/checks", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cr CheckResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		b.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, cr
+}
+
+// BenchmarkCacheHit measures the cached-submission path: the first
+// request runs the real portfolio; every iteration after that is
+// answered from the content-addressed cache without touching an
+// engine.
+func BenchmarkCacheHit(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	ht := httptest.NewServer(s.Handler())
+	defer ht.Close()
+	req := CheckRequest{Model: counterModel}
+
+	_, cr := benchSubmit(b, ht.URL, req)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var got CheckResponse
+		resp, err := http.Get(ht.URL + "/v1/checks/" + cr.ID + "?wait=1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		if got.Status == StatusDone {
+			break
+		}
+		if got.Status == StatusFailed || time.Now().After(deadline) {
+			b.Fatalf("warm-up check did not finish: %+v", got)
+		}
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		code, got := benchSubmit(b, ht.URL, req)
+		if code != http.StatusOK || !got.Cached {
+			b.Fatalf("iteration %d: want cached 200, got %d cached=%v", i, code, got.Cached)
+		}
+	}
+}
+
+// BenchmarkCacheMiss measures the full path: every iteration submits
+// a distinct model (the state variable is renamed, so the content
+// address differs while the check cost stays constant), and each one
+// runs the real portfolio end to end.
+func BenchmarkCacheMiss(b *testing.B) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ht := httptest.NewServer(s.Handler())
+	defer ht.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model := fmt.Sprintf(`
+MODULE m
+VAR x%d : 0..3;
+INIT x%d = 0;
+TRANS next(x%d) = ite(x%d < 3, x%d + 1, 0);
+LTLSPEC G (x%d <= 3);
+`, i, i, i, i, i, i)
+		_, cr := benchSubmit(b, ht.URL, CheckRequest{Model: model, Options: OptionsRequest{MaxDepth: 8}})
+		for {
+			var got CheckResponse
+			resp, err := http.Get(ht.URL + "/v1/checks/" + cr.ID + "?wait=1")
+			if err != nil {
+				b.Fatal(err)
+			}
+			json.NewDecoder(resp.Body).Decode(&got)
+			resp.Body.Close()
+			if got.Status == StatusDone {
+				break
+			}
+			if got.Status == StatusFailed {
+				b.Fatalf("check failed: %s", got.Error)
+			}
+		}
+	}
+}
+
+// BenchmarkQueueSaturation hammers a deliberately tiny deployment
+// (one slow worker, queue depth 4) with distinct jobs and reports how
+// many submissions the admission controller sheds with 429 instead of
+// letting them pile up. The interesting outputs are the custom
+// rejected/op and accepted/op metrics, not ns/op.
+func BenchmarkQueueSaturation(b *testing.B) {
+	slow := func(*ts.System, *ltl.Formula, mc.Options, resilience.RetryPolicy) (*mc.Result, error) {
+		time.Sleep(2 * time.Millisecond)
+		return &mc.Result{Status: mc.Holds, Engine: "slow", Depth: 1}, nil
+	}
+	s := New(Config{Workers: 1, QueueDepth: 4, Check: slow})
+	defer s.Close()
+	ht := httptest.NewServer(s.Handler())
+	defer ht.Close()
+
+	var accepted, rejected int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model := fmt.Sprintf(`
+MODULE m
+VAR x : 0..%d;
+INIT x = 0;
+TRANS next(x) = x;
+LTLSPEC G (x <= %d);
+`, 3+i, 3+i)
+		code, _ := benchSubmit(b, ht.URL, CheckRequest{Model: model})
+		switch code {
+		case http.StatusAccepted, http.StatusOK:
+			accepted++
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			b.Fatalf("iteration %d: unexpected status %d", i, code)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(accepted)/float64(b.N), "accepted/op")
+	b.ReportMetric(float64(rejected)/float64(b.N), "rejected/op")
+}

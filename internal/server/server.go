@@ -1,0 +1,458 @@
+// Package server implements verdictd, verdict's
+// verification-as-a-service daemon: an HTTP API that accepts textual
+// models plus properties, runs them through the mc portfolio under
+// resource budgets, and serves results asynchronously.
+//
+// The serving layer adds three things the CLI cannot offer:
+//
+//   - Admission control. Checks are CPU-heavy and unbounded by
+//     nature; a bounded job queue with a worker pool keeps the daemon
+//     responsive and sheds load with 429 + Retry-After instead of
+//     collapsing.
+//   - A content-addressed result cache. The cache key is the SHA-256
+//     of the canonically rendered model (smvlang.Render of the parsed
+//     program — byte-deterministic), the property's printed form, and
+//     the normalized check options. Identical work is never done
+//     twice: finished results are served from an LRU, and concurrent
+//     identical submissions collapse onto one in-flight job
+//     (singleflight by content address).
+//   - Observability. GET /metrics exposes Prometheus-text counters
+//     for requests, cache traffic, queue depth, in-flight checks,
+//     per-engine wins, check latency, and budget exhaustions.
+//
+// Endpoints:
+//
+//	POST /v1/checks            submit {model, property?, spec?, options?} → {id, status, cached}
+//	GET  /v1/checks/{id}       job status + result (verdict, stats, witness trace)
+//	GET  /v1/checks/{id}/trace full counterexample trace JSON
+//	GET  /metrics              Prometheus text format
+//	GET  /healthz              liveness + drain state
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"verdict/internal/cache"
+	"verdict/internal/ltl"
+	"verdict/internal/mc"
+	"verdict/internal/metrics"
+	"verdict/internal/resilience"
+	"verdict/internal/ts"
+)
+
+// CheckFunc runs one verification. The default runs the mc portfolio
+// (optionally under a retry ladder) behind a resilience guard; tests
+// substitute instrumented fakes.
+type CheckFunc func(sys *ts.System, phi *ltl.Formula, opts mc.Options, pol resilience.RetryPolicy) (*mc.Result, error)
+
+// Config tunes the daemon. Zero values get production-safe defaults.
+type Config struct {
+	// QueueDepth bounds the number of admitted-but-unstarted jobs
+	// (default 64). A full queue rejects with 429.
+	QueueDepth int
+	// Workers is the number of concurrent checks (default 4).
+	Workers int
+	// CacheSize bounds the finished-job LRU (default 1024 entries).
+	CacheSize int
+	// DefaultTimeout caps a check's wall clock when the request does
+	// not set one (default 30s). Requests may ask for less, never more.
+	DefaultTimeout time.Duration
+	// MaxDepth caps the BMC/induction depth a request may ask for
+	// (default 100).
+	MaxDepth int
+	// Check overrides the verification function (tests).
+	Check CheckFunc
+	// Log receives operational messages (default log.Default()).
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 100
+	}
+	if c.Check == nil {
+		c.Check = defaultCheck
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+	return c
+}
+
+// defaultCheck is the production path: the engine portfolio under the
+// job's budget, escalated by the retry ladder when one is set, guarded
+// so an engine-stack panic degrades to an error instead of killing the
+// worker.
+func defaultCheck(sys *ts.System, phi *ltl.Formula, opts mc.Options, pol resilience.RetryPolicy) (res *mc.Result, err error) {
+	defer resilience.RecoverTo("verdictd", &err)
+	if pol.Attempts > 0 {
+		return mc.CheckPortfolioWithRetry(sys, phi, opts, pol)
+	}
+	return mc.Portfolio(sys, phi, opts)
+}
+
+// Job states reported on the wire.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// job is one admitted check. Status transitions (queued → running →
+// done|failed) are guarded by Server.mu; done is closed exactly once
+// when the job leaves the running state.
+type job struct {
+	id  string
+	key string
+
+	sys  *ts.System
+	phi  *ltl.Formula
+	opts mc.Options
+	pol  resilience.RetryPolicy
+
+	status string
+	result *mc.Result
+	errMsg string
+	done   chan struct{}
+}
+
+// Server is the verdictd core, independent of the actual TCP listener
+// so tests drive it through httptest.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	inflight map[string]*job // id → queued/running jobs
+	finished *cache.LRU      // id → *job with result (content-addressed result cache)
+	draining bool
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	reg         *metrics.Registry
+	mRequests   *metrics.Counter
+	mChecks     *metrics.Counter
+	mCacheHits  *metrics.Counter
+	mCacheMiss  *metrics.Counter
+	mRejections *metrics.Counter
+	mWins       *metrics.Counter
+	mBudgetExh  *metrics.Counter
+	gQueueDepth *metrics.Gauge
+	gInflight   *metrics.Gauge
+	gCacheSize  *metrics.Gauge
+	gEvictions  *metrics.Gauge
+	hLatency    *metrics.Histogram
+}
+
+// New builds a Server and starts its worker pool. Call Drain (and
+// then Close) to stop it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		inflight: make(map[string]*job),
+		finished: cache.NewLRU(cfg.CacheSize),
+		queue:    make(chan *job, cfg.QueueDepth),
+		reg:      metrics.NewRegistry(),
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+
+	s.mRequests = s.reg.Counter("verdictd_requests_total", "HTTP requests served, by path pattern and status code.", "path", "code")
+	s.mChecks = s.reg.Counter("verdictd_checks_total", "Finished checks, by verdict (holds/violated/unknown/error).", "verdict")
+	s.mCacheHits = s.reg.Counter("verdictd_cache_hits_total", "Submissions answered from the result cache or deduplicated onto an in-flight identical job.")
+	s.mCacheMiss = s.reg.Counter("verdictd_cache_misses_total", "Submissions that started a new underlying check.")
+	s.mRejections = s.reg.Counter("verdictd_queue_rejections_total", "Submissions rejected with 429 because the job queue was full.")
+	s.mWins = s.reg.Counter("verdictd_engine_wins_total", "Conclusive checks, by deciding engine.", "engine")
+	s.mBudgetExh = s.reg.Counter("verdictd_budget_exhaustions_total", "Checks that degraded to unknown because a resource budget ran out.")
+	s.gQueueDepth = s.reg.Gauge("verdictd_queue_depth", "Jobs admitted but not yet started.")
+	s.gInflight = s.reg.Gauge("verdictd_inflight_checks", "Checks currently executing.")
+	s.gCacheSize = s.reg.Gauge("verdictd_cache_entries", "Finished jobs held in the result cache.")
+	s.gEvictions = s.reg.Gauge("verdictd_cache_evictions", "Finished jobs displaced from the result cache so far.")
+	s.hLatency = s.reg.Histogram("verdictd_check_duration_seconds", "Wall-clock time of finished checks, by deciding engine.",
+		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}, "engine")
+
+	s.mux.HandleFunc("POST /v1/checks", s.instrument("/v1/checks", s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/checks/{id}", s.instrument("/v1/checks/{id}", s.handleStatus))
+	s.mux.HandleFunc("GET /v1/checks/{id}/trace", s.instrument("/v1/checks/{id}/trace", s.handleTrace))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.Handle("GET /metrics", http.HandlerFunc(s.handleMetrics))
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP entry point.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admitting new jobs, lets queued and in-flight checks
+// finish, and returns once the worker pool is idle (or ctx expires —
+// results computed so far stay retrievable either way).
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("verdictd: drain aborted with checks still running: %w", ctx.Err())
+	}
+}
+
+// Close cancels any still-running checks (after a failed or skipped
+// Drain) and releases the server's context.
+func (s *Server) Close() { s.cancel() }
+
+// --- worker pool ---
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	j.status = StatusRunning
+	s.mu.Unlock()
+	s.gQueueDepth.Add(-1)
+	s.gInflight.Add(1)
+	start := time.Now()
+	res, err := s.cfg.Check(j.sys, j.phi, j.opts, j.pol)
+	elapsed := time.Since(start)
+	s.gInflight.Add(-1)
+
+	verdict, engine := "error", "error"
+	s.mu.Lock()
+	if err != nil || res == nil {
+		j.status = StatusFailed
+		if err != nil {
+			j.errMsg = err.Error()
+		} else {
+			j.errMsg = "check returned no result"
+		}
+	} else {
+		j.status = StatusDone
+		j.result = res
+		verdict = res.Status.String()
+		engine = engineLabel(res.Engine)
+	}
+	delete(s.inflight, j.id)
+	s.finished.Add(j.id, j)
+	s.mu.Unlock()
+	close(j.done)
+
+	s.mChecks.Inc(verdict)
+	s.hLatency.Observe(elapsed.Seconds(), engine)
+	if j.result != nil && j.result.Status != mc.Unknown {
+		s.mWins.Inc(engine)
+	}
+	if j.result != nil && j.result.Status == mc.Unknown && strings.Contains(j.result.Note, "budget exhausted") {
+		s.mBudgetExh.Inc()
+	}
+	if j.errMsg != "" {
+		s.cfg.Log.Printf("check %s failed: %s", j.id, j.errMsg)
+	}
+}
+
+// engineLabel collapses "portfolio/bmc" to "bmc" so the win counters
+// name the engine that actually decided.
+func engineLabel(engine string) string {
+	if engine == "" {
+		return "none"
+	}
+	return strings.TrimPrefix(engine, "portfolio/")
+}
+
+// --- HTTP handlers ---
+
+// instrument wraps a handler with the request counter, labeling by
+// route pattern (not raw path, which is unbounded) and status code.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
+		h(cw, r)
+		s.mRequests.Inc(pattern, fmt.Sprintf("%d", cw.code))
+	}
+}
+
+type codeWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *codeWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req CheckRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	cr, err := s.compile(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	// Singleflight: an identical request is the same content address,
+	// so it lands on the in-flight job instead of spawning another.
+	if j, ok := s.inflight[cr.id]; ok {
+		s.mu.Unlock()
+		s.mCacheHits.Inc()
+		s.writeJob(w, http.StatusOK, j, true)
+		return
+	}
+	if v, ok := s.finished.Get(cr.id); ok {
+		s.mu.Unlock()
+		s.mCacheHits.Inc()
+		s.writeJob(w, http.StatusOK, v.(*job), true)
+		return
+	}
+	if s.draining {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new checks")
+		return
+	}
+	j := &job{id: cr.id, key: cr.key, sys: cr.sys, phi: cr.phi,
+		opts: cr.opts, pol: cr.pol, status: StatusQueued, done: make(chan struct{})}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.mRejections.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "job queue full")
+		return
+	}
+	s.inflight[j.id] = j
+	s.mu.Unlock()
+	s.gQueueDepth.Add(1)
+	s.mCacheMiss.Inc()
+	s.writeJob(w, http.StatusAccepted, j, false)
+}
+
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.inflight[id]; ok {
+		return j, true
+	}
+	if v, ok := s.finished.Get(id); ok {
+		return v.(*job), true
+	}
+	return nil, false
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown check id")
+		return
+	}
+	// ?wait=1 blocks until the job settles — spares thin clients the
+	// poll loop. The request context bounds the wait.
+	if r.URL.Query().Get("wait") == "1" {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+		}
+	}
+	s.writeJob(w, http.StatusOK, j, false)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown check id")
+		return
+	}
+	s.mu.Lock()
+	res := j.result
+	s.mu.Unlock()
+	if res == nil {
+		writeError(w, http.StatusConflict, "check not finished")
+		return
+	}
+	if res.Trace == nil {
+		writeError(w, http.StatusNotFound, "check produced no counterexample trace")
+		return
+	}
+	writeJSON(w, http.StatusOK, res.Trace)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": draining})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Pull-model gauges: sampled at scrape time.
+	s.gQueueDepth.Set(float64(len(s.queue)))
+	s.gCacheSize.Set(float64(s.finished.Len()))
+	s.gEvictions.Set(float64(s.finished.Evictions()))
+	s.reg.ServeHTTP(w, r)
+}
+
+// writeJob renders a job snapshot. cached marks submissions that were
+// answered without starting a new check.
+func (s *Server) writeJob(w http.ResponseWriter, code int, j *job, cached bool) {
+	s.mu.Lock()
+	resp := CheckResponse{ID: j.id, Status: j.status, Cached: cached, Error: j.errMsg, Result: j.result}
+	s.mu.Unlock()
+	writeJSON(w, code, resp)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

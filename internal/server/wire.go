@@ -1,0 +1,153 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"verdict/internal/cache"
+	"verdict/internal/ltl"
+	"verdict/internal/mc"
+	"verdict/internal/resilience"
+	"verdict/internal/smvlang"
+	"verdict/internal/ts"
+)
+
+// CheckRequest is the POST /v1/checks body.
+type CheckRequest struct {
+	// Model is the textual .vsmv source.
+	Model string `json:"model"`
+	// Property, when set, is an LTL formula checked against the model
+	// (overrides Spec). It is parsed in the model's scope, so it may
+	// reference the model's variables and DEFINEs.
+	Property string `json:"property,omitempty"`
+	// Spec selects an LTLSPEC of the model by index (default 0) when
+	// Property is empty.
+	Spec int `json:"spec,omitempty"`
+	// Options tunes the check.
+	Options OptionsRequest `json:"options,omitempty"`
+}
+
+// OptionsRequest is the JSON form of the check options a client may
+// set. Fields the request leaves zero get the server's defaults; the
+// normalized (post-default) form is part of the cache key, so an
+// explicit default and an omitted field address the same cache entry.
+type OptionsRequest struct {
+	// MaxDepth bounds BMC unrolling / induction depth (capped by the
+	// server's Config.MaxDepth).
+	MaxDepth int `json:"max_depth,omitempty"`
+	// TimeoutMS bounds wall clock; the server's DefaultTimeout applies
+	// when unset and also acts as the ceiling.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// SATConflicts and BDDNodes are the mc.Budget dimensions;
+	// exhaustion degrades to an "unknown" verdict.
+	SATConflicts int64 `json:"sat_conflicts,omitempty"`
+	BDDNodes     int   `json:"bdd_nodes,omitempty"`
+	// RetryAttempts re-runs an unknown verdict with budgets scaled 4x
+	// per attempt (the CLI's -retry-budgets ladder).
+	RetryAttempts int `json:"retry_attempts,omitempty"`
+}
+
+// CheckResponse is the wire form of a job snapshot.
+type CheckResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	// Cached is true when a submission was answered from the result
+	// cache or collapsed onto an identical in-flight job.
+	Cached bool       `json:"cached,omitempty"`
+	Error  string     `json:"error,omitempty"`
+	Result *mc.Result `json:"result,omitempty"`
+}
+
+// compiled is a request after parsing, option normalization, and
+// content addressing.
+type compiled struct {
+	id, key string
+	sys     *ts.System
+	phi     *ltl.Formula
+	opts    mc.Options
+	pol     resilience.RetryPolicy
+}
+
+// compile parses the model, resolves the property, normalizes the
+// options, and derives the content address. The key covers exactly
+// the inputs that determine the verdict: canonical model text,
+// property text, and normalized options — not, e.g., worker counts.
+func (s *Server) compile(req CheckRequest) (*compiled, error) {
+	if req.Model == "" {
+		return nil, fmt.Errorf("request has no model")
+	}
+	src := req.Model
+	if req.Property != "" {
+		// Parse the property in the model's scope by appending it as
+		// one more LTLSPEC section.
+		src += "\nLTLSPEC\n  " + req.Property + ";\n"
+	}
+	prog, err := smvlang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("model does not parse: %w", err)
+	}
+	var phi *ltl.Formula
+	switch {
+	case req.Property != "":
+		phi = prog.LTLSpecs[len(prog.LTLSpecs)-1]
+	case len(prog.LTLSpecs) == 0:
+		return nil, fmt.Errorf("model has no LTLSPEC and the request names no property")
+	case req.Spec < 0 || req.Spec >= len(prog.LTLSpecs):
+		return nil, fmt.Errorf("spec index %d out of range (model has %d LTLSPECs)", req.Spec, len(prog.LTLSpecs))
+	default:
+		phi = prog.LTLSpecs[req.Spec]
+	}
+
+	opts, pol, normalized := s.normalizeOptions(req.Options)
+	// Render of a parsed program is canonical (sorted declarations,
+	// parser-normalized expression shapes), so byte-equal keys mean
+	// semantically equal checks regardless of the source's formatting.
+	canonical := smvlang.Render(&smvlang.Program{Sys: prog.Sys})
+	key := cache.Key(canonical, phi.String(), normalized)
+	return &compiled{
+		id:   key[:32],
+		key:  key,
+		sys:  prog.Sys,
+		phi:  phi,
+		opts: opts,
+		pol:  pol,
+	}, nil
+}
+
+// normalizeOptions applies defaults and ceilings, returning both the
+// engine options and the canonical option string folded into the
+// cache key.
+func (s *Server) normalizeOptions(o OptionsRequest) (mc.Options, resilience.RetryPolicy, string) {
+	depth := o.MaxDepth
+	if depth <= 0 || depth > s.cfg.MaxDepth {
+		if depth > s.cfg.MaxDepth {
+			depth = s.cfg.MaxDepth
+		} else {
+			depth = 25
+		}
+	}
+	timeout := time.Duration(o.TimeoutMS) * time.Millisecond
+	if timeout <= 0 || timeout > s.cfg.DefaultTimeout {
+		timeout = s.cfg.DefaultTimeout
+	}
+	opts := mc.Options{
+		MaxDepth: depth,
+		Context:  s.baseCtx,
+		Budget: mc.Budget{
+			SATConflicts: max(o.SATConflicts, 0),
+			BDDNodes:     max(o.BDDNodes, 0),
+		},
+	}
+	var pol resilience.RetryPolicy
+	if o.RetryAttempts > 0 {
+		// Mirror the CLI: under a retry ladder the wall clock is a
+		// per-attempt budget to escalate, not a fixed cap.
+		opts.Budget.Time = timeout
+		pol = resilience.RetryPolicy{Attempts: o.RetryAttempts, Factor: 4}
+	} else {
+		opts.Timeout = timeout
+	}
+	normalized := fmt.Sprintf("depth=%d timeout=%s sat=%d bdd=%d retries=%d",
+		depth, timeout, opts.Budget.SATConflicts, opts.Budget.BDDNodes, o.RetryAttempts)
+	return opts, pol, normalized
+}

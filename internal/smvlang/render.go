@@ -2,6 +2,7 @@ package smvlang
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"verdict/internal/ctl"
@@ -15,6 +16,14 @@ import (
 // kept for documentation, and constraints print fully expanded (the
 // expression trees do not record textual macro references).
 //
+// The output is canonical: variables, parameters, and DEFINEs are
+// emitted sorted by name rather than in declaration order, so two
+// structurally equal systems render to identical bytes regardless of
+// build order, and render→parse→render is a fixpoint. verdictd relies
+// on this as the content-address of its result cache. Sorting DEFINEs
+// is safe because bodies print fully macro-expanded — a DEFINE never
+// textually references another DEFINE.
+//
 // Limitation: a bare enum constant is only resolvable in a comparison
 // against an enum-typed expression, so models whose ite() branches
 // return enum constants render to text that will not re-parse; the
@@ -24,19 +33,21 @@ func Render(prog *Program) string {
 	sys := prog.Sys
 	fmt.Fprintf(&b, "MODULE %s\n", sanitizeName(sys.Name))
 
-	if vars := sys.Vars(); len(vars) > 0 {
+	if vars := sortedVars(sys.Vars()); len(vars) > 0 {
 		b.WriteString("VAR\n")
 		for _, v := range vars {
 			fmt.Fprintf(&b, "  %s : %s;\n", v.Name, renderType(v.T))
 		}
 	}
-	if params := sys.Params(); len(params) > 0 {
+	if params := sortedVars(sys.Params()); len(params) > 0 {
 		b.WriteString("PARAM\n")
 		for _, p := range params {
 			fmt.Fprintf(&b, "  %s : %s;\n", p.Name, renderType(p.T))
 		}
 	}
 	if names := sys.DefineNames(); len(names) > 0 {
+		names = append([]string(nil), names...)
+		sort.Strings(names)
 		b.WriteString("DEFINE\n")
 		for _, n := range names {
 			d, _ := sys.DefineByName(n)
@@ -62,6 +73,31 @@ func Render(prog *Program) string {
 		fmt.Fprintf(&b, "CTLSPEC\n  %s;\n", renderCTL(spec))
 	}
 	return b.String()
+}
+
+// Canonical returns the canonical textual form of a program: the
+// byte-deterministic content-address verdictd caches results under.
+// Render alone is already canonical for parsed programs; for systems
+// built through the Go API one parse→render round normalizes tree
+// shapes the parser would rebuild differently (n-ary sums flatten to
+// "a + b + c" but re-parse left-nested as "((a + b) + c)"). After that
+// round, render∘parse is a fixpoint, so equal canonical strings mean
+// equal models as far as the engines are concerned.
+func Canonical(prog *Program) (string, error) {
+	text := Render(prog)
+	re, err := Parse(text)
+	if err != nil {
+		return "", fmt.Errorf("smvlang: render of %q does not re-parse: %w", prog.Sys.Name, err)
+	}
+	return Render(re), nil
+}
+
+// sortedVars returns the variables ordered by name without mutating
+// the system's declaration-order slice.
+func sortedVars(vs []*expr.Var) []*expr.Var {
+	out := append([]*expr.Var(nil), vs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // sanitizeName keeps module names lexable (the builders use names like

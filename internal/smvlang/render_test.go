@@ -116,6 +116,89 @@ CTLSPEC E[x = 0 U x = 1];
 	}
 }
 
+// TestRenderDeterministic guards the cache-key foundation: rendering
+// the same *ts.System twice yields identical bytes, and two
+// structurally equal systems built with different declaration orders
+// render to identical bytes (sorted var/param/define emission).
+func TestRenderDeterministic(t *testing.T) {
+	build := func(order []string) *ts.System {
+		sys := ts.New("det")
+		decls := map[string]func(){
+			"zeta":  func() { sys.Int("zeta", 0, 3) },
+			"alpha": func() { sys.Bool("alpha") },
+			"mid":   func() { sys.Enum("mid", "a", "b") },
+		}
+		for _, n := range order {
+			decls[n]()
+		}
+		sys.IntParam("pZ", 0, 2)
+		sys.BoolParam("pA")
+		z, _ := sys.VarByName("zeta")
+		a, _ := sys.VarByName("alpha")
+		sys.Define("zmacro", expr.Ge(z.Ref(), expr.IntConst(1)))
+		sys.Define("amacro", a.Ref())
+		sys.AddInit(expr.Eq(z.Ref(), expr.IntConst(0)))
+		sys.AddTrans(expr.Eq(z.Next(), z.Ref()))
+		return sys
+	}
+	s1 := build([]string{"zeta", "alpha", "mid"})
+	s2 := build([]string{"mid", "alpha", "zeta"})
+	r1a := Render(&Program{Sys: s1})
+	r1b := Render(&Program{Sys: s1})
+	r2 := Render(&Program{Sys: s2})
+	if r1a != r1b {
+		t.Fatalf("rendering the same system twice differs:\n%s\n---\n%s", r1a, r1b)
+	}
+	if r1a != r2 {
+		t.Fatalf("declaration order leaked into the render:\n%s\n---\n%s", r1a, r2)
+	}
+	for _, want := range []string{"VAR\n  alpha", "DEFINE\n  amacro", "PARAM\n  pA"} {
+		if !strings.Contains(r1a, want) {
+			t.Errorf("emission not sorted: missing %q in\n%s", want, r1a)
+		}
+	}
+}
+
+// TestRenderParseRenderFixpoint: Canonical must be a render∘parse
+// fixpoint, for a hand-written model and for library builders — the
+// property that makes it usable as a content-address.
+func TestRenderParseRenderFixpoint(t *testing.T) {
+	progs := map[string]*Program{"counter": mustParse(t, counterModel)}
+	m, err := rollout.Build(rollout.Config{Topo: topo.Test(), P: 1, K: 2, M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs["rollout"] = &Program{Sys: m.Sys}
+	progs["lbecmp"] = &Program{Sys: lbecmp.Build(lbecmp.Default()).Sys}
+	for name, prog := range progs {
+		canon, err := Canonical(prog)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		reparsed, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("%s: canonical form does not re-parse: %v\n%s", name, err, canon)
+		}
+		if again := Render(reparsed); canon != again {
+			t.Errorf("%s: canonical render is not a fixpoint:\n%s\n---\n%s", name, canon, again)
+		}
+		// For a program that came out of the parser, Render alone is
+		// already canonical.
+		if fromParse := Render(reparsed); fromParse != canon {
+			t.Errorf("%s: Render of a parsed program differs from Canonical", name)
+		}
+	}
+}
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
 func TestRenderSanitizesModuleName(t *testing.T) {
 	sys := ts.New("rollout/test topo!")
 	sys.Bool("b")

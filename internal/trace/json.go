@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"verdict/internal/expr"
+)
+
+// wireTrace is the stable JSON shape of a Trace, served by verdictd's
+// GET /v1/checks/{id}/trace. States are plain name→value objects
+// (expr.Value handles the tagged value encoding); loop_start is -1
+// for a finite prefix, matching the in-memory convention.
+type wireTrace struct {
+	States    []map[string]expr.Value `json:"states"`
+	LoopStart int                     `json:"loop_start"`
+	Params    map[string]expr.Value   `json:"params,omitempty"`
+}
+
+// MarshalJSON renders the trace in its wire shape.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	w := wireTrace{
+		States:    make([]map[string]expr.Value, len(t.States)),
+		LoopStart: t.LoopStart,
+	}
+	for i, s := range t.States {
+		w.States[i] = s.Values
+	}
+	if len(t.Params) > 0 {
+		w.Params = t.Params
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON. A missing loop_start
+// defaults to -1 (finite prefix).
+func (t *Trace) UnmarshalJSON(data []byte) error {
+	w := wireTrace{LoopStart: -1}
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.LoopStart < -1 || w.LoopStart >= len(w.States) {
+		return fmt.Errorf("trace: loop_start %d out of range for %d states", w.LoopStart, len(w.States))
+	}
+	t.States = make([]State, len(w.States))
+	for i, vals := range w.States {
+		if vals == nil {
+			vals = make(map[string]expr.Value)
+		}
+		t.States[i] = State{Values: vals}
+	}
+	t.LoopStart = w.LoopStart
+	t.Params = w.Params
+	if t.Params == nil {
+		t.Params = make(map[string]expr.Value)
+	}
+	return nil
+}

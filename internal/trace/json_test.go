@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"encoding/json"
+	"math/big"
+	"strings"
+	"testing"
+
+	"verdict/internal/expr"
+)
+
+func sampleTrace() *Trace {
+	t := New()
+	t.Params["minReplicas"] = expr.IntValue(1)
+	t.Params["rate"] = expr.RealValue(big.NewRat(1, 2))
+	s0 := NewState()
+	s0.Values["replicas"] = expr.IntValue(2)
+	s0.Values["rolling"] = expr.BoolValue(false)
+	s0.Values["phase"] = expr.EnumValue("steady")
+	s1 := NewState()
+	s1.Values["replicas"] = expr.IntValue(1)
+	s1.Values["rolling"] = expr.BoolValue(true)
+	s1.Values["phase"] = expr.EnumValue("rolling")
+	t.States = []State{s0, s1}
+	t.LoopStart = 1
+	return t
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+	if back.LoopStart != orig.LoopStart || back.Len() != orig.Len() {
+		t.Fatalf("shape changed: %d states loop %d, want %d loop %d",
+			back.Len(), back.LoopStart, orig.Len(), orig.LoopStart)
+	}
+	// The pretty printers walk every value, so equal renderings mean
+	// equal traces.
+	if back.Full() != orig.Full() {
+		t.Errorf("round trip changed the trace:\n%s\n---\n%s", orig.Full(), back.Full())
+	}
+}
+
+func TestTraceJSONFieldNames(t *testing.T) {
+	data, err := json.Marshal(sampleTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"states"`, `"loop_start":1`, `"params"`, `"kind":"real"`} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("wire trace missing %s: %s", field, data)
+		}
+	}
+}
+
+func TestTraceJSONDefaultsAndValidation(t *testing.T) {
+	var noLoop Trace
+	if err := json.Unmarshal([]byte(`{"states":[{}]}`), &noLoop); err != nil {
+		t.Fatal(err)
+	}
+	if noLoop.LoopStart != -1 {
+		t.Errorf("missing loop_start decoded to %d, want -1", noLoop.LoopStart)
+	}
+	if noLoop.IsLasso() {
+		t.Error("finite prefix decoded as lasso")
+	}
+	var bad Trace
+	if err := json.Unmarshal([]byte(`{"states":[{}],"loop_start":5}`), &bad); err == nil {
+		t.Error("out-of-range loop_start accepted")
+	}
+}
