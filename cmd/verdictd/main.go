@@ -43,6 +43,7 @@ func main() {
 		cacheSize    = flag.Int("cache", 1024, "result-cache capacity (finished checks, LRU)")
 		checkTimeout = flag.Duration("check-timeout", 30*time.Second, "per-check wall-clock ceiling (requests may ask for less, never more)")
 		maxDepth     = flag.Int("max-depth", 100, "largest BMC/induction depth a request may ask for")
+		maxRetries   = flag.Int("max-retries", 3, "largest retry-ladder attempt count a request may ask for (each attempt stays under -check-timeout)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long a SIGTERM drain waits for in-flight checks")
 		version      = flag.Bool("version", false, "print version and exit")
 	)
@@ -53,12 +54,13 @@ func main() {
 	}
 
 	s := server.New(server.Config{
-		QueueDepth:     *queueDepth,
-		Workers:        *workers,
-		CacheSize:      *cacheSize,
-		DefaultTimeout: *checkTimeout,
-		MaxDepth:       *maxDepth,
-		Log:            log.Default(),
+		QueueDepth:       *queueDepth,
+		Workers:          *workers,
+		CacheSize:        *cacheSize,
+		DefaultTimeout:   *checkTimeout,
+		MaxDepth:         *maxDepth,
+		MaxRetryAttempts: *maxRetries,
+		Log:              log.Default(),
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 

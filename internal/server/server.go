@@ -67,6 +67,11 @@ type Config struct {
 	// MaxDepth caps the BMC/induction depth a request may ask for
 	// (default 100).
 	MaxDepth int
+	// MaxRetryAttempts caps the retry-ladder attempts a request may
+	// ask for (default 3). Together with DefaultTimeout bounding every
+	// attempt, it limits how long any single request can hold a
+	// worker.
+	MaxRetryAttempts int
 	// Check overrides the verification function (tests).
 	Check CheckFunc
 	// Log receives operational messages (default log.Default()).
@@ -88,6 +93,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxDepth <= 0 {
 		c.MaxDepth = 100
+	}
+	if c.MaxRetryAttempts <= 0 {
+		c.MaxRetryAttempts = 3
 	}
 	if c.Check == nil {
 		c.Check = defaultCheck
@@ -252,7 +260,6 @@ func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	j.status = StatusRunning
 	s.mu.Unlock()
-	s.gQueueDepth.Add(-1)
 	s.gInflight.Add(1)
 	start := time.Now()
 	res, err := s.cfg.Check(j.sys, j.phi, j.opts, j.pol)
@@ -275,6 +282,11 @@ func (s *Server) runJob(j *job) {
 		engine = engineLabel(res.Engine)
 	}
 	delete(s.inflight, j.id)
+	// Settled jobs only serve status/error/result, so drop the parsed
+	// system and formula before caching — CacheSize entries of large
+	// models would otherwise stay pinned in memory.
+	j.sys, j.phi = nil, nil
+	j.opts, j.pol = mc.Options{}, resilience.RetryPolicy{}
 	s.finished.Add(j.id, j)
 	s.mu.Unlock()
 	close(j.done)
@@ -345,10 +357,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if v, ok := s.finished.Get(cr.id); ok {
-		s.mu.Unlock()
-		s.mCacheHits.Inc()
-		s.writeJob(w, http.StatusOK, v.(*job), true)
-		return
+		// A cached failure (caught panic, transient engine error) is
+		// not a reusable verdict — fall through and re-run the check;
+		// the fresh job replaces the stale entry when it settles.
+		if fj := v.(*job); fj.status != StatusFailed {
+			s.mu.Unlock()
+			s.mCacheHits.Inc()
+			s.writeJob(w, http.StatusOK, fj, true)
+			return
+		}
 	}
 	if s.draining {
 		s.mu.Unlock()
@@ -369,7 +386,6 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.inflight[j.id] = j
 	s.mu.Unlock()
-	s.gQueueDepth.Add(1)
 	s.mCacheMiss.Inc()
 	s.writeJob(w, http.StatusAccepted, j, false)
 }

@@ -435,6 +435,121 @@ func TestCompileNormalization(t *testing.T) {
 	}
 }
 
+// TestRetryCeilingClamped: retry_attempts is client-controlled, so the
+// server clamps it and pins every attempt under the wall-clock
+// ceiling — a request must not be able to hold a worker for longer
+// than MaxRetryAttempts × DefaultTimeout.
+func TestRetryCeilingClamped(t *testing.T) {
+	s := New(Config{Check: newGate().check, DefaultTimeout: 10 * time.Second})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		s.Drain(ctx)
+		s.Close()
+	}()
+	opts, pol, _ := s.normalizeOptions(OptionsRequest{TimeoutMS: 1000, RetryAttempts: 1000})
+	if pol.Attempts != 3 {
+		t.Errorf("attempts: %d, want clamped to 3", pol.Attempts)
+	}
+	if pol.MaxScale != maxRetryScale {
+		t.Errorf("MaxScale: %v, want %v", pol.MaxScale, maxRetryScale)
+	}
+	if opts.Timeout != 10*time.Second {
+		t.Errorf("per-attempt ceiling: %v, want DefaultTimeout", opts.Timeout)
+	}
+	if opts.Budget.Time != time.Second {
+		t.Errorf("base time budget: %v, want 1s", opts.Budget.Time)
+	}
+	// An over-limit ask and its clamped form are the same cache entry.
+	over, err := s.compile(CheckRequest{Model: counterModel, Options: OptionsRequest{RetryAttempts: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clamped, err := s.compile(CheckRequest{Model: counterModel, Options: OptionsRequest{RetryAttempts: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.key != clamped.key {
+		t.Error("clamped retry counts fragmented the cache key")
+	}
+}
+
+// TestFailedResultNotCached: a transient failure must not poison the
+// content-addressed cache — resubmitting the same check re-runs it.
+func TestFailedResultNotCached(t *testing.T) {
+	var calls atomic.Int64
+	flaky := func(*ts.System, *ltl.Formula, mc.Options, resilience.RetryPolicy) (*mc.Result, error) {
+		if calls.Add(1) == 1 {
+			return nil, fmt.Errorf("transient engine error")
+		}
+		return &mc.Result{Status: mc.Holds, Engine: "fake", Depth: 1}, nil
+	}
+	_, ht := newTestServer(t, Config{Workers: 1, Check: flaky})
+
+	_, cr := submit(t, ht.URL, CheckRequest{Model: counterModel})
+	if final := waitDone(t, ht.URL, cr.ID); final.Status != StatusFailed {
+		t.Fatalf("first run: %+v, want failed", final)
+	}
+	// The failure stays retrievable by id...
+	var byID CheckResponse
+	if code := getJSON(t, ht.URL+"/v1/checks/"+cr.ID, &byID); code != http.StatusOK || byID.Status != StatusFailed {
+		t.Fatalf("GET failed job: %d %+v", code, byID)
+	}
+	// ...but an identical resubmission re-runs instead of replaying it.
+	code, again := submit(t, ht.URL, CheckRequest{Model: counterModel})
+	if code != http.StatusAccepted || again.Cached {
+		t.Fatalf("resubmit after failure: status %d, %+v, want a fresh 202 job", code, again)
+	}
+	final := waitDone(t, ht.URL, again.ID)
+	if final.Status != StatusDone || final.Result == nil || final.Result.Status != mc.Holds {
+		t.Fatalf("second run: %+v, want done/holds", final)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("underlying checks: %d, want 2 (failure must not be served from cache)", got)
+	}
+}
+
+// TestPropertyInjectionRejected: a property is one formula, not a
+// splice point — extra LTLSPEC sections or declarations smuggled in
+// through it must 400, not silently check something else.
+func TestPropertyInjectionRejected(t *testing.T) {
+	_, ht := newTestServer(t, Config{Workers: 1})
+	for _, prop := range []string{
+		"G (x <= 2);\nLTLSPEC\n  G (x <= 1)",  // second spec: verdict would answer the wrong formula
+		"G (x <= 2);\nCTLSPEC\n  AG (x <= 1)", // smuggled CTL section
+	} {
+		if code, _ := submit(t, ht.URL, CheckRequest{Model: counterModel, Property: prop}); code != http.StatusBadRequest {
+			t.Errorf("property %q: status %d, want 400", prop, code)
+		}
+	}
+	// A plain property still works.
+	if code, _ := submit(t, ht.URL, CheckRequest{Model: counterModel, Property: "G (x <= 3)"}); code != http.StatusAccepted {
+		t.Errorf("plain property: status %d, want 202", code)
+	}
+}
+
+// TestSettledJobsDropModel (white box): the result cache serves only
+// status/error/result, so cached entries must not pin the parsed
+// system or formula.
+func TestSettledJobsDropModel(t *testing.T) {
+	s, ht := newTestServer(t, Config{Workers: 1})
+	_, cr := submit(t, ht.URL, CheckRequest{Model: counterModel})
+	waitDone(t, ht.URL, cr.ID)
+	v, ok := s.finished.Get(cr.ID)
+	if !ok {
+		t.Fatal("settled job not in the result cache")
+	}
+	j := v.(*job)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.sys != nil || j.phi != nil {
+		t.Error("cached job still pins the parsed system/formula")
+	}
+	if j.result == nil {
+		t.Error("cached job lost its result")
+	}
+}
+
 // TestFailedCheckSurfaces: a CheckFunc error lands as status=failed
 // with the message, not a hung job.
 func TestFailedCheckSurfaces(t *testing.T) {

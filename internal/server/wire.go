@@ -43,7 +43,9 @@ type OptionsRequest struct {
 	SATConflicts int64 `json:"sat_conflicts,omitempty"`
 	BDDNodes     int   `json:"bdd_nodes,omitempty"`
 	// RetryAttempts re-runs an unknown verdict with budgets scaled 4x
-	// per attempt (the CLI's -retry-budgets ladder).
+	// per attempt (the CLI's -retry-budgets ladder), clamped to the
+	// server's Config.MaxRetryAttempts. Every attempt stays under the
+	// per-check wall-clock ceiling.
 	RetryAttempts int `json:"retry_attempts,omitempty"`
 }
 
@@ -76,20 +78,37 @@ func (s *Server) compile(req CheckRequest) (*compiled, error) {
 	if req.Model == "" {
 		return nil, fmt.Errorf("request has no model")
 	}
-	src := req.Model
-	if req.Property != "" {
-		// Parse the property in the model's scope by appending it as
-		// one more LTLSPEC section.
-		src += "\nLTLSPEC\n  " + req.Property + ";\n"
-	}
-	prog, err := smvlang.Parse(src)
+	prog, err := smvlang.Parse(req.Model)
 	if err != nil {
 		return nil, fmt.Errorf("model does not parse: %w", err)
 	}
+	// Render of a parsed program is canonical (sorted declarations,
+	// parser-normalized expression shapes), so byte-equal keys mean
+	// semantically equal checks regardless of the source's formatting.
+	canonical := smvlang.Render(&smvlang.Program{Sys: prog.Sys})
+	sys := prog.Sys
 	var phi *ltl.Formula
 	switch {
 	case req.Property != "":
-		phi = prog.LTLSpecs[len(prog.LTLSpecs)-1]
+		// Parse the property in the model's scope by appending it as
+		// one more LTLSPEC section — then verify the splice added
+		// exactly that and nothing else. Without the check, a
+		// "property" like "G x; LTLSPEC G y" parses as several
+		// sections and the verdict would answer a different formula
+		// than the client believes it submitted.
+		spliced, err := smvlang.Parse(req.Model + "\nLTLSPEC\n  " + req.Property + ";\n")
+		if err != nil {
+			return nil, fmt.Errorf("property does not parse: %w", err)
+		}
+		if len(spliced.LTLSpecs) != len(prog.LTLSpecs)+1 ||
+			len(spliced.CTLSpecs) != len(prog.CTLSpecs) ||
+			smvlang.Render(&smvlang.Program{Sys: spliced.Sys}) != canonical {
+			return nil, fmt.Errorf("property must be a single LTL formula")
+		}
+		// Formula atoms reference system variables by pointer, so the
+		// checked system must come from the same parse as phi.
+		sys = spliced.Sys
+		phi = spliced.LTLSpecs[len(spliced.LTLSpecs)-1]
 	case len(prog.LTLSpecs) == 0:
 		return nil, fmt.Errorf("model has no LTLSPEC and the request names no property")
 	case req.Spec < 0 || req.Spec >= len(prog.LTLSpecs):
@@ -99,15 +118,11 @@ func (s *Server) compile(req CheckRequest) (*compiled, error) {
 	}
 
 	opts, pol, normalized := s.normalizeOptions(req.Options)
-	// Render of a parsed program is canonical (sorted declarations,
-	// parser-normalized expression shapes), so byte-equal keys mean
-	// semantically equal checks regardless of the source's formatting.
-	canonical := smvlang.Render(&smvlang.Program{Sys: prog.Sys})
 	key := cache.Key(canonical, phi.String(), normalized)
 	return &compiled{
 		id:   key[:32],
 		key:  key,
-		sys:  prog.Sys,
+		sys:  sys,
 		phi:  phi,
 		opts: opts,
 		pol:  pol,
@@ -138,16 +153,37 @@ func (s *Server) normalizeOptions(o OptionsRequest) (mc.Options, resilience.Retr
 			BDDNodes:     max(o.BDDNodes, 0),
 		},
 	}
+	retries := o.RetryAttempts
+	if retries < 0 {
+		retries = 0
+	}
+	if retries > s.cfg.MaxRetryAttempts {
+		retries = s.cfg.MaxRetryAttempts
+	}
 	var pol resilience.RetryPolicy
-	if o.RetryAttempts > 0 {
+	if retries > 0 {
 		// Mirror the CLI: under a retry ladder the wall clock is a
-		// per-attempt budget to escalate, not a fixed cap.
+		// per-attempt budget to escalate. The budget only escalates
+		// UNDER the server ceiling: opts.Timeout stays pinned at
+		// DefaultTimeout and the engine takes the tighter of the two
+		// bounds, so even the last attempt cannot exceed it and one
+		// request holds a worker for at most
+		// MaxRetryAttempts × DefaultTimeout.
 		opts.Budget.Time = timeout
-		pol = resilience.RetryPolicy{Attempts: o.RetryAttempts, Factor: 4}
+		opts.Timeout = s.cfg.DefaultTimeout
+		pol = resilience.RetryPolicy{Attempts: retries, Factor: 4, MaxScale: maxRetryScale}
 	} else {
 		opts.Timeout = timeout
 	}
+	// The key folds in the clamped retry count, so an over-limit ask
+	// and its clamped form address the same cache entry.
 	normalized := fmt.Sprintf("depth=%d timeout=%s sat=%d bdd=%d retries=%d",
-		depth, timeout, opts.Budget.SATConflicts, opts.Budget.BDDNodes, o.RetryAttempts)
+		depth, timeout, opts.Budget.SATConflicts, opts.Budget.BDDNodes, retries)
 	return opts, pol, normalized
 }
+
+// maxRetryScale caps the cumulative budget multiplier of a retry
+// ladder (4^3 — the full ladder at the default MaxRetryAttempts), so
+// SAT-conflict/BDD-node budgets cannot escalate without bound even if
+// an operator raises the attempt cap.
+const maxRetryScale = 64
