@@ -36,17 +36,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("verdict-bench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, fig2, fig5, synth, lbecmp, fig6, all")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-verification budget for fig6 (paper used 1h)")
-		maxK    = flag.Int("max-fattree", 8, "largest fat-tree parameter for fig6 (paper: 12)")
-		engine  = flag.String("verify-engine", "kind", "fig6 verification engine: kind (k-induction; fast, the property is 2-inductive) or bdd (exhaustive reachability, reproducing the paper's NuXMV behavior)")
-		workers = flag.Int("workers", 1, "worker goroutines for the fig6 sweep cells (0 = NumCPU, 1 = serial)")
-		stats   = flag.Bool("stats", false, "print per-engine statistics for each fig6 cell")
-		ckpt    = flag.String("checkpoint", "", "fig6: persist each completed sweep cell to this JSON file, so a killed run can be resumed")
-		resume  = flag.Bool("resume", false, "fig6: skip cells already recorded in the -checkpoint file, replaying their stored rows")
-		version = flag.Bool("version", false, "print version and exit")
+		exp      = flag.String("exp", "all", "experiment: table1, fig2, fig5, synth, lbecmp, fig6, all")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-verification budget for fig6 (paper used 1h)")
+		maxK     = flag.Int("max-fattree", 8, "largest fat-tree parameter for fig6 (paper: 12)")
+		engine   = flag.String("verify-engine", "kind", "fig6 verification engine: kind (k-induction; fast, the property is 2-inductive) or bdd (exhaustive reachability, reproducing the paper's NuXMV behavior)")
+		workers  = flag.Int("workers", 1, "worker goroutines for the fig6 sweep cells (0 = NumCPU, 1 = serial)")
+		stats    = flag.Bool("stats", false, "print per-engine statistics for each fig6 cell")
+		ckpt     = flag.String("checkpoint", "", "fig6: persist each completed sweep cell to this JSON file, so a killed run can be resumed")
+		resume   = flag.Bool("resume", false, "fig6: skip cells already recorded in the -checkpoint file, replaying their stored rows")
+		validate = flag.Bool("validate", false, "independently validate every counterexample and proof certificate (fig5, lbecmp, fig6); witness status joins the output, overhead joins the timings")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	validateWitness = *validate
 	if *version {
 		fmt.Println(buildinfo.String("verdict-bench"))
 		return
@@ -84,8 +86,21 @@ func main() {
 	f()
 }
 
+// validateWitness mirrors -validate for the experiments that produce
+// verdicts with evidence.
+var validateWitness bool
+
 func banner(name string) {
 	fmt.Printf("\n===== %s =====\n", name)
+}
+
+// witnessSuffix renders the independent-validation outcome for a
+// result line, empty when validation was off or produced nothing.
+func witnessSuffix(res *verdict.Result) string {
+	if res.Witness == "" {
+		return ""
+	}
+	return fmt.Sprintf(" [witness: %s]", res.Witness)
 }
 
 // table1 regenerates the incident-study aggregation.
@@ -120,11 +135,12 @@ func fig5() {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	res, err := verdict.FindCounterexample(m.Sys, m.Property, verdict.Options{MaxDepth: 12})
+	res, err := verdict.FindCounterexample(m.Sys, m.Property,
+		verdict.Options{MaxDepth: 12, ValidateWitness: validateWitness})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("G(converged -> available >= 1), p=1 k=2: %s\n", res)
+	fmt.Printf("G(converged -> available >= 1), p=1 k=2: %s%s\n", res, witnessSuffix(res))
 	if res.Trace == nil {
 		log.Fatal("expected a counterexample")
 	}
@@ -168,11 +184,12 @@ func lbecmp() {
 		{"F(G(stable))", m.PropertyFG},
 		{"stable -> F(G(stable))", m.PropertyCond},
 	} {
-		res, err := verdict.FindCounterexample(m.Sys, c.phi, verdict.Options{MaxDepth: 10})
+		res, err := verdict.FindCounterexample(m.Sys, c.phi,
+			verdict.Options{MaxDepth: 10, ValidateWitness: validateWitness})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-24s -> %s\n", c.name, res)
+		fmt.Printf("%-24s -> %s%s\n", c.name, res, witnessSuffix(res))
 		if res.Trace != nil {
 			if err := verdict.ValidateTrace(m.Sys, res.Trace); err != nil {
 				log.Fatal(err)
@@ -250,7 +267,7 @@ func fig6(ctx context.Context, budget time.Duration, maxFatTree int, engine stri
 			}
 			return nil
 		}
-		opts := verdict.Options{Timeout: budget, Context: ctx}
+		opts := verdict.Options{Timeout: budget, Context: ctx, ValidateWitness: validateWitness}
 		if slot == 0 {
 			m, err := verdict.BuildRollout(verdict.RolloutConfig{Topo: c.topo, P: 1, K: c.kViol, M: 1})
 			if err != nil {
@@ -262,7 +279,7 @@ func fig6(ctx context.Context, budget time.Duration, maxFatTree int, engine stri
 			if err != nil {
 				return err
 			}
-			return done(cellOut{fmt.Sprintf("%v k=%d %s", time.Since(start).Round(time.Millisecond), c.kViol, res.Status), res.Stats.String()})
+			return done(cellOut{fmt.Sprintf("%v k=%d %s%s", time.Since(start).Round(time.Millisecond), c.kViol, res.Status, witnessSuffix(res)), res.Stats.String()})
 		}
 		k := slot - 1
 		m, err := verdict.BuildRollout(verdict.RolloutConfig{Topo: c.topo, P: 1, K: k, M: 1})
@@ -284,7 +301,7 @@ func fig6(ctx context.Context, budget time.Duration, maxFatTree int, engine stri
 		if r.Status == verdict.Unknown {
 			return done(cellOut{fmt.Sprintf("k=%d timeout(>%v)", k, budget), r.Stats.String()})
 		}
-		return done(cellOut{fmt.Sprintf("k=%d %v %s", k, el, r.Status), r.Stats.String()})
+		return done(cellOut{fmt.Sprintf("k=%d %v %s%s", k, el, r.Status, witnessSuffix(r)), r.Stats.String()})
 	})
 	if err != nil {
 		if ctx.Err() != nil {

@@ -41,7 +41,24 @@ var (
 	usePortfolio bool
 	useEnumSynth bool
 	retryPolicy  verdict.RetryPolicy
+	// violated records that some checked property failed, so main can
+	// exit 1. Exit codes follow the grep convention: 0 = every property
+	// holds (or is unknown), 1 = a violation was found, 2 = the check
+	// itself could not run (bad input, engine failure, transport error).
+	violated bool
 )
+
+// die reports a failure of the tool itself — bad input, an engine
+// error — and exits 2, keeping exit 1 reserved for "property violated".
+func die(v ...any) {
+	log.Print(v...)
+	os.Exit(2)
+}
+
+func dief(format string, args ...any) {
+	log.Printf(format, args...)
+	os.Exit(2)
+}
 
 // check dispatches to the portfolio racer or the default engine
 // pipeline, honoring -portfolio and the -retry-budgets ladder.
@@ -74,8 +91,7 @@ func main() {
 	// has its own flags (notably -server), so it must dispatch before
 	// flag.Parse sees the arguments.
 	if len(os.Args) > 1 && os.Args[1] == "remote" {
-		runRemote(os.Args[2:])
-		return
+		os.Exit(runRemote(os.Args[2:]))
 	}
 	var (
 		modelPath = flag.String("model", "", "path to a .vsmv model file")
@@ -85,6 +101,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
 		fullTrace = flag.Bool("full-trace", false, "print every variable in every trace state")
 		verify    = flag.Bool("verify", true, "replay counterexample traces through the semantics")
+		validate  = flag.Bool("validate", false, "independently validate every verdict's evidence: counterexamples are replayed and checked to violate the property, proof certificates are re-checked by direct evaluation")
 		stats     = flag.Bool("stats", false, "print per-engine statistics (SAT conflicts/decisions/propagations, BDD nodes, time per depth)")
 		workers   = flag.Int("workers", 0, "worker goroutines for parameter synthesis (0 = NumCPU, 1 = serial)")
 		portfolio = flag.Bool("portfolio", false, "race BMC, k-induction and the BDD engine; first conclusive answer wins")
@@ -107,16 +124,17 @@ func main() {
 	case "enum":
 		useEnumSynth = true
 	default:
-		log.Fatalf("unknown -synth-engine %q (want bdd or enum)", *synthEng)
+		dief("unknown -synth-engine %q (want bdd or enum)", *synthEng)
 	}
 	if *retries > 0 {
 		if *satBudget == 0 && *bddBudget == 0 && *timeout == 0 {
-			log.Fatal("-retry-budgets needs a budget to escalate: set -sat-budget, -bdd-budget or -timeout")
+			die("-retry-budgets needs a budget to escalate: set -sat-budget, -bdd-budget or -timeout")
 		}
 		retryPolicy = verdict.RetryPolicy{Attempts: *retries, Factor: 4}
 	}
 	opts := verdict.Options{MaxDepth: *depth, Timeout: *timeout, Workers: *workers,
-		Budget: verdict.Budget{SATConflicts: *satBudget, BDDNodes: *bddBudget}}
+		ValidateWitness: *validate,
+		Budget:          verdict.Budget{SATConflicts: *satBudget, BDDNodes: *bddBudget}}
 	if retryPolicy.Attempts > 0 {
 		// Under a retry ladder the wall clock is a per-attempt budget to
 		// escalate, not a fixed cap, so it moves into the Budget.
@@ -131,39 +149,42 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if violated {
+		os.Exit(1)
+	}
 }
 
 func runModel(path string, synth, fullTrace, verify bool, opts verdict.Options) {
 	src, err := os.ReadFile(path)
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	prog, err := verdict.ParseModel(string(src))
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	if len(prog.LTLSpecs) == 0 && len(prog.CTLSpecs) == 0 {
-		log.Fatal("model has no LTLSPEC or CTLSPEC sections")
+		die("model has no LTLSPEC or CTLSPEC sections")
 	}
 	for i, spec := range prog.LTLSpecs {
 		if synth {
 			res, err := synthesize(prog.Sys, spec, opts)
 			if err != nil {
-				log.Fatal(err)
+				die(err)
 			}
 			fmt.Printf("LTLSPEC %d: %s\n  safe  : %v\n  unsafe: %v\n", i, spec, res.Safe, res.Unsafe)
 			continue
 		}
 		res, err := check(prog.Sys, spec, opts)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		report(prog.Sys, fmt.Sprintf("LTLSPEC %d: %s", i, spec), res, fullTrace, verify)
 	}
 	for i, spec := range prog.CTLSpecs {
 		res, err := verdict.CheckCTL(prog.Sys, spec, opts)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		report(prog.Sys, fmt.Sprintf("CTLSPEC %d: %s", i, spec), res, fullTrace, verify)
 	}
@@ -178,26 +199,26 @@ func runScenario(name string, synth, fullTrace, verify bool, opts verdict.Option
 		}
 		m, err := verdict.BuildRollout(cfg)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		if synth {
 			res, err := synthesize(m.Sys, m.Property, opts)
 			if err != nil {
-				log.Fatal(err)
+				die(err)
 			}
 			fmt.Printf("safe p: %v\nunsafe p: %v\n", res.Safe, res.Unsafe)
 			return
 		}
 		res, err := verdict.FindCounterexample(m.Sys, m.Property, opts)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		report(m.Sys, "G(converged -> available >= 1) [p=1, k=2]", res, fullTrace, verify)
 	case "lbecmp":
 		m := verdict.BuildLBECMP(verdict.DefaultLBECMP())
 		res, err := verdict.FindCounterexample(m.Sys, m.PropertyCond, opts)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		report(m.Sys, "stable -> F(G(stable))", res, fullTrace, verify)
 	case "taint":
@@ -205,14 +226,14 @@ func runScenario(name string, synth, fullTrace, verify bool, opts verdict.Option
 		if synth {
 			res, err := synthesize(m.Sys, m.Property, opts)
 			if err != nil {
-				log.Fatal(err)
+				die(err)
 			}
 			fmt.Printf("safe: %v\nunsafe: %v\n", res.Safe, res.Unsafe)
 			return
 		}
 		res, err := check(m.Sys, m.Property, opts)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		report(m.Sys, "F(G(stable)) — issue #75913", res, fullTrace, verify)
 	case "hpa":
@@ -220,19 +241,19 @@ func runScenario(name string, synth, fullTrace, verify bool, opts verdict.Option
 			MaxReplicas: 8, InitialDesired: 2, MaxSurge: 1, HPABug: !synth, SynthBug: synth,
 		})
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		if synth {
 			res, err := synthesize(m.Sys, m.Property, opts)
 			if err != nil {
-				log.Fatal(err)
+				die(err)
 			}
 			fmt.Printf("safe: %v\nunsafe: %v\n", res.Safe, res.Unsafe)
 			return
 		}
 		res, err := verdict.ProveInvariant(m.Sys, m.Bound, opts)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		report(m.Sys, "G(desired <= 2) — issue #90461", res, fullTrace, verify)
 	case "bigquery":
@@ -240,19 +261,19 @@ func runScenario(name string, synth, fullTrace, verify bool, opts verdict.Option
 			AbuseThreshold: 1, SynthThreshold: synth,
 		})
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		if synth {
 			res, err := synthesize(m.Sys, m.Property, opts)
 			if err != nil {
-				log.Fatal(err)
+				die(err)
 			}
 			fmt.Printf("safe abuse thresholds: %v\nunsafe: %v\n", res.Safe, res.Unsafe)
 			return
 		}
 		res, err := check(m.Sys, m.Property, opts)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		report(m.Sys, "G(!rejecting) — Google incident #18037", res, fullTrace, verify)
 	case "descheduler":
@@ -262,23 +283,29 @@ func runScenario(name string, synth, fullTrace, verify bool, opts verdict.Option
 		if synth {
 			res, err := synthesize(m.Sys, m.Property, opts)
 			if err != nil {
-				log.Fatal(err)
+				die(err)
 			}
 			fmt.Printf("%d safe thresholds, %d unsafe\n", len(res.Safe), len(res.Unsafe))
 			return
 		}
 		res, err := check(m.Sys, m.Property, opts)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		report(m.Sys, "F(G(stable)) — §3.3 oscillation", res, fullTrace, verify)
 	default:
-		log.Fatalf("unknown scenario %q", name)
+		dief("unknown scenario %q", name)
 	}
 }
 
 func report(sys *verdict.System, what string, res *verdict.Result, fullTrace, verify bool) {
 	fmt.Printf("%s\n  -> %s\n", what, res)
+	if res.Status == verdict.Violated {
+		violated = true
+	}
+	if res.Witness != "" {
+		fmt.Printf("  witness: %s\n", res.Witness)
+	}
 	if showStats && res.Stats != nil {
 		fmt.Printf("  stats: %s\n", res.Stats)
 	}
@@ -293,7 +320,7 @@ func report(sys *verdict.System, what string, res *verdict.Result, fullTrace, ve
 	}
 	if verify {
 		if err := verdict.ValidateTrace(sys, res.Trace); err != nil {
-			log.Fatalf("trace failed validation: %v", err)
+			dief("trace failed validation: %v", err)
 		}
 		fmt.Println("-- trace validated against the system semantics")
 	}

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"verdict"
 	"verdict/internal/server"
 	"verdict/internal/trace"
 )
@@ -24,9 +25,15 @@ import (
 // It submits the model, waits for the verdict (server-side long poll
 // plus client-side retry), and prints the result in the same shape as
 // a local `verdict -model` run, including the witness trace.
-func runRemote(args []string) {
+//
+// The returned exit code mirrors the local command: 0 when the
+// property holds (or is unknown), 1 when it is violated, 2 when the
+// check could not run — bad input, a server-side engine failure, or a
+// transport error — so scripts can tell "found a bug" from "broke".
+func runRemote(args []string) int {
 	if len(args) == 0 || args[0] != "check" {
-		log.Fatalf("usage: verdict remote check [flags] (unknown verb %q)", strings.Join(args, " "))
+		log.Printf("usage: verdict remote check [flags] (unknown verb %q)", strings.Join(args, " "))
+		return 2
 	}
 	fs := flag.NewFlagSet("remote check", flag.ExitOnError)
 	var (
@@ -45,11 +52,12 @@ func runRemote(args []string) {
 	fs.Parse(args[1:])
 	if *modelPath == "" {
 		fs.Usage()
-		os.Exit(2)
+		return 2
 	}
 	src, err := os.ReadFile(*modelPath)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 2
 	}
 	req := server.CheckRequest{
 		Model:    string(src),
@@ -63,41 +71,58 @@ func runRemote(args []string) {
 			RetryAttempts: *retries,
 		},
 	}
-	cr := submitRemote(*serverURL, req)
+	cr, err := submitRemote(*serverURL, req)
+	if err != nil {
+		log.Printf("submit: %v", err)
+		return 2
+	}
 	fmt.Printf("submitted: id %s (cached=%v)\n", cr.ID, cr.Cached)
-	final := awaitRemote(*serverURL, cr.ID, *wait)
-	if final.Status == server.StatusFailed {
-		log.Fatalf("check failed on the server: %s", final.Error)
+	final, err := awaitRemote(*serverURL, cr.ID, *wait)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	if final.Status == server.StatusFailed || final.Result == nil {
+		log.Printf("check failed on the server: %s", final.Error)
+		return 2
 	}
 	fmt.Printf("-> %s\n", final.Result)
-	if final.Result.Trace == nil {
-		return
+	if final.Witness != "" {
+		fmt.Printf("witness: %s\n", final.Witness)
 	}
-	fmt.Println("counterexample:")
-	if *fullTrace {
-		fmt.Print(final.Result.Trace.Full())
-	} else {
-		fmt.Print(final.Result.Trace.String())
-	}
-	// The dedicated trace endpoint serves the same witness; fetch it
-	// as a smoke test of the full-trace API when asked for -full-trace.
-	if *fullTrace {
-		var tr trace.Trace
-		if err := getRemoteJSON(*serverURL+"/v1/checks/"+cr.ID+"/trace", &tr); err != nil {
-			log.Fatalf("trace endpoint: %v", err)
+	if final.Result.Trace != nil {
+		fmt.Println("counterexample:")
+		if *fullTrace {
+			fmt.Print(final.Result.Trace.Full())
+		} else {
+			fmt.Print(final.Result.Trace.String())
+		}
+		// The dedicated trace endpoint serves the same witness; fetch it
+		// as a smoke test of the full-trace API when asked for -full-trace.
+		if *fullTrace {
+			var tr trace.Trace
+			if err := getRemoteJSON(*serverURL+"/v1/checks/"+cr.ID+"/trace", &tr); err != nil {
+				log.Printf("trace endpoint: %v", err)
+				return 2
+			}
 		}
 	}
+	if final.Result.Status == verdict.Violated {
+		return 1
+	}
+	return 0
 }
 
-func submitRemote(base string, req server.CheckRequest) server.CheckResponse {
+func submitRemote(base string, req server.CheckRequest) (server.CheckResponse, error) {
+	var zero server.CheckResponse
 	body, err := json.Marshal(req)
 	if err != nil {
-		log.Fatal(err)
+		return zero, err
 	}
 	for attempt := 0; ; attempt++ {
 		resp, err := http.Post(base+"/v1/checks", "application/json", bytes.NewReader(body))
 		if err != nil {
-			log.Fatalf("submit: %v", err)
+			return zero, err
 		}
 		raw, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
@@ -105,13 +130,13 @@ func submitRemote(base string, req server.CheckRequest) server.CheckResponse {
 		case http.StatusOK, http.StatusAccepted:
 			var cr server.CheckResponse
 			if err := json.Unmarshal(raw, &cr); err != nil {
-				log.Fatalf("submit: bad response: %v", err)
+				return zero, fmt.Errorf("bad response: %w", err)
 			}
-			return cr
+			return cr, nil
 		case http.StatusTooManyRequests:
 			// Admission control said later: honor Retry-After a few times.
 			if attempt >= 5 {
-				log.Fatalf("submit: server saturated (429 after %d attempts)", attempt+1)
+				return zero, fmt.Errorf("server saturated (429 after %d attempts)", attempt+1)
 			}
 			delay := time.Second
 			if ra := resp.Header.Get("Retry-After"); ra != "" {
@@ -122,23 +147,23 @@ func submitRemote(base string, req server.CheckRequest) server.CheckResponse {
 			log.Printf("server busy, retrying in %v", delay)
 			time.Sleep(delay)
 		default:
-			log.Fatalf("submit: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+			return zero, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
 		}
 	}
 }
 
-func awaitRemote(base, id string, wait time.Duration) server.CheckResponse {
+func awaitRemote(base, id string, wait time.Duration) (server.CheckResponse, error) {
 	deadline := time.Now().Add(wait)
 	for {
 		var cr server.CheckResponse
 		if err := getRemoteJSON(base+"/v1/checks/"+id+"?wait=1", &cr); err != nil {
-			log.Fatalf("poll: %v", err)
+			return cr, fmt.Errorf("poll: %w", err)
 		}
 		if cr.Status == server.StatusDone || cr.Status == server.StatusFailed {
-			return cr
+			return cr, nil
 		}
 		if time.Now().After(deadline) {
-			log.Fatalf("no verdict after %v (job %s still %s)", wait, id, cr.Status)
+			return cr, fmt.Errorf("no verdict after %v (job %s still %s)", wait, id, cr.Status)
 		}
 		time.Sleep(200 * time.Millisecond)
 	}

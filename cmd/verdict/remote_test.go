@@ -1,0 +1,65 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"verdict/internal/server"
+)
+
+// remoteTestModel cycles x through 0..3; spec 0 is violated, spec 1
+// holds — the two conclusive outcomes the exit code must distinguish.
+const remoteTestModel = `
+MODULE m
+VAR x : 0..3;
+INIT x = 0;
+TRANS next(x) = ite(x < 3, x + 1, 0);
+LTLSPEC G (x <= 2);
+LTLSPEC G (x <= 3);
+`
+
+// TestRemoteCheckExitCodes drives `verdict remote check` against an
+// in-process verdictd: exit 0 when the property holds, 1 when it is
+// violated, 2 when the check could not run (bad input, transport
+// failure) — mirroring the local command so scripts can branch on the
+// outcome.
+func TestRemoteCheckExitCodes(t *testing.T) {
+	s := server.New(server.Config{Workers: 2})
+	ht := httptest.NewServer(s.Handler())
+	defer func() {
+		ht.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+		s.Close()
+	}()
+	model := filepath.Join(t.TempDir(), "m.vsmv")
+	if err := os.WriteFile(model, []byte(remoteTestModel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"violated", []string{"check", "-server", ht.URL, "-model", model}, 1},
+		{"holds", []string{"check", "-server", ht.URL, "-model", model, "-spec", "1"}, 0},
+		{"spec out of range", []string{"check", "-server", ht.URL, "-model", model, "-spec", "2"}, 2},
+		{"bad property", []string{"check", "-server", ht.URL, "-model", model, "-property", "G ("}, 2},
+		{"missing model", []string{"check", "-server", ht.URL, "-model", filepath.Join(t.TempDir(), "absent.vsmv")}, 2},
+		{"transport error", []string{"check", "-server", "http://127.0.0.1:1", "-model", model}, 2},
+		{"unknown verb", []string{"frobnicate"}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := runRemote(c.args); got != c.want {
+				t.Fatalf("runRemote(%v) = %d, want %d", c.args, got, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,168 @@
+package verdict_test
+
+// Golden-trace regression tests for the paper's two headline
+// counterexamples: the Figure 5 rollout violation and the LB/ECMP
+// oscillation lasso. Each found trace is (a) independently validated
+// by the witness interpreter and (b) compared structurally against a
+// committed golden JSON file — trace length, lasso shape, synthesized
+// parameters, and the step-by-step values of the figure's headline
+// variables. Engine-internal details (SAT branching, variable values
+// the figures don't show) are deliberately NOT compared, so solver
+// tweaks that preserve the published behavior don't churn the goldens.
+//
+// Regenerate after an intentional engine change with:
+//
+//	go test -run Golden . -args -update
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"verdict"
+	"verdict/internal/trace"
+	"verdict/internal/witness"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace files under examples/golden/")
+
+func goldenPath(name string) string { return filepath.Join("examples", "golden", name) }
+
+// loadOrUpdateGolden writes tr to the golden file under -update,
+// otherwise loads and returns the committed trace.
+func loadOrUpdateGolden(t *testing.T, name string, tr *trace.Trace) *trace.Trace {
+	t.Helper()
+	path := goldenPath(name)
+	if *updateGolden {
+		data, err := json.MarshalIndent(tr, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return tr
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -args -update to create): %v", err)
+	}
+	var golden trace.Trace
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatalf("golden file %s does not parse: %v", path, err)
+	}
+	return &golden
+}
+
+// compareShape checks the structural fingerprint shared by a found
+// trace and its golden: length, loop position, and the per-state
+// values of the named headline variables.
+func compareShape(t *testing.T, got, want *trace.Trace, vars []string) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("trace length %d, golden has %d", got.Len(), want.Len())
+	}
+	if got.LoopStart != want.LoopStart {
+		t.Fatalf("loop start %d, golden has %d", got.LoopStart, want.LoopStart)
+	}
+	for i := range got.States {
+		for _, name := range vars {
+			gv, gok := got.States[i].Get(name)
+			wv, wok := want.States[i].Get(name)
+			if gok != wok || (gok && !gv.Equal(wv)) {
+				t.Errorf("state %d: %s = %v, golden has %v", i, name, gv, wv)
+			}
+		}
+	}
+}
+
+// TestGoldenFig5Rollout pins the Figure 5 counterexample: with p = 1
+// concurrent update, k = 2 tolerated failures, and m = 1 failure
+// during the rollout, availability drops to zero while the controller
+// believes the system is converged.
+func TestGoldenFig5Rollout(t *testing.T) {
+	m, err := verdict.BuildRollout(verdict.RolloutConfig{
+		Topo: verdict.TestTopology(), P: 1, K: 2, M: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := verdict.FindCounterexample(m.Sys, m.Property,
+		verdict.Options{MaxDepth: 12, ValidateWitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != verdict.Violated || res.Trace == nil {
+		t.Fatalf("fig5 must be violated with a trace, got %v", res)
+	}
+	if res.Witness != witness.Validated {
+		t.Fatalf("fig5 witness status %q, want validated", res.Witness)
+	}
+	if err := witness.Validate(m.Sys, m.Property, res.Trace); err != nil {
+		t.Fatalf("fig5 trace rejected by the witness interpreter: %v", err)
+	}
+
+	golden := loadOrUpdateGolden(t, "fig5-rollout.json", res.Trace)
+	// The figure's story is told by availability collapsing under a
+	// converged controller view.
+	compareShape(t, res.Trace, golden, []string{"available", "converged"})
+	// Integer parameters are exact.
+	for name, wv := range golden.Params {
+		gv, ok := res.Trace.Params[name]
+		if !ok || !gv.Equal(wv) {
+			t.Errorf("param %s = %v, golden has %v", name, gv, wv)
+		}
+	}
+	// The committed golden must itself replay — guards against a stale
+	// or hand-edited file silently weakening the regression.
+	if !*updateGolden {
+		if err := witness.Validate(m.Sys, m.Property, golden); err != nil {
+			t.Errorf("golden fig5 trace no longer replays: %v", err)
+		}
+	}
+}
+
+// TestGoldenLBECMPLasso pins case study 2: the load-balancer/ECMP
+// interaction oscillates forever, refuting F(G(stable)) with a lasso
+// whose loop never stabilizes.
+func TestGoldenLBECMPLasso(t *testing.T) {
+	m := verdict.BuildLBECMP(verdict.DefaultLBECMP())
+	res, err := verdict.FindCounterexample(m.Sys, m.PropertyFG,
+		verdict.Options{MaxDepth: 10, ValidateWitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != verdict.Violated || res.Trace == nil {
+		t.Fatalf("lbecmp must be violated with a trace, got %v", res)
+	}
+	if !res.Trace.IsLasso() {
+		t.Fatalf("lbecmp counterexample must be a lasso, got loop start %d", res.Trace.LoopStart)
+	}
+	if res.Witness != witness.Validated {
+		t.Fatalf("lbecmp witness status %q, want validated", res.Witness)
+	}
+
+	golden := loadOrUpdateGolden(t, "lbecmp-fg.json", res.Trace)
+	// The oscillation is the story: the LB weight flips and the ECMP
+	// route choice per step, plus the lasso shape. The synthesized
+	// rational traffic parameters are solver-dependent (any point in
+	// the unsafe region refutes), so only their presence is pinned,
+	// not their values.
+	compareShape(t, res.Trace, golden, []string{"wa_p1", "wb_p3", "turn_a", "ext_link"})
+	for name := range golden.Params {
+		if _, ok := res.Trace.Params[name]; !ok {
+			t.Errorf("synthesized parameter %s missing from the found trace", name)
+		}
+	}
+	if !*updateGolden {
+		if err := witness.Validate(m.Sys, m.PropertyFG, golden); err != nil {
+			t.Errorf("golden lbecmp trace no longer replays: %v", err)
+		}
+	}
+}

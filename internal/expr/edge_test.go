@@ -1,0 +1,155 @@
+package expr
+
+// Edge-case tests for the evaluator, pinning the contract the witness
+// validator and the engines lean on: arithmetic over rationals is
+// exact at any magnitude, runtime failures (unbound variables,
+// division by zero) come back as errors, and type misuse fails loudly
+// at construction time with a panic — never as a silently wrong value.
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+)
+
+func evalConst(t *testing.T, e *Expr) Value {
+	t.Helper()
+	v, err := Eval(e, EmptyEnv, nil)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return v
+}
+
+// Exact rational arithmetic: no drift at denominators and numerators
+// far beyond float64 precision, and no int64 overflow once a real
+// joins the computation (the evaluator promotes to big.Rat).
+func TestEvalExactRationals(t *testing.T) {
+	big1 := int64(1) << 62
+	cases := []struct {
+		name string
+		e    *Expr
+		want *big.Rat
+	}{
+		{"thirds sum to one", Add(RealFrac(1, 3), RealFrac(1, 3), RealFrac(1, 3)), big.NewRat(1, 1)},
+		{"tenth times ten", Mul(RealFrac(1, 10), RealFrac(10, 1)), big.NewRat(1, 1)},
+		{"huge numerator", Add(RealFrac(big1, 1), RealFrac(big1, 1)), new(big.Rat).SetInt64(0).SetFrac64(big1, 1).Mul(big.NewRat(2, 1), new(big.Rat).SetFrac64(big1, 1))},
+		{"huge denominator", Sub(RealFrac(1, big1), RealFrac(1, big1)), big.NewRat(0, 1)},
+		{"int promoted by real", Mul(IntConst(big1), RealFrac(2, 1)), new(big.Rat).Mul(big.NewRat(2, 1), new(big.Rat).SetFrac64(big1, 1))},
+		{"division is exact", Div(RealFrac(1, 3), RealFrac(1, 6)), big.NewRat(2, 1)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v := evalConst(t, c.e)
+			if v.Kind != KindReal || v.R.Cmp(c.want) != 0 {
+				t.Fatalf("%s = %v, want %v", c.e, v, c.want)
+			}
+		})
+	}
+	// Exactness is what floats cannot do: 0.1+0.2 != 0.3 in binary
+	// floating point, but here the comparison folds to true.
+	eq := evalConst(t, Eq(Add(RealFrac(1, 10), RealFrac(2, 10)), RealFrac(3, 10)))
+	if !eq.B {
+		t.Fatal("1/10 + 2/10 = 3/10 must hold exactly")
+	}
+}
+
+// Count is the paper's availability aggregator; its identity cases
+// matter for degenerate topologies (no replicas, all replicas down).
+func TestCountEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		e    *Expr
+		want int64
+	}{
+		{"empty", Count(), 0},
+		{"all false", Count(False(), False(), False()), 0},
+		{"all true", Count(True(), True()), 2},
+		{"mixed", Count(True(), False(), True(), False()), 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v := evalConst(t, c.e)
+			if v.Kind != KindInt || v.I != c.want {
+				t.Fatalf("%s = %v, want %d", c.e, v, c.want)
+			}
+		})
+	}
+	// Count of an empty list still compares like any integer.
+	if v := evalConst(t, Ge(Count(), IntConst(0))); !v.B {
+		t.Fatal("Count() >= 0 must hold")
+	}
+}
+
+// Runtime failures are errors, not panics: the engines surface them
+// as engine errors and the witness validator as validation failures.
+func TestEvalRuntimeErrors(t *testing.T) {
+	x := &Var{Name: "x", T: Int(0, 7)}
+	cases := []struct {
+		name string
+		e    *Expr
+		want string
+	}{
+		{"division by zero", Div(RealFrac(1, 1), RealFrac(0, 1)), "division by zero"},
+		{"div by zero int denominator", Div(IntConst(4), Sub(IntConst(2), IntConst(2))), "division by zero"},
+		{"unbound variable", Add(x.Ref(), IntConst(1)), "unbound variable"},
+		{"next without env", Eq(x.Next(), IntConst(0)), "without next-state env"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Eval(c.e, EmptyEnv, nil)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Eval(%s) err = %v, want containing %q", c.e, err, c.want)
+			}
+		})
+	}
+}
+
+// Type misuse is a construction-time programmer error and panics at
+// the constructor — by the time an expression exists it is well-typed,
+// which is what lets Eval skip per-node type checks.
+func TestConstructorTypePanics(t *testing.T) {
+	mustPanic := func(name, want string, fn func()) {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Fatalf("%s: expected a construction panic", name)
+				}
+				if msg, ok := p.(string); !ok || !strings.Contains(msg, want) {
+					t.Fatalf("%s: panic %v, want message containing %q", name, p, want)
+				}
+			}()
+			fn()
+		})
+	}
+	b := &Var{Name: "b", T: Bool()}
+	e := &Var{Name: "e", T: Enum("color", "red", "green")}
+	mustPanic("ite branch mismatch", "incompatible types", func() {
+		Ite(True(), IntConst(1), True())
+	})
+	mustPanic("ite bool vs enum", "incompatible types", func() {
+		Ite(b.Ref(), e.Ref(), b.Ref())
+	})
+	mustPanic("ite non-bool condition", "non-boolean", func() {
+		Ite(IntConst(1), IntConst(1), IntConst(2))
+	})
+	mustPanic("and over int", "non-boolean", func() {
+		And(True(), IntConst(3))
+	})
+	mustPanic("ordered comparison on bools", "non-numeric", func() {
+		Lt(True(), False())
+	})
+	mustPanic("eq across kinds", "incompatible types", func() {
+		Eq(b.Ref(), e.Ref())
+	})
+	mustPanic("arith over bool", "non-numeric", func() {
+		Add(IntConst(1), True())
+	})
+	mustPanic("enum constant not in type", "not a value", func() {
+		EnumConst(e.T, "blue")
+	})
+	mustPanic("count over ints", "non-boolean", func() {
+		Count(IntConst(1))
+	})
+}

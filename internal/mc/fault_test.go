@@ -12,6 +12,7 @@ import (
 	"verdict/internal/expr"
 	"verdict/internal/ltl"
 	"verdict/internal/resilience"
+	"verdict/internal/witness"
 )
 
 func engineErrorsContain(r *Result, sub string) bool {
@@ -132,6 +133,61 @@ func TestPortfolioAllEnginesStall(t *testing.T) {
 		if !strings.Contains(e, "stalled") {
 			t.Errorf("engine error %q should say stalled", e)
 		}
+	}
+}
+
+// A corrupted counterexample must not decide the race: the winner's
+// trace is validated before its verdict is accepted, a rejected engine
+// is treated like a crashed one, and a clean survivor still concludes.
+func TestPortfolioRejectsCorruptedWitness(t *testing.T) {
+	restore := resilience.InjectFaults(map[string]resilience.Fault{
+		"portfolio/bmc/emit": resilience.FaultCorrupt,
+	})
+	defer restore()
+	sys, x := counterSystem()
+	phi := ltl.G(ltl.Atom(expr.Le(x.Ref(), expr.IntConst(3)))) // violated at x=4
+	r, err := Portfolio(sys, phi, Options{MaxDepth: 20, ValidateWitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whichever engine wins, the accepted verdict must carry validated
+	// evidence — the corrupted BMC trace can only lose or be rejected.
+	if r.Status != Violated {
+		t.Fatalf("portfolio with corrupted bmc: %v, want violated from a clean engine", r)
+	}
+	if r.Witness != witness.Validated {
+		t.Fatalf("accepted verdict has witness status %q, want validated (stats: %v)", r.Witness, r.Stats)
+	}
+	if err := witness.Validate(sys, phi, r.Trace); err != nil {
+		t.Fatalf("accepted trace does not replay: %v", err)
+	}
+}
+
+// When every conclusive engine's evidence is corrupted, the portfolio
+// must not report any of their verdicts: it degrades to Unknown with
+// the rejections counted in WitnessFailures — the acceptance scenario
+// behind the verdict_witness_failures_total metric.
+func TestPortfolioAllWitnessesCorruptedDegradesUnknown(t *testing.T) {
+	restore := resilience.InjectFaults(map[string]resilience.Fault{
+		"portfolio/bmc/emit":         resilience.FaultCorrupt,
+		"portfolio/k-induction/emit": resilience.FaultCorrupt,
+		"portfolio/bdd/emit":         resilience.FaultCorrupt,
+	})
+	defer restore()
+	sys, x := counterSystem()
+	phi := ltl.G(ltl.Atom(expr.Le(x.Ref(), expr.IntConst(3))))
+	r, err := Portfolio(sys, phi, Options{MaxDepth: 20, ValidateWitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Unknown || !strings.Contains(r.Note, "witness validation") {
+		t.Fatalf("all-corrupted portfolio: %v, want unknown with witness-validation note", r)
+	}
+	if r.Stats == nil || r.Stats.WitnessFailures < 1 {
+		t.Fatalf("want WitnessFailures >= 1, got %v", r.Stats)
+	}
+	if !engineErrorsContain(r, "witness validation failed") {
+		t.Errorf("stats should record the rejected engines, got %v", r.Stats)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"verdict/internal/ltl"
 	"verdict/internal/sat"
 	"verdict/internal/ts"
+	"verdict/internal/witness"
 )
 
 // KInduction attempts to prove the invariant G(p) by k-induction with
@@ -85,12 +86,24 @@ func KInduction(sys *ts.System, p *expr.Expr, opts Options) (res *Result, err er
 		stats.DepthTime = append(stats.DepthTime, time.Since(depthStart))
 		switch st {
 		case sat.Unsat:
+			// Certify the proof: at depth 0 the property itself is
+			// inductive (base: INIT∧INVAR ⟹ p; step: p∧TRANS ⟹ p'), so
+			// the certificate names p as its own strengthening and is
+			// checked by the three inductive-invariant conditions. At
+			// k > 0 the strengthening is the simple-path unrolling, which
+			// has no compact predicate form — the certificate claims only
+			// reachability and is checked by explicit replay.
+			cert := &witness.Certificate{Kind: "k-induction", Property: p, Depth: k}
+			if k == 0 {
+				cert.Invariant = p
+			}
 			return finish(&Result{
 				Status:  Holds,
 				Engine:  "k-induction",
 				Depth:   k,
 				Elapsed: time.Since(start),
 				Note:    fmt.Sprintf("proved at induction depth %d", k),
+				Cert:    cert,
 			}), nil
 		case sat.Unknown:
 			return finish(&Result{Status: Unknown, Engine: "k-induction", Depth: k, Elapsed: time.Since(start), Note: opts.solverNote(step.sats, start)}), nil
@@ -151,8 +164,18 @@ func CheckInvariant(sys *ts.System, p *expr.Expr, opts Options) (*Result, error)
 // its base case, cheap proof when the property is inductive at small
 // depth) with a quarter of the time budget, then the BDD engine
 // decides exactly; everything else goes through BMC for refutation
-// and the BDD engine for proofs.
+// and the BDD engine for proofs. With Options.ValidateWitness the
+// conclusive verdict's evidence is re-checked by the independent
+// witness validator before it is returned (outcome in Result.Witness).
 func CheckLTL(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) {
+	r, err := checkLTL(sys, phi, opts)
+	if err == nil && opts.ValidateWitness {
+		RecordWitness(sys, phi, r)
+	}
+	return r, err
+}
+
+func checkLTL(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) {
 	if p, ok := ltl.IsSafetyInvariant(phi); ok && sys.Finite() {
 		kiOpts := opts
 		if opts.Timeout > 0 {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"verdict/internal/trace"
+	"verdict/internal/witness"
 )
 
 // This file gives Result, Status, and Stats a stable JSON wire form —
@@ -46,6 +47,12 @@ type wireResult struct {
 	Note      string       `json:"note,omitempty"`
 	Trace     *trace.Trace `json:"trace,omitempty"`
 	Stats     *Stats       `json:"stats,omitempty"`
+	// Witness is the independent validation outcome
+	// ("validated"/"failed"/"skipped"), absent when nothing was
+	// validated. Certificates themselves stay local — they reference
+	// the in-memory expression trees — so remote re-validation means
+	// re-checking, not trusting a serialized proof.
+	Witness string `json:"witness,omitempty"`
 }
 
 // MarshalJSON renders the result in its wire shape.
@@ -58,6 +65,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		Note:      r.Note,
 		Trace:     r.Trace,
 		Stats:     r.Stats,
+		Witness:   string(r.Witness),
 	})
 }
 
@@ -75,31 +83,34 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		Note:    w.Note,
 		Trace:   w.Trace,
 		Stats:   w.Stats,
+		Witness: witness.Status(w.Witness),
 	}
 	return nil
 }
 
 type wireStats struct {
-	Conflicts    int64    `json:"conflicts,omitempty"`
-	Decisions    int64    `json:"decisions,omitempty"`
-	Propagations int64    `json:"propagations,omitempty"`
-	Learnts      int64    `json:"learnts,omitempty"`
-	Restarts     int64    `json:"restarts,omitempty"`
-	BDDNodes     int      `json:"bdd_nodes,omitempty"`
-	DepthTimeNS  []int64  `json:"depth_time_ns,omitempty"`
-	EngineErrors []string `json:"engine_errors,omitempty"`
+	Conflicts       int64    `json:"conflicts,omitempty"`
+	Decisions       int64    `json:"decisions,omitempty"`
+	Propagations    int64    `json:"propagations,omitempty"`
+	Learnts         int64    `json:"learnts,omitempty"`
+	Restarts        int64    `json:"restarts,omitempty"`
+	BDDNodes        int      `json:"bdd_nodes,omitempty"`
+	DepthTimeNS     []int64  `json:"depth_time_ns,omitempty"`
+	EngineErrors    []string `json:"engine_errors,omitempty"`
+	WitnessFailures int64    `json:"witness_failures,omitempty"`
 }
 
 // MarshalJSON renders the stats in their wire shape.
 func (st *Stats) MarshalJSON() ([]byte, error) {
 	w := wireStats{
-		Conflicts:    st.Conflicts,
-		Decisions:    st.Decisions,
-		Propagations: st.Propagations,
-		Learnts:      st.Learnts,
-		Restarts:     st.Restarts,
-		BDDNodes:     st.BDDNodes,
-		EngineErrors: st.EngineErrors,
+		Conflicts:       st.Conflicts,
+		Decisions:       st.Decisions,
+		Propagations:    st.Propagations,
+		Learnts:         st.Learnts,
+		Restarts:        st.Restarts,
+		BDDNodes:        st.BDDNodes,
+		EngineErrors:    st.EngineErrors,
+		WitnessFailures: st.WitnessFailures,
 	}
 	for _, d := range st.DepthTime {
 		w.DepthTimeNS = append(w.DepthTimeNS, d.Nanoseconds())
@@ -114,13 +125,14 @@ func (st *Stats) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*st = Stats{
-		Conflicts:    w.Conflicts,
-		Decisions:    w.Decisions,
-		Propagations: w.Propagations,
-		Learnts:      w.Learnts,
-		Restarts:     w.Restarts,
-		BDDNodes:     w.BDDNodes,
-		EngineErrors: w.EngineErrors,
+		Conflicts:       w.Conflicts,
+		Decisions:       w.Decisions,
+		Propagations:    w.Propagations,
+		Learnts:         w.Learnts,
+		Restarts:        w.Restarts,
+		BDDNodes:        w.BDDNodes,
+		EngineErrors:    w.EngineErrors,
+		WitnessFailures: w.WitnessFailures,
 	}
 	for _, ns := range w.DepthTimeNS {
 		st.DepthTime = append(st.DepthTime, time.Duration(ns))

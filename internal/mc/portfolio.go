@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"time"
 
+	"verdict/internal/expr"
 	"verdict/internal/ltl"
 	"verdict/internal/resilience"
+	"verdict/internal/trace"
 	"verdict/internal/ts"
 )
 
@@ -115,15 +117,23 @@ func Portfolio(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) 
 			}()
 			resilience.At(ctx, "portfolio/"+r.name)
 			o.res, o.err = r.fn()
+			// Test-only integrity fault: emit a deliberately damaged
+			// counterexample so the witness validator's rejection path is
+			// exercised end to end.
+			if o.err == nil && o.res != nil && o.res.Trace != nil &&
+				resilience.At(ctx, "portfolio/"+r.name+"/emit") == resilience.FaultCorrupt {
+				o.res.Trace = corruptTrace(o.res.Trace)
+			}
 		}()
 	}
 
 	var (
-		best        *Result
-		failures    []string
-		firstErr    error
-		pending     = len(runs)
-		outstanding = make(map[string]bool, len(runs))
+		best         *Result
+		failures     []string
+		firstErr     error
+		pending      = len(runs)
+		outstanding  = make(map[string]bool, len(runs))
+		witnessFails int64
 	)
 	for _, r := range runs {
 		outstanding[r.name] = true
@@ -148,11 +158,12 @@ func Portfolio(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) 
 		pending = 0
 	}
 	attach := func(r *Result) *Result {
-		if len(failures) > 0 {
+		if len(failures) > 0 || witnessFails > 0 {
 			if r.Stats == nil {
 				r.Stats = &Stats{}
 			}
 			r.Stats.EngineErrors = append(r.Stats.EngineErrors, failures...)
+			r.Stats.WitnessFailures += witnessFails
 		}
 		r.Engine = "portfolio/" + r.Engine
 		r.Elapsed = time.Since(start)
@@ -191,6 +202,18 @@ func Portfolio(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) 
 			if o.err == nil && o.res.Status != Unknown {
 				pending--
 				delete(outstanding, o.name)
+				// The winner's evidence must survive independent
+				// validation before its verdict is accepted: an engine
+				// whose counterexample does not replay (or whose
+				// certificate does not check) is rejected like a crashed
+				// engine, and the race falls back to the survivors.
+				if inner.ValidateWitness {
+					if werr := ApplyWitness(sys, phi, o.res); werr != nil {
+						witnessFails++
+						failures = append(failures, o.name+": witness validation failed: "+werr.Error())
+						continue
+					}
+				}
 				return finish(o.res), nil
 			}
 			take(o)
@@ -214,6 +237,14 @@ func Portfolio(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) 
 	if best != nil {
 		return attach(best), nil
 	}
+	if witnessFails > 0 && firstErr == nil {
+		// Every conclusive engine lied (or was corrupted) and no honest
+		// Unknown remains: degrade to Unknown with the rejections on
+		// display rather than reporting an unvalidated verdict.
+		return &Result{Status: Unknown, Engine: "portfolio", Elapsed: time.Since(start),
+			Note:  "all conclusive verdicts failed witness validation",
+			Stats: &Stats{EngineErrors: failures, WitnessFailures: witnessFails}}, nil
+	}
 	if len(outstanding) == len(runs) || firstErr == nil {
 		// No engine produced a usable result (all stalled, or the
 		// parent died before any outcome): degrade to Unknown rather
@@ -221,9 +252,31 @@ func Portfolio(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) 
 		// model.
 		r := &Result{Status: Unknown, Engine: "portfolio", Elapsed: time.Since(start), Note: opts.stopNote()}
 		if len(failures) > 0 {
-			r.Stats = &Stats{EngineErrors: failures}
+			r.Stats = &Stats{EngineErrors: failures, WitnessFailures: witnessFails}
 		}
 		return r, nil
 	}
 	return nil, firstErr
+}
+
+// corruptTrace returns a deterministically damaged copy of t (fault
+// injection only): every boolean in the first state is flipped and
+// every integer bumped, so the result is no execution of any system
+// whose INIT or TRANS actually constrains those variables. The
+// original is left intact — engines may hold references to it.
+func corruptTrace(t *trace.Trace) *trace.Trace {
+	cp := t.Clone()
+	if len(cp.States) == 0 {
+		return cp
+	}
+	st := cp.States[0]
+	for k, v := range st.Values {
+		switch v.Kind {
+		case expr.KindBool:
+			st.Values[k] = expr.BoolValue(!v.B)
+		case expr.KindInt:
+			st.Values[k] = expr.IntValue(v.I + 1)
+		}
+	}
+	return cp
 }

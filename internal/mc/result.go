@@ -15,6 +15,7 @@ import (
 
 	"verdict/internal/sat"
 	"verdict/internal/trace"
+	"verdict/internal/witness"
 )
 
 // Status is the verdict of a check.
@@ -58,6 +59,15 @@ type Result struct {
 	// Stats carries the deciding engine's observability counters (nil
 	// for engines that do not report any).
 	Stats *Stats
+	// Cert is the proof evidence an engine attaches to a Holds verdict
+	// (k-induction strengthening, BDD fixpoint invariant); checked by
+	// witness.ValidateCertificate. Nil when the engine cannot certify.
+	Cert *witness.Certificate
+	// Witness reports the outcome of independent witness validation
+	// (Options.ValidateWitness): "validated", "failed", "skipped"
+	// (state space too large to certify), or empty when there was
+	// nothing to validate.
+	Witness witness.Status
 }
 
 // Stats aggregates an engine's observability counters: SAT search
@@ -80,6 +90,12 @@ type Stats struct {
 	// errored) while the race continued with the survivors; each entry
 	// is "engine: cause". Empty on single-engine checks.
 	EngineErrors []string
+	// WitnessFailures counts verdicts whose evidence failed independent
+	// witness validation: conclusive engine results the portfolio
+	// rejected and fell back from, or (single-engine checks) the
+	// returned result itself. The rejections' details land in
+	// EngineErrors.
+	WitnessFailures int64
 }
 
 // addSolver folds a solver's counters into the stats. Call it exactly
@@ -117,6 +133,9 @@ func (st *Stats) String() string {
 	}
 	if len(st.EngineErrors) > 0 {
 		parts = append(parts, "engine failures: "+strings.Join(st.EngineErrors, "; "))
+	}
+	if st.WitnessFailures > 0 {
+		parts = append(parts, fmt.Sprintf("witness failures: %d", st.WitnessFailures))
 	}
 	if len(parts) == 0 {
 		return "no counters recorded"
@@ -227,6 +246,14 @@ type Options struct {
 	// recorded in the Checkpoint file, reusing their stored verdicts
 	// and witness traces.
 	Resume bool
+	// ValidateWitness re-checks every conclusive verdict with the
+	// independent witness validator (internal/witness): counterexample
+	// traces are replayed against the system semantics and the
+	// property, Holds certificates are checked by direct evaluation.
+	// The portfolio rejects a winning engine whose evidence fails
+	// validation and falls back to the survivors; single-engine checks
+	// record the failure in Result.Witness and Stats.WitnessFailures.
+	ValidateWitness bool
 }
 
 func (o Options) maxDepth() int {

@@ -14,6 +14,7 @@ import (
 	"verdict/internal/resilience"
 	"verdict/internal/trace"
 	"verdict/internal/ts"
+	"verdict/internal/witness"
 )
 
 // ErrTimeout is returned when a BDD engine construction or fixpoint
@@ -896,6 +897,15 @@ func (s *Sym) CheckInvariant(p *expr.Expr) (res *Result, err error) {
 	if bad == bdd.False {
 		res.Status = Holds
 		res.Depth = len(s.layers)
+		// Certify the proof with the reachability fixpoint itself: the
+		// reach set, rendered back as a state predicate, is an inductive
+		// invariant (closed under TRANS, contains INIT, implies p) that
+		// witness.ValidateCertificate can check by direct evaluation.
+		if s.opts.ValidateWitness {
+			if inv := s.invariantExpr(reach); inv != nil {
+				res.Cert = &witness.Certificate{Kind: "bdd-reach", Property: p, Invariant: inv, Depth: len(s.layers)}
+			}
+		}
 		return res, nil
 	}
 	res.Status = Violated
@@ -1027,3 +1037,82 @@ func (s *Sym) decodeVar(v *expr.Var, asn map[int]bool) expr.Value {
 
 // NodeCount exposes the BDD arena size for the benchmark harness.
 func (s *Sym) NodeCount() int { return s.m.Size() }
+
+// certNodeLimit bounds how many BDD nodes invariantExpr converts:
+// beyond it the certificate is dropped (no cert) rather than building
+// an expression nobody can afford to evaluate.
+const certNodeLimit = 4096
+
+// invariantExpr converts a BDD over current-state bits of the system's
+// variables and parameters back into an equivalent *expr.Expr by
+// Shannon expansion over the BDD graph: node n at the level of bit j
+// of variable v becomes (bit ∧ hi) ∨ (¬bit ∧ lo), where bit is the
+// state predicate "bit j of v is set". Shared BDD nodes become shared
+// subexpressions, and because evaluation short-circuits ∧/∨, checking
+// the result on one concrete state follows exactly one root-to-leaf
+// path — O(BDD depth), not O(BDD size).
+//
+// Returns nil when the BDD mentions a non-state level (next-state or
+// tableau monitor bits — not a state invariant) or exceeds
+// certNodeLimit.
+func (s *Sym) invariantExpr(f bdd.Node) *expr.Expr {
+	bitOf := make(map[int]*expr.Expr)
+	for _, v := range s.sys.AllVars() {
+		lay := s.layout[v]
+		for j := 0; j < lay.width; j++ {
+			bitOf[lay.base+2*j] = s.bitPredicate(v, lay, j)
+		}
+	}
+	memo := map[bdd.Node]*expr.Expr{bdd.True: expr.True(), bdd.False: expr.False()}
+	count := 0
+	var rec func(n bdd.Node) *expr.Expr
+	rec = func(n bdd.Node) *expr.Expr {
+		if e, ok := memo[n]; ok {
+			return e
+		}
+		count++
+		if count > certNodeLimit {
+			return nil
+		}
+		l := s.m.Level(n)
+		bit, ok := bitOf[l]
+		if !ok {
+			return nil
+		}
+		lo := rec(s.m.Restrict(n, l, false))
+		if lo == nil {
+			return nil
+		}
+		hi := rec(s.m.Restrict(n, l, true))
+		if hi == nil {
+			return nil
+		}
+		e := expr.Or(expr.And(bit, hi), expr.And(expr.Not(bit), lo))
+		memo[n] = e
+		return e
+	}
+	return rec(f)
+}
+
+// bitPredicate is the state predicate "bit j of v's encoded value is
+// set": the variable itself for booleans, otherwise the disjunction of
+// v = d over the domain values d whose offset-encoding has bit j set.
+func (s *Sym) bitPredicate(v *expr.Var, lay varLayout, j int) *expr.Expr {
+	if v.T.Kind == expr.KindBool {
+		return v.Ref()
+	}
+	var alts []*expr.Expr
+	for _, val := range domainValues(v.T) {
+		var u int64
+		switch val.Kind {
+		case expr.KindInt:
+			u = val.I - lay.lo
+		case expr.KindEnum:
+			u = int64(v.T.EnumIndex(val.Sym))
+		}
+		if u>>uint(j)&1 == 1 {
+			alts = append(alts, expr.Eq(v.Ref(), expr.Const(val, v.T)))
+		}
+	}
+	return expr.Or(alts...)
+}

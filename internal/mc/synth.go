@@ -14,6 +14,7 @@ import (
 	"verdict/internal/resilience"
 	"verdict/internal/trace"
 	"verdict/internal/ts"
+	"verdict/internal/witness"
 )
 
 // ParamAssignment is one concrete valuation of every parameter.
@@ -298,6 +299,13 @@ func SynthesizeParamsEnum(sys *ts.System, phi *ltl.Formula, opts Options) (*Synt
 				return ctx.Err() // cancelled by a sibling's failure
 			}
 			return fmt.Errorf("mc: enumeration synthesis undecided for %s", jobs[i].vals)
+		}
+		// CheckLTL stamps r.Witness when ValidateWitness is set; a
+		// per-valuation trace that fails independent replay poisons the
+		// whole partition (the Unsafe set would cite a fictitious
+		// execution), so it fails the sweep rather than being recorded.
+		if opts.ValidateWitness && r.Witness == witness.Failed {
+			return fmt.Errorf("mc: witness validation failed for %s: %s", jobs[i].vals, r.Note)
 		}
 		results[i] = r
 		if ckpt != nil {

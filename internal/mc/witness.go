@@ -1,0 +1,72 @@
+package mc
+
+import (
+	"errors"
+
+	"verdict/internal/ltl"
+	"verdict/internal/ts"
+	"verdict/internal/witness"
+)
+
+// ApplyWitness independently validates r's evidence against (sys, phi)
+// and stamps r.Witness with the outcome. It returns a non-nil error
+// exactly when the evidence fails validation — a Violated verdict whose
+// trace does not replay or does not violate phi, or a Holds verdict
+// whose certificate does not check — which means the deciding engine is
+// wrong (or its output was corrupted in flight). Verdicts without
+// evidence (no trace, no certificate, Unknown) and certificates whose
+// state space exceeds the enumeration budget validate vacuously to
+// "" / "skipped" and return nil.
+func ApplyWitness(sys *ts.System, phi *ltl.Formula, r *Result) error {
+	if r == nil {
+		return nil
+	}
+	switch r.Status {
+	case Violated:
+		if r.Trace == nil {
+			r.Witness = witness.None
+			return nil
+		}
+		if err := witness.Validate(sys, phi, r.Trace); err != nil {
+			r.Witness = witness.Failed
+			return err
+		}
+		r.Witness = witness.Validated
+	case Holds:
+		if r.Cert == nil {
+			r.Witness = witness.None
+			return nil
+		}
+		err := witness.ValidateCertificate(sys, r.Cert, witness.DefaultLimit)
+		switch {
+		case err == nil:
+			r.Witness = witness.Validated
+		case errors.Is(err, witness.ErrUncheckable):
+			r.Witness = witness.Skipped
+		default:
+			r.Witness = witness.Failed
+			return err
+		}
+	default:
+		r.Witness = witness.None
+	}
+	return nil
+}
+
+// RecordWitness applies witness validation to a single-engine result,
+// folding a failure into the result's note and stats instead of
+// returning it: unlike the portfolio there is no surviving engine to
+// fall back to, so the verdict is reported as-is with its failed
+// validation on display.
+func RecordWitness(sys *ts.System, phi *ltl.Formula, r *Result) {
+	if err := ApplyWitness(sys, phi, r); err != nil {
+		if r.Stats == nil {
+			r.Stats = &Stats{}
+		}
+		r.Stats.WitnessFailures++
+		if r.Note != "" {
+			r.Note += "; "
+		}
+		r.Note += "witness validation FAILED: " + err.Error()
+	}
+}

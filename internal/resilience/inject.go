@@ -22,6 +22,11 @@ const (
 	// FaultExhaust is returned to the caller, which must react as if
 	// its resource budget just ran out.
 	FaultExhaust
+	// FaultCorrupt is returned to the caller, which must deliberately
+	// damage its output (e.g. the portfolio corrupts an engine's
+	// counterexample trace) so downstream integrity checks — the
+	// independent witness validator — can be exercised end to end.
+	FaultCorrupt
 )
 
 func (f Fault) String() string {
@@ -32,6 +37,8 @@ func (f Fault) String() string {
 		return "stall"
 	case FaultExhaust:
 		return "exhaust"
+	case FaultCorrupt:
+		return "corrupt"
 	}
 	return "none"
 }

@@ -169,6 +169,7 @@ type Server struct {
 	mRejections *metrics.Counter
 	mWins       *metrics.Counter
 	mBudgetExh  *metrics.Counter
+	mWitnessBad *metrics.Counter
 	gQueueDepth *metrics.Gauge
 	gInflight   *metrics.Gauge
 	gCacheSize  *metrics.Gauge
@@ -197,6 +198,7 @@ func New(cfg Config) *Server {
 	s.mRejections = s.reg.Counter("verdictd_queue_rejections_total", "Submissions rejected with 429 because the job queue was full.")
 	s.mWins = s.reg.Counter("verdictd_engine_wins_total", "Conclusive checks, by deciding engine.", "engine")
 	s.mBudgetExh = s.reg.Counter("verdictd_budget_exhaustions_total", "Checks that degraded to unknown because a resource budget ran out.")
+	s.mWitnessBad = s.reg.Counter("verdict_witness_failures_total", "Engine verdicts rejected by independent witness validation: counterexamples that did not replay or certificates that did not check.")
 	s.gQueueDepth = s.reg.Gauge("verdictd_queue_depth", "Jobs admitted but not yet started.")
 	s.gInflight = s.reg.Gauge("verdictd_inflight_checks", "Checks currently executing.")
 	s.gCacheSize = s.reg.Gauge("verdictd_cache_entries", "Finished jobs held in the result cache.")
@@ -298,6 +300,9 @@ func (s *Server) runJob(j *job) {
 	}
 	if j.result != nil && j.result.Status == mc.Unknown && strings.Contains(j.result.Note, "budget exhausted") {
 		s.mBudgetExh.Inc()
+	}
+	if j.result != nil && j.result.Stats != nil && j.result.Stats.WitnessFailures > 0 {
+		s.mWitnessBad.Add(float64(j.result.Stats.WitnessFailures))
 	}
 	if j.errMsg != "" {
 		s.cfg.Log.Printf("check %s failed: %s", j.id, j.errMsg)
@@ -459,6 +464,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) writeJob(w http.ResponseWriter, code int, j *job, cached bool) {
 	s.mu.Lock()
 	resp := CheckResponse{ID: j.id, Status: j.status, Cached: cached, Error: j.errMsg, Result: j.result}
+	if j.result != nil {
+		// Explicit "none" (rather than an absent field) so clients can
+		// tell "not validated" apart from "talking to an old daemon".
+		resp.Witness = j.result.Witness.String()
+	}
 	s.mu.Unlock()
 	writeJSON(w, code, resp)
 }

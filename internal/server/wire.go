@@ -58,6 +58,11 @@ type CheckResponse struct {
 	Cached bool       `json:"cached,omitempty"`
 	Error  string     `json:"error,omitempty"`
 	Result *mc.Result `json:"result,omitempty"`
+	// Witness reports the independent validation outcome for the
+	// verdict's evidence: "validated", "failed", "skipped" (state space
+	// too large to enumerate a certificate), or "none" (no evidence to
+	// validate). Empty until the job settles.
+	Witness string `json:"witness,omitempty"`
 }
 
 // compiled is a request after parsing, option normalization, and
@@ -152,6 +157,11 @@ func (s *Server) normalizeOptions(o OptionsRequest) (mc.Options, resilience.Retr
 			SATConflicts: max(o.SATConflicts, 0),
 			BDDNodes:     max(o.BDDNodes, 0),
 		},
+		// The daemon serves cached verdicts to clients that never saw
+		// the engine run, so every verdict's evidence is independently
+		// validated before it is stored. Unconditional, hence not part
+		// of the cache key.
+		ValidateWitness: true,
 	}
 	retries := o.RetryAttempts
 	if retries < 0 {

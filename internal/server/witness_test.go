@@ -1,0 +1,79 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"verdict/internal/mc"
+	"verdict/internal/resilience"
+)
+
+// Every daemon check runs with witness validation on, so wire
+// responses carry the validation outcome alongside the verdict: a
+// violated spec's trace replays ("validated"), and a holds spec's
+// k-induction certificate checks ("validated").
+func TestWitnessReportedOnWire(t *testing.T) {
+	_, ht := newTestServer(t, Config{Workers: 2})
+
+	_, cr := submit(t, ht.URL, CheckRequest{Model: counterModel})
+	final := waitDone(t, ht.URL, cr.ID)
+	if final.Result == nil || final.Result.Status != mc.Violated {
+		t.Fatalf("spec 0: %+v, want violated", final)
+	}
+	if final.Witness != "validated" {
+		t.Fatalf("spec 0 witness %q, want validated", final.Witness)
+	}
+
+	_, cr2 := submit(t, ht.URL, CheckRequest{Model: counterModel, Spec: 1})
+	final2 := waitDone(t, ht.URL, cr2.ID)
+	if final2.Result == nil || final2.Result.Status != mc.Holds {
+		t.Fatalf("spec 1: %+v, want holds", final2)
+	}
+	if final2.Witness != "validated" {
+		t.Fatalf("spec 1 witness %q, want validated", final2.Witness)
+	}
+}
+
+// An engine whose counterexample is corrupted in flight must not have
+// its verdict served: with every portfolio engine corrupted the check
+// degrades to unknown, and the rejections surface in the
+// verdict_witness_failures_total counter.
+func TestWitnessFailureCountedInMetrics(t *testing.T) {
+	restore := resilience.InjectFaults(map[string]resilience.Fault{
+		"portfolio/bmc/emit":         resilience.FaultCorrupt,
+		"portfolio/k-induction/emit": resilience.FaultCorrupt,
+		"portfolio/bdd/emit":         resilience.FaultCorrupt,
+	})
+	defer restore()
+
+	s, ht := newTestServer(t, Config{Workers: 1})
+	_, cr := submit(t, ht.URL, CheckRequest{Model: counterModel})
+	final := waitDone(t, ht.URL, cr.ID)
+	if final.Result == nil || final.Result.Status != mc.Unknown {
+		t.Fatalf("all-corrupted check: %+v, want unknown", final)
+	}
+	if !strings.Contains(final.Result.Note, "witness validation") {
+		t.Fatalf("note %q should name witness validation", final.Result.Note)
+	}
+	if final.Witness != "none" {
+		t.Fatalf("witness %q, want none (no verdict survived to validate)", final.Witness)
+	}
+	if got := s.mWitnessBad.Value(); got < 1 {
+		t.Fatalf("verdict_witness_failures_total = %v, want >= 1", got)
+	}
+
+	resp, err := http.Get(ht.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "verdict_witness_failures_total") {
+		t.Fatal("/metrics does not expose verdict_witness_failures_total")
+	}
+}

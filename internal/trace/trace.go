@@ -46,6 +46,27 @@ func New() *Trace {
 // IsLasso reports whether the trace loops.
 func (t *Trace) IsLasso() bool { return t.LoopStart >= 0 }
 
+// Clone returns a deep copy: mutating the copy's states or parameters
+// leaves the original untouched.
+func (t *Trace) Clone() *Trace {
+	if t == nil {
+		return nil
+	}
+	cp := &Trace{LoopStart: t.LoopStart, Params: make(map[string]expr.Value, len(t.Params))}
+	for k, v := range t.Params {
+		cp.Params[k] = v
+	}
+	cp.States = make([]State, len(t.States))
+	for i, s := range t.States {
+		ns := NewState()
+		for k, v := range s.Values {
+			ns.Values[k] = v
+		}
+		cp.States[i] = ns
+	}
+	return cp
+}
+
 // Len returns the number of states.
 func (t *Trace) Len() int { return len(t.States) }
 

@@ -273,12 +273,24 @@ func CheckPortfolioWithRetry(sys *System, phi *LTL, opts Options, pol RetryPolic
 // finite-prefix or lasso counterexamples up to opts.MaxDepth and never
 // proves a property.
 func FindCounterexample(sys *System, phi *LTL, opts Options) (*Result, error) {
-	return guard("bmc", func() (*Result, error) { return mc.BMC(sys, phi, opts) })
+	return guard("bmc", func() (*Result, error) {
+		r, err := mc.BMC(sys, phi, opts)
+		if err == nil && opts.ValidateWitness {
+			mc.RecordWitness(sys, phi, r)
+		}
+		return r, err
+	})
 }
 
 // ProveInvariant attempts a k-induction proof of G(p).
 func ProveInvariant(sys *System, p *Expr, opts Options) (*Result, error) {
-	return guard("k-induction", func() (*Result, error) { return mc.KInduction(sys, p, opts) })
+	return guard("k-induction", func() (*Result, error) {
+		r, err := mc.KInduction(sys, p, opts)
+		if err == nil && opts.ValidateWitness {
+			mc.RecordWitness(sys, ltl.G(ltl.Atom(p)), r)
+		}
+		return r, err
+	})
 }
 
 // CheckInvariantBDD decides G(p) by exhaustive symbolic reachability —
@@ -298,7 +310,11 @@ func CheckInvariantBDD(sys *System, p *Expr, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return sym.CheckInvariant(p)
+		r, err := sym.CheckInvariant(p)
+		if err == nil && opts.ValidateWitness {
+			mc.RecordWitness(sys, ltl.G(ltl.Atom(p)), r)
+		}
+		return r, err
 	})
 }
 
