@@ -2,13 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -21,10 +24,19 @@ import (
 // client for a verdictd daemon. Today it has one verb:
 //
 //	verdict remote check -server http://host:8080 -model m.vsmv [-property 'G (x <= 3)'] [-spec 0]
+//	verdict remote check -server http://host:8080 -id 4b2a…        # resume an earlier submission
 //
 // It submits the model, waits for the verdict (server-side long poll
 // plus client-side retry), and prints the result in the same shape as
 // a local `verdict -model` run, including the witness trace.
+//
+// The client is built to outlive daemon trouble: every call carries
+// the -wait deadline, transient failures (transport errors, 5xx, and
+// 429 admission pushback) are retried with full-jitter exponential
+// backoff — honoring the server's Retry-After when it names one — and
+// because check ids are content addresses, a submission interrupted
+// mid-flight can be retried or resumed with -id across a daemon
+// restart without ever running the check twice.
 //
 // The returned exit code mirrors the local command: 0 when the
 // property holds (or is unknown), 1 when it is violated, 2 when the
@@ -39,45 +51,59 @@ func runRemote(args []string) int {
 	var (
 		serverURL = fs.String("server", "http://127.0.0.1:8080", "verdictd base URL")
 		modelPath = fs.String("model", "", "path to a .vsmv model file")
+		checkID   = fs.String("id", "", "resume an existing check id instead of submitting a model")
 		property  = fs.String("property", "", "inline LTL property (overrides the model's LTLSPECs)")
 		spec      = fs.Int("spec", 0, "LTLSPEC index to check when no -property is given")
 		depth     = fs.Int("depth", 0, "maximum BMC/induction depth (0 = server default)")
 		timeout   = fs.Duration("timeout", 0, "per-check wall clock (0 = server default; capped by the server)")
 		satBudget = fs.Int64("sat-budget", 0, "CDCL conflict budget (0 = unlimited)")
 		bddBudget = fs.Int("bdd-budget", 0, "BDD node budget (0 = unlimited)")
-		retries   = fs.Int("retry-budgets", 0, "escalating budget retries on unknown verdicts")
+		retryBudg = fs.Int("retry-budgets", 0, "escalating budget retries on unknown verdicts")
 		fullTrace = fs.Bool("full-trace", false, "print every variable in every trace state")
 		wait      = fs.Duration("wait", 5*time.Minute, "how long to wait for the verdict before giving up")
+		retries   = fs.Int("retries", 4, "transient-failure retries per HTTP call (transport errors, 5xx, 429)")
+		retryBase = fs.Duration("retry-base", 100*time.Millisecond, "first backoff step (doubles per attempt with full jitter, capped at 5s)")
 	)
 	fs.Parse(args[1:])
-	if *modelPath == "" {
+	if *modelPath == "" && *checkID == "" {
 		fs.Usage()
 		return 2
 	}
-	src, err := os.ReadFile(*modelPath)
-	if err != nil {
-		log.Print(err)
-		return 2
+	rc := newRetryClient(*retries, *retryBase)
+	// One deadline governs the whole run — submit, polls, and the trace
+	// fetch — and is propagated into every request's context, so a
+	// wedged daemon cannot hold the client past -wait.
+	ctx, cancel := context.WithTimeout(context.Background(), *wait)
+	defer cancel()
+
+	id := *checkID
+	if id == "" {
+		src, err := os.ReadFile(*modelPath)
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		req := server.CheckRequest{
+			Model:    string(src),
+			Property: *property,
+			Spec:     *spec,
+			Options: server.OptionsRequest{
+				MaxDepth:      *depth,
+				TimeoutMS:     timeout.Milliseconds(),
+				SATConflicts:  *satBudget,
+				BDDNodes:      *bddBudget,
+				RetryAttempts: *retryBudg,
+			},
+		}
+		cr, err := submitRemote(ctx, rc, *serverURL, req)
+		if err != nil {
+			log.Printf("submit: %v", err)
+			return 2
+		}
+		id = cr.ID
+		fmt.Printf("submitted: id %s (cached=%v)\n", cr.ID, cr.Cached)
 	}
-	req := server.CheckRequest{
-		Model:    string(src),
-		Property: *property,
-		Spec:     *spec,
-		Options: server.OptionsRequest{
-			MaxDepth:      *depth,
-			TimeoutMS:     timeout.Milliseconds(),
-			SATConflicts:  *satBudget,
-			BDDNodes:      *bddBudget,
-			RetryAttempts: *retries,
-		},
-	}
-	cr, err := submitRemote(*serverURL, req)
-	if err != nil {
-		log.Printf("submit: %v", err)
-		return 2
-	}
-	fmt.Printf("submitted: id %s (cached=%v)\n", cr.ID, cr.Cached)
-	final, err := awaitRemote(*serverURL, cr.ID, *wait)
+	final, err := awaitRemote(ctx, rc, *serverURL, id, *wait)
 	if err != nil {
 		log.Print(err)
 		return 2
@@ -101,7 +127,7 @@ func runRemote(args []string) int {
 		// as a smoke test of the full-trace API when asked for -full-trace.
 		if *fullTrace {
 			var tr trace.Trace
-			if err := getRemoteJSON(*serverURL+"/v1/checks/"+cr.ID+"/trace", &tr); err != nil {
+			if err := rc.getJSON(ctx, *serverURL+"/v1/checks/"+id+"/trace", &tr); err != nil {
 				log.Printf("trace endpoint: %v", err)
 				return 2
 			}
@@ -113,71 +139,178 @@ func runRemote(args []string) int {
 	return 0
 }
 
-func submitRemote(base string, req server.CheckRequest) (server.CheckResponse, error) {
+// submitRemote posts the check request. Submissions are
+// content-addressed — the same request always maps to the same id —
+// so a POST that may or may not have reached the daemon is safe to
+// retry: the worst case is a duplicate submit that hits the cache.
+func submitRemote(ctx context.Context, rc *retryClient, base string, req server.CheckRequest) (server.CheckResponse, error) {
 	var zero server.CheckResponse
 	body, err := json.Marshal(req)
 	if err != nil {
 		return zero, err
 	}
-	for attempt := 0; ; attempt++ {
-		resp, err := http.Post(base+"/v1/checks", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return zero, err
+	status, raw, err := rc.do(ctx, http.MethodPost, base+"/v1/checks", body)
+	if err != nil {
+		return zero, err
+	}
+	switch status {
+	case http.StatusOK, http.StatusAccepted:
+		var cr server.CheckResponse
+		if err := json.Unmarshal(raw, &cr); err != nil {
+			return zero, fmt.Errorf("bad response: %w", err)
 		}
-		raw, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		switch resp.StatusCode {
-		case http.StatusOK, http.StatusAccepted:
-			var cr server.CheckResponse
-			if err := json.Unmarshal(raw, &cr); err != nil {
-				return zero, fmt.Errorf("bad response: %w", err)
-			}
-			return cr, nil
-		case http.StatusTooManyRequests:
-			// Admission control said later: honor Retry-After a few times.
-			if attempt >= 5 {
-				return zero, fmt.Errorf("server saturated (429 after %d attempts)", attempt+1)
-			}
-			delay := time.Second
-			if ra := resp.Header.Get("Retry-After"); ra != "" {
-				if d, err := time.ParseDuration(ra + "s"); err == nil {
-					delay = d
-				}
-			}
-			log.Printf("server busy, retrying in %v", delay)
-			time.Sleep(delay)
-		default:
-			return zero, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
-		}
+		return cr, nil
+	default:
+		return zero, fmt.Errorf("HTTP %d: %s", status, strings.TrimSpace(string(raw)))
 	}
 }
 
-func awaitRemote(base, id string, wait time.Duration) (server.CheckResponse, error) {
-	deadline := time.Now().Add(wait)
+// awaitRemote long-polls the status endpoint until the job settles or
+// the deadline carried by ctx expires. A 404 is terminal: the id is
+// unknown to the daemon (a memory-only restart lost it), and no
+// amount of retrying will bring it back.
+func awaitRemote(ctx context.Context, rc *retryClient, base, id string, wait time.Duration) (server.CheckResponse, error) {
+	var cr server.CheckResponse
 	for {
-		var cr server.CheckResponse
-		if err := getRemoteJSON(base+"/v1/checks/"+id+"?wait=1", &cr); err != nil {
+		status, raw, err := rc.do(ctx, http.MethodGet, base+"/v1/checks/"+id+"?wait=1", nil)
+		if err != nil {
+			if ctx.Err() != nil && cr.Status != "" {
+				return cr, fmt.Errorf("no verdict after %v (job %s still %s)", wait, id, cr.Status)
+			}
 			return cr, fmt.Errorf("poll: %w", err)
+		}
+		switch {
+		case status == http.StatusNotFound:
+			return cr, fmt.Errorf("job %s is unknown to the daemon (lost across a memory-only restart?); resubmit the model", id)
+		case status != http.StatusOK:
+			return cr, fmt.Errorf("poll: HTTP %d: %s", status, strings.TrimSpace(string(raw)))
+		}
+		if err := json.Unmarshal(raw, &cr); err != nil {
+			return cr, fmt.Errorf("poll: bad response: %w", err)
 		}
 		if cr.Status == server.StatusDone || cr.Status == server.StatusFailed {
 			return cr, nil
 		}
-		if time.Now().After(deadline) {
+		select {
+		case <-time.After(200 * time.Millisecond):
+		case <-ctx.Done():
 			return cr, fmt.Errorf("no verdict after %v (job %s still %s)", wait, id, cr.Status)
 		}
-		time.Sleep(200 * time.Millisecond)
 	}
 }
 
-func getRemoteJSON(url string, out any) error {
-	resp, err := http.Get(url)
+// retryClient retries transient HTTP failures with full-jitter
+// exponential backoff. Every verdictd call is safe to retry: GETs are
+// idempotent and submits are content-addressed.
+type retryClient struct {
+	hc      *http.Client
+	retries int           // transient retries per call (0 = fail fast)
+	base    time.Duration // first backoff step
+	max     time.Duration // backoff ceiling
+	rng     *rand.Rand
+	logf    func(string, ...any)
+}
+
+func newRetryClient(retries int, base time.Duration) *retryClient {
+	if retries < 0 {
+		retries = 0
+	}
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	return &retryClient{
+		hc:      &http.Client{},
+		retries: retries,
+		base:    base,
+		max:     5 * time.Second,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		logf:    log.Printf,
+	}
+}
+
+// do issues one HTTP call under ctx's deadline, retrying transport
+// errors, 5xx responses, and 429 admission pushback up to the retry
+// budget. The deadline always wins over the budget. On success the
+// fully read body is returned, so callers never touch the connection.
+func (rc *retryClient) do(ctx context.Context, method, url string, body []byte) (int, []byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return 0, nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		retryAfter := ""
+		resp, err := rc.hc.Do(req)
+		if err == nil {
+			raw, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch {
+			case rerr != nil:
+				err = rerr
+			case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+				retryAfter = resp.Header.Get("Retry-After")
+				err = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
+			default:
+				return resp.StatusCode, raw, nil
+			}
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return 0, nil, ctx.Err()
+		}
+		if attempt >= rc.retries {
+			if rc.retries > 0 {
+				return 0, nil, fmt.Errorf("after %d attempts: %w", attempt+1, lastErr)
+			}
+			return 0, nil, lastErr
+		}
+		delay := rc.backoff(attempt, retryAfter)
+		rc.logf("remote: %v; retrying in %v", lastErr, delay.Round(time.Millisecond))
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		}
+	}
+}
+
+// backoff picks the next delay: the server's Retry-After (seconds)
+// when it named one, otherwise full jitter — uniform in
+// [0, min(max, base·2^attempt)] — so a fleet of clients retrying
+// against a recovering daemon spreads out instead of stampeding.
+func (rc *retryClient) backoff(attempt int, retryAfter string) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+		d := time.Duration(secs) * time.Second
+		if d > rc.max {
+			d = rc.max
+		}
+		return d
+	}
+	step := rc.base
+	for i := 0; i < attempt && step < rc.max; i++ {
+		step *= 2
+	}
+	if step > rc.max {
+		step = rc.max
+	}
+	return time.Duration(rc.rng.Int63n(int64(step)))
+}
+
+// getJSON is a retried idempotent GET decoding into out.
+func (rc *retryClient) getJSON(ctx context.Context, url string, out any) error {
+	status, raw, err := rc.do(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		raw, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	if status != http.StatusOK {
+		return fmt.Errorf("HTTP %d: %s", status, strings.TrimSpace(string(raw)))
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return json.Unmarshal(raw, out)
 }

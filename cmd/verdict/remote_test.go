@@ -1,10 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -52,7 +58,7 @@ func TestRemoteCheckExitCodes(t *testing.T) {
 		{"spec out of range", []string{"check", "-server", ht.URL, "-model", model, "-spec", "2"}, 2},
 		{"bad property", []string{"check", "-server", ht.URL, "-model", model, "-property", "G ("}, 2},
 		{"missing model", []string{"check", "-server", ht.URL, "-model", filepath.Join(t.TempDir(), "absent.vsmv")}, 2},
-		{"transport error", []string{"check", "-server", "http://127.0.0.1:1", "-model", model}, 2},
+		{"transport error", []string{"check", "-server", "http://127.0.0.1:1", "-model", model, "-retries", "0"}, 2},
 		{"unknown verb", []string{"frobnicate"}, 2},
 	}
 	for _, c := range cases {
@@ -61,5 +67,133 @@ func TestRemoteCheckExitCodes(t *testing.T) {
 				t.Fatalf("runRemote(%v) = %d, want %d", c.args, got, c.want)
 			}
 		})
+	}
+}
+
+// TestRemoteCheckRetriesTransientFailures fronts a healthy daemon
+// with a hostile proxy: the first submit is pushed back with a 429 +
+// Retry-After, every odd status poll dies mid-connection, and a 500
+// is thrown in for good measure. The client's backoff must ride
+// through all of it and still land the violated verdict (exit 1).
+func TestRemoteCheckRetriesTransientFailures(t *testing.T) {
+	s := server.New(server.Config{Workers: 2})
+	ht := httptest.NewServer(s.Handler())
+	defer func() {
+		ht.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+		s.Close()
+	}()
+	var submits, polls atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			switch submits.Add(1) {
+			case 1:
+				w.Header().Set("Retry-After", "0")
+				http.Error(w, "admission control says later", http.StatusTooManyRequests)
+				return
+			case 2:
+				http.Error(w, "transient hiccup", http.StatusInternalServerError)
+				return
+			}
+		}
+		if r.Method == http.MethodGet && polls.Add(1)%2 == 1 {
+			panic(http.ErrAbortHandler) // torn connection mid-poll
+		}
+		s.Handler().ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	model := filepath.Join(t.TempDir(), "m.vsmv")
+	if err := os.WriteFile(model, []byte(remoteTestModel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"check", "-server", flaky.URL, "-model", model, "-retries", "4", "-retry-base", "5ms"}
+	if got := runRemote(args); got != 1 {
+		t.Fatalf("runRemote(%v) = %d, want 1 (violated, despite injected failures)", args, got)
+	}
+	if submits.Load() < 3 {
+		t.Fatalf("submit reached the proxy %d time(s), want >= 3 (429 and 500 must be retried)", submits.Load())
+	}
+	if polls.Load() < 2 {
+		t.Fatalf("poll reached the proxy %d time(s), want >= 2 (aborted GETs must be retried)", polls.Load())
+	}
+}
+
+// TestRemoteCheckResumeByIDAcrossRestart: an id handed out before a
+// daemon restart still resolves afterwards — the journal re-enqueues
+// the job, and `verdict remote check -id` picks the verdict up
+// without resubmitting the model.
+func TestRemoteCheckResumeByIDAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1 := server.New(server.Config{Workers: 2, DataDir: dir})
+	ht1 := httptest.NewServer(s1.Handler())
+
+	body, err := json.Marshal(server.CheckRequest{Model: remoteTestModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ht1.URL+"/v1/checks", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr server.CheckResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cr.ID == "" {
+		t.Fatal("submit returned no id")
+	}
+	ht1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s1.Drain(ctx)
+	s1.Close()
+
+	s2 := server.New(server.Config{Workers: 2, DataDir: dir})
+	ht2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ht2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s2.Drain(ctx)
+		s2.Close()
+	}()
+	args := []string{"check", "-server", ht2.URL, "-id", cr.ID}
+	if got := runRemote(args); got != 1 {
+		t.Fatalf("runRemote(%v) = %d, want 1 (spec 0 is violated)", args, got)
+	}
+	// An id no daemon ever issued is terminal, not retried forever.
+	args = []string{"check", "-server", ht2.URL, "-id", strings.Repeat("0", 32), "-retries", "2"}
+	if got := runRemote(args); got != 2 {
+		t.Fatalf("runRemote(%v) = %d, want 2 (unknown id is terminal)", args, got)
+	}
+}
+
+// TestRemoteCheckWaitDeadline: a daemon that accepts the job but
+// never settles it cannot hold the client hostage — the -wait
+// deadline is propagated into every request and bounds the whole run.
+func TestRemoteCheckWaitDeadline(t *testing.T) {
+	stuck := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r.Method == http.MethodPost {
+			w.WriteHeader(http.StatusAccepted)
+		}
+		io.WriteString(w, `{"id":"feedfacefeedfacefeedfacefeedface","status":"running"}`)
+	}))
+	defer stuck.Close()
+	model := filepath.Join(t.TempDir(), "m.vsmv")
+	if err := os.WriteFile(model, []byte(remoteTestModel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	args := []string{"check", "-server", stuck.URL, "-model", model, "-wait", "300ms", "-retries", "0"}
+	if got := runRemote(args); got != 2 {
+		t.Fatalf("runRemote(%v) = %d, want 2 (deadline exceeded)", args, got)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("client took %v to give up on a 300ms wait", elapsed)
 	}
 }

@@ -45,6 +45,9 @@ func main() {
 		maxDepth     = flag.Int("max-depth", 100, "largest BMC/induction depth a request may ask for")
 		maxRetries   = flag.Int("max-retries", 3, "largest retry-ladder attempt count a request may ask for (each attempt stays under -check-timeout)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long a SIGTERM drain waits for in-flight checks")
+		dataDir      = flag.String("data-dir", "", "directory for the crash-safe job journal and result store (empty = memory-only)")
+		segmentSize  = flag.Int64("journal-segment", 0, "journal segment rotation size in bytes (0 = default 4MiB)")
+		noSync       = flag.Bool("journal-no-sync", false, "skip the fsync per journal append (faster, loses crash safety — benchmarks only)")
 		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -54,13 +57,16 @@ func main() {
 	}
 
 	s := server.New(server.Config{
-		QueueDepth:       *queueDepth,
-		Workers:          *workers,
-		CacheSize:        *cacheSize,
-		DefaultTimeout:   *checkTimeout,
-		MaxDepth:         *maxDepth,
-		MaxRetryAttempts: *maxRetries,
-		Log:              log.Default(),
+		QueueDepth:         *queueDepth,
+		Workers:            *workers,
+		CacheSize:          *cacheSize,
+		DefaultTimeout:     *checkTimeout,
+		MaxDepth:           *maxDepth,
+		MaxRetryAttempts:   *maxRetries,
+		DataDir:            *dataDir,
+		JournalSegmentSize: *segmentSize,
+		JournalNoSync:      *noSync,
+		Log:                log.Default(),
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 

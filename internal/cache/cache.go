@@ -36,6 +36,7 @@ type LRU struct {
 	items    map[string]*list.Element
 
 	evictions int64
+	onEvict   func(key string, value any)
 }
 
 type lruEntry struct {
@@ -63,22 +64,41 @@ func (l *LRU) Get(key string) (any, bool) {
 	return el.Value.(*lruEntry).value, true
 }
 
+// OnEvict registers a callback invoked (outside the LRU's lock) for
+// every entry displaced by capacity pressure — replacement via Add is
+// not an eviction. Call it before the cache sees traffic.
+func (l *LRU) OnEvict(fn func(key string, value any)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.onEvict = fn
+}
+
 // Add inserts or replaces a value, evicting the least-recently-used
 // entry when over capacity.
 func (l *LRU) Add(key string, value any) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if el, ok := l.items[key]; ok {
 		el.Value.(*lruEntry).value = value
 		l.order.MoveToFront(el)
+		l.mu.Unlock()
 		return
 	}
 	l.items[key] = l.order.PushFront(&lruEntry{key: key, value: value})
+	var evicted []*lruEntry
 	for l.order.Len() > l.capacity {
 		oldest := l.order.Back()
 		l.order.Remove(oldest)
-		delete(l.items, oldest.Value.(*lruEntry).key)
+		ent := oldest.Value.(*lruEntry)
+		delete(l.items, ent.key)
 		l.evictions++
+		if l.onEvict != nil {
+			evicted = append(evicted, ent)
+		}
+	}
+	fn := l.onEvict
+	l.mu.Unlock()
+	for _, ent := range evicted {
+		fn(ent.key, ent.value)
 	}
 }
 

@@ -65,3 +65,20 @@ func TestLRUConcurrent(t *testing.T) {
 		t.Errorf("capacity exceeded: %d", l.Len())
 	}
 }
+
+func TestLRUOnEvict(t *testing.T) {
+	l := NewLRU(2)
+	var evicted []string
+	l.OnEvict(func(key string, value any) { evicted = append(evicted, key) })
+	l.Add("a", 1)
+	l.Add("b", 2)
+	l.Add("a", 10) // replacement, not an eviction
+	l.Add("c", 3)  // displaces b (a was refreshed by the replace)
+	l.Add("d", 4)  // displaces a
+	if len(evicted) != 2 || evicted[0] != "b" || evicted[1] != "a" {
+		t.Fatalf("evicted %v, want [b a]", evicted)
+	}
+	if l.Evictions() != 2 {
+		t.Fatalf("evictions %d, want 2", l.Evictions())
+	}
+}

@@ -1,0 +1,122 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+)
+
+// DiskStore is a content-addressed byte store backing the in-memory
+// LRU: one file per key, written atomically (temp file + rename) so a
+// crash never leaves a half-written result visible, and read back on
+// LRU misses so results survive both eviction and restart.
+//
+// The store is deliberately byte-oriented: the server decides the
+// encoding (a settled job's wire snapshot). Keys are the same hex
+// content addresses the LRU uses, validated before they touch the
+// filesystem so a key can never traverse out of the directory.
+type DiskStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// keyPattern is the shape of a content-address key: hex, bounded.
+var keyPattern = regexp.MustCompile(`^[0-9a-f]{8,64}$`)
+
+// NewDiskStore opens (creating if needed) a store rooted at dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: disk store: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (d *DiskStore) Dir() string { return d.dir }
+
+func (d *DiskStore) path(key string) (string, error) {
+	if !keyPattern.MatchString(key) {
+		return "", fmt.Errorf("cache: invalid store key %q", key)
+	}
+	return filepath.Join(d.dir, key+".json"), nil
+}
+
+// Put atomically writes the value for key: the bytes land in a temp
+// file, are fsync'd, and only then renamed into place.
+func (d *DiskStore) Put(key string, value []byte) error {
+	path, err := d.path(key)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tmp, err := os.CreateTemp(d.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("cache: disk store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(value); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: disk store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: disk store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: disk store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("cache: disk store: %w", err)
+	}
+	return nil
+}
+
+// Get reads the value for key; ok is false when the key is absent (an
+// invalid key is also just absent — it can never have been stored).
+func (d *DiskStore) Get(key string) (value []byte, ok bool, err error) {
+	path, err := d.path(key)
+	if err != nil {
+		return nil, false, nil
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("cache: disk store: %w", err)
+	}
+	return data, true, nil
+}
+
+// Delete removes key's value; deleting an absent key is a no-op.
+func (d *DiskStore) Delete(key string) error {
+	path, err := d.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("cache: disk store: %w", err)
+	}
+	return nil
+}
+
+// Len counts the stored entries (a directory scan — the store is a
+// startup/recovery path, not a hot one).
+func (d *DiskStore) Len() (int, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0, fmt.Errorf("cache: disk store: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n, nil
+}

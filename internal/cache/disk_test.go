@@ -1,0 +1,122 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDiskStorePutGetDelete(t *testing.T) {
+	d, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ab", 16)
+	if _, ok, err := d.Get(key); ok || err != nil {
+		t.Fatalf("empty store Get: ok=%v err=%v", ok, err)
+	}
+	if err := d.Put(key, []byte(`{"status":"done"}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := d.Get(key)
+	if err != nil || !ok || string(got) != `{"status":"done"}` {
+		t.Fatalf("Get after Put: %q ok=%v err=%v", got, ok, err)
+	}
+	// Put is a replace.
+	if err := d.Put(key, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := d.Get(key); string(got) != "v2" {
+		t.Fatalf("replace lost the new value: %q", got)
+	}
+	if n, _ := d.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	if err := d.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := d.Get(key); ok {
+		t.Fatal("Get after Delete")
+	}
+	if err := d.Delete(key); err != nil {
+		t.Fatal("Delete of an absent key must be a no-op")
+	}
+}
+
+// TestDiskStoreKeyValidation: only hex content addresses reach the
+// filesystem — traversal shapes are rejected on Put and simply absent
+// on Get.
+func TestDiskStoreKeyValidation(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../../etc/passwd", "ABCDEF12", "short", strings.Repeat("a", 65)} {
+		if err := d.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid key", key)
+		}
+		if _, ok, err := d.Get(key); ok || err != nil {
+			t.Errorf("Get(%q): ok=%v err=%v, want plain absence", key, ok, err)
+		}
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatalf("invalid keys left files behind: %v", entries)
+	}
+}
+
+// TestDiskStoreIgnoresStrays: Len counts only stored entries, and a
+// leftover temp file (crash mid-Put) is invisible to Get.
+func TestDiskStoreIgnoresStrays(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("cd", 16)
+	if err := d.Put(key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "put-123.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := d.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1 (temp files must not count)", n)
+	}
+	if got, ok, _ := d.Get(key); !ok || string(got) != "v" {
+		t.Fatalf("Get: %q ok=%v", got, ok)
+	}
+}
+
+func TestDiskStoreConcurrent(t *testing.T) {
+	d, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := Key(fmt.Sprintf("k%d", i%10))[:32]
+				if err := d.Put(key, []byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok, err := d.Get(key); !ok || err != nil {
+					t.Errorf("Get(%s): ok=%v err=%v", key, ok, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n, _ := d.Len(); n != 10 {
+		t.Fatalf("Len = %d, want 10", n)
+	}
+}

@@ -1,0 +1,427 @@
+// Package journal is verdictd's crash-safety layer: an append-only,
+// fsync'd, checksummed write-ahead log of accepted check requests and
+// settled results.
+//
+// The daemon appends an "accepted" record before acknowledging a
+// submission and a "settled" record before publishing a verdict; on
+// startup it replays the log, re-enqueues every accepted-but-unsettled
+// job, and restores settled results into the disk-backed result store.
+// The log therefore only needs to answer one question after a crash:
+// which jobs were promised to clients, and which of those already have
+// a verdict.
+//
+// On-disk format. The journal is a directory of numbered segment
+// files (journal-<seq>.wal). Each record is framed as
+//
+//	magic (4 bytes, "vdwj") | length (4 bytes, LE) | crc32 (4 bytes, LE) | payload (JSON)
+//
+// with the CRC taken over the payload (IEEE polynomial). The framing
+// makes every corruption mode detectable and recoverable:
+//
+//   - A torn tail (crash mid-write, the common case with fsync-per-
+//     record) fails the length or CRC check and ends that segment.
+//   - A bit flip inside a payload fails the CRC; the reader re-syncs
+//     by scanning forward for the next magic marker and keeps going.
+//   - A bit flip inside the framing itself desyncs the scan, which
+//     again recovers at the next magic.
+//
+// Corrupt or truncated records are counted, never fatal: losing one
+// record must not take down the daemon or shadow the records after it.
+//
+// Segments rotate at a size threshold so compaction can drop settled
+// history without rewriting unbounded files: Compact writes the still-
+// live records into a fresh segment and deletes everything older.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Record types. An accepted record carries the original request so a
+// restart can recompile and re-enqueue it; a settled record carries
+// the wire-form outcome so a restart can serve it byte-identically.
+const (
+	TypeAccepted = "accepted"
+	TypeSettled  = "settled"
+)
+
+// Record is one journal entry.
+type Record struct {
+	// Type is TypeAccepted or TypeSettled.
+	Type string `json:"type"`
+	// ID is the job's content address — the idempotency key replay
+	// uses to pair accepted records with their settlements.
+	ID string `json:"id"`
+	// Request is the original submission body (accepted records).
+	Request json.RawMessage `json:"request,omitempty"`
+	// Status, Error, and Result mirror the job's settled wire state
+	// (settled records): status "done"/"failed", the failure message,
+	// and the result JSON exactly as the daemon serves it.
+	Status string          `json:"status,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// ReplayStats summarizes one Open's pass over the existing segments.
+type ReplayStats struct {
+	// Records is the number of well-formed records decoded.
+	Records int
+	// Corrupt is the number of damage sites skipped: CRC mismatches,
+	// torn tails, impossible lengths, and undecodable payloads.
+	Corrupt int
+	// Segments is the number of segment files read.
+	Segments int
+}
+
+const (
+	magic = "vdwj"
+	// headerSize is magic + length + crc.
+	headerSize = 12
+	// MaxRecordSize bounds a single record's payload; a decoded length
+	// above it is treated as corruption rather than an allocation.
+	// Requests are capped at 4 MiB by the HTTP layer; 8 MiB leaves
+	// room for framing and large traces.
+	MaxRecordSize = 8 << 20
+	// DefaultSegmentSize is the rotation threshold for the active
+	// segment.
+	DefaultSegmentSize = 4 << 20
+)
+
+// Options tunes a Journal.
+type Options struct {
+	// SegmentSize rotates the active segment once it exceeds this many
+	// bytes (default DefaultSegmentSize).
+	SegmentSize int64
+	// NoSync skips the fsync after each append. Only for tests and
+	// benchmarks that measure the non-durable ceiling — the daemon
+	// always syncs.
+	NoSync bool
+}
+
+// Journal is an open write-ahead log. All methods are safe for
+// concurrent use.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	seq    int      // sequence number of the active segment
+	active *os.File // nil after Close
+	size   int64    // bytes written to the active segment
+}
+
+// Open creates dir if needed and opens a journal whose next append
+// goes to a fresh segment numbered after every existing one. It does
+// not read old segments — call Replay for that — so a corrupt log
+// never prevents opening.
+func Open(dir string, opts Options) (*Journal, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	segs, err := segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := 1
+	if n := len(segs); n > 0 {
+		next = segs[n-1].seq + 1
+	}
+	j := &Journal{dir: dir, opts: opts, seq: next - 1}
+	// Defer creating the first segment until the first append: a
+	// replay-then-compact startup would otherwise leave an empty
+	// orphan behind the compacted snapshot.
+	return j, nil
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+type segment struct {
+	seq  int
+	path string
+}
+
+// segments lists the journal's segment files in sequence order.
+func segments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "journal-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		seq, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "journal-"), ".wal"))
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segment{seq: seq, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a].seq < segs[b].seq })
+	return segs, nil
+}
+
+func segmentPath(dir string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf("journal-%08d.wal", seq))
+}
+
+// frame renders a record in its on-disk form.
+func frame(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encoding record: %w", err)
+	}
+	if len(payload) > MaxRecordSize {
+		return nil, fmt.Errorf("journal: record of %d bytes exceeds the %d-byte limit", len(payload), MaxRecordSize)
+	}
+	buf := make([]byte, headerSize+len(payload))
+	copy(buf, magic)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[8:12], crc32.ChecksumIEEE(payload))
+	copy(buf[headerSize:], payload)
+	return buf, nil
+}
+
+// Append durably writes one record: frame, write, fsync (unless
+// NoSync), rotating the active segment first when it is over the size
+// threshold. When Append returns nil the record survives a crash.
+func (j *Journal) Append(rec Record) error {
+	buf, err := frame(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(buf)
+}
+
+func (j *Journal) appendLocked(buf []byte) error {
+	if j.active != nil && j.size >= j.opts.SegmentSize {
+		j.active.Close()
+		j.active = nil
+	}
+	if j.active == nil {
+		f, err := os.OpenFile(segmentPath(j.dir, j.seq+1), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+		if err != nil {
+			return fmt.Errorf("journal: opening segment: %w", err)
+		}
+		j.seq++
+		j.active, j.size = f, 0
+	}
+	n, err := j.active.Write(buf)
+	j.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := j.active.Sync(); err != nil {
+			return fmt.Errorf("journal: fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Replay reads every segment in order and streams the well-formed
+// records to fn. Damage is skipped and counted, never fatal; fn
+// returning an error aborts the replay (that error is returned).
+func Replay(dir string, fn func(Record) error) (ReplayStats, error) {
+	var stats ReplayStats
+	segs, err := segments(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return stats, nil
+		}
+		return stats, err
+	}
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return stats, fmt.Errorf("journal: reading %s: %w", seg.path, err)
+		}
+		stats.Segments++
+		if err := scanSegment(data, &stats, fn); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// scanSegment walks one segment's bytes, decoding framed records and
+// re-syncing on the next magic marker after any damage.
+func scanSegment(data []byte, stats *ReplayStats, fn func(Record) error) error {
+	off := 0
+	// resync counts one damage site at off and jumps to the next frame
+	// marker strictly past the current one. False means the segment
+	// has nothing further to salvage.
+	resync := func() bool {
+		stats.Corrupt++
+		next := indexMagic(data[off+len(magic):])
+		if next < 0 {
+			return false
+		}
+		off += len(magic) + next
+		return true
+	}
+	for off < len(data) {
+		// Find the next frame marker. Anything skipped to get there is
+		// damage (or a torn tail with no marker at all).
+		idx := indexMagic(data[off:])
+		if idx < 0 {
+			stats.Corrupt++
+			return nil
+		}
+		if idx > 0 {
+			stats.Corrupt++
+			off += idx
+		}
+		rest := data[off:]
+		if len(rest) < headerSize {
+			stats.Corrupt++ // torn mid-header
+			return nil
+		}
+		length := binary.LittleEndian.Uint32(rest[4:8])
+		sum := binary.LittleEndian.Uint32(rest[8:12])
+		if length > MaxRecordSize || len(rest) < headerSize+int(length) {
+			// A corrupted length field, or a payload running past the
+			// end of the segment. When a later marker exists this was
+			// mid-file damage; when none does it is the torn tail.
+			if !resync() {
+				return nil
+			}
+			continue
+		}
+		payload := rest[headerSize : headerSize+int(length)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			if !resync() {
+				return nil
+			}
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// A CRC-valid but undecodable payload means the writer was
+			// broken, not the disk; still just skip it.
+			if !resync() {
+				return nil
+			}
+			continue
+		}
+		stats.Records++
+		if err := fn(rec); err != nil {
+			return err
+		}
+		off += headerSize + int(length)
+	}
+	return nil
+}
+
+// indexMagic finds the first frame marker in b, or -1.
+func indexMagic(b []byte) int {
+	for i := 0; i+len(magic) <= len(b); i++ {
+		if string(b[i:i+len(magic)]) == magic {
+			return i
+		}
+	}
+	return -1
+}
+
+// Compact replaces the entire journal with just the live records:
+// they are written to a fresh segment (fsync'd before it is visible
+// under its final name), then every older segment is removed. Appends
+// racing a compaction are safe — the active segment is rotated first,
+// so records landing after the snapshot survive in newer segments.
+func (j *Journal) Compact(live []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// Rotate: everything below snapSeq is history, everything after
+	// (future appends) is preserved.
+	if j.active != nil {
+		j.active.Close()
+		j.active = nil
+	}
+	snapSeq := j.seq + 1
+	j.seq = snapSeq
+
+	tmp, err := os.CreateTemp(j.dir, "compact-*.tmp")
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	for _, rec := range live {
+		buf, err := frame(rec)
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		if _, err := tmp.Write(buf); err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+	}
+	if !j.opts.NoSync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: compact fsync: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), segmentPath(j.dir, snapSeq)); err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	segs, err := segments(j.dir)
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if seg.seq < snapSeq {
+			os.Remove(seg.path)
+		}
+	}
+	return nil
+}
+
+// Size reports the journal's current on-disk footprint (sum of
+// segment sizes) and segment count.
+func (j *Journal) Size() (bytes int64, count int) {
+	segs, err := segments(j.dir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, seg := range segs {
+		if fi, err := os.Stat(seg.path); err == nil {
+			bytes += fi.Size()
+		}
+	}
+	return bytes, len(segs)
+}
+
+// Close closes the active segment. Further appends reopen a new one,
+// so Close is safe to call before a final Compact.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.active == nil {
+		return nil
+	}
+	err := j.active.Close()
+	j.active = nil
+	return err
+}

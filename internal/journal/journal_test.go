@@ -1,0 +1,279 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustAppend(t *testing.T, j *Journal, rec Record) {
+	t.Helper()
+	if err := j.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func replayAll(t *testing.T, dir string) ([]Record, ReplayStats) {
+	t.Helper()
+	var recs []Record
+	stats, err := Replay(dir, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, stats
+}
+
+func accepted(id string) Record {
+	return Record{Type: TypeAccepted, ID: id, Request: json.RawMessage(`{"model":"MODULE m"}`)}
+}
+
+func settled(id string) Record {
+	return Record{Type: TypeSettled, ID: id, Status: "done", Result: json.RawMessage(`{"status":"holds"}`)}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{accepted("a"), settled("a"), accepted("b")}
+	for _, rec := range want {
+		mustAppend(t, j, rec)
+	}
+	j.Close()
+
+	recs, stats := replayAll(t, dir)
+	if stats.Corrupt != 0 || stats.Records != len(want) {
+		t.Fatalf("stats: %+v", stats)
+	}
+	for i, rec := range recs {
+		if rec.Type != want[i].Type || rec.ID != want[i].ID {
+			t.Fatalf("record %d: %+v, want %+v", i, rec, want[i])
+		}
+	}
+	if string(recs[1].Result) != string(want[1].Result) {
+		t.Fatalf("result payload: %s", recs[1].Result)
+	}
+}
+
+func TestReplayEmptyAndMissingDir(t *testing.T) {
+	if _, stats := replayAll(t, t.TempDir()); stats.Records != 0 {
+		t.Fatalf("empty dir: %+v", stats)
+	}
+	stats, err := Replay(filepath.Join(t.TempDir(), "never-created"), func(Record) error { return nil })
+	if err != nil || stats.Records != 0 {
+		t.Fatalf("missing dir: %+v, %v", stats, err)
+	}
+}
+
+// TestSegmentRotation: a tiny segment threshold forces rotation, and
+// replay stitches the segments back together in order.
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		mustAppend(t, j, accepted(fmt.Sprintf("job-%03d", i)))
+	}
+	if _, count := j.Size(); count < 2 {
+		t.Fatalf("segments: %d, want rotation to have produced several", count)
+	}
+	j.Close()
+	recs, stats := replayAll(t, dir)
+	if stats.Records != n || stats.Corrupt != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	for i, rec := range recs {
+		if rec.ID != fmt.Sprintf("job-%03d", i) {
+			t.Fatalf("record %d out of order: %s", i, rec.ID)
+		}
+	}
+}
+
+// TestTruncatedTail: a crash mid-write leaves a torn record at the
+// end; replay keeps everything before it and counts one corruption.
+func TestTruncatedTail(t *testing.T) {
+	for _, cut := range []int{1, 5, 11, 20} {
+		dir := t.TempDir()
+		j, _ := Open(dir, Options{})
+		mustAppend(t, j, accepted("a"))
+		mustAppend(t, j, settled("a"))
+		j.Close()
+
+		segs, _ := segments(dir)
+		data, err := os.ReadFile(segs[0].path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(segs[0].path, data[:len(data)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, stats := replayAll(t, dir)
+		if stats.Records != 1 || stats.Corrupt != 1 {
+			t.Fatalf("cut %d: stats %+v", cut, stats)
+		}
+		if recs[0].ID != "a" || recs[0].Type != TypeAccepted {
+			t.Fatalf("cut %d: surviving record %+v", cut, recs[0])
+		}
+	}
+}
+
+// TestBitFlips: single-bit damage anywhere in the file loses at most
+// the records it touches — the scan re-syncs at the next frame marker
+// and the rest replays.
+func TestBitFlips(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{})
+	const n = 8
+	for i := 0; i < n; i++ {
+		mustAppend(t, j, accepted(fmt.Sprintf("job-%d", i)))
+	}
+	j.Close()
+	segs, _ := segments(dir)
+	clean, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit at a spread of offsets: payloads, lengths, CRCs,
+	// and magic markers all get hit somewhere in the sweep.
+	for off := 0; off < len(clean); off += 13 {
+		data := append([]byte(nil), clean...)
+		data[off] ^= 0x40
+		if err := os.WriteFile(segs[0].path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, stats := replayAll(t, dir)
+		if stats.Corrupt == 0 {
+			t.Errorf("offset %d: bit flip not detected", off)
+		}
+		if stats.Records < n-2 {
+			t.Errorf("offset %d: only %d/%d records survived one flipped bit", off, stats.Records, n)
+		}
+		for _, rec := range recs {
+			if !strings.HasPrefix(rec.ID, "job-") {
+				t.Errorf("offset %d: replay surfaced a damaged record: %+v", off, rec)
+			}
+		}
+	}
+}
+
+// TestGarbagePrefix: leading garbage (e.g. a mangled first record)
+// must not shadow the rest of the segment.
+func TestGarbagePrefix(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{})
+	mustAppend(t, j, accepted("x"))
+	j.Close()
+	segs, _ := segments(dir)
+	data, _ := os.ReadFile(segs[0].path)
+	if err := os.WriteFile(segs[0].path, append([]byte("NOT A JOURNAL"), data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats := replayAll(t, dir)
+	if len(recs) != 1 || recs[0].ID != "x" || stats.Corrupt != 1 {
+		t.Fatalf("recs %+v stats %+v", recs, stats)
+	}
+}
+
+// TestCompact: compaction keeps exactly the live records, drops the
+// history, and appends after compaction land in newer segments.
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{})
+	for i := 0; i < 6; i++ {
+		mustAppend(t, j, accepted(fmt.Sprintf("old-%d", i)))
+		mustAppend(t, j, settled(fmt.Sprintf("old-%d", i)))
+	}
+	mustAppend(t, j, accepted("live"))
+	if err := j.Compact([]Record{accepted("live")}); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, accepted("after"))
+	j.Close()
+
+	recs, stats := replayAll(t, dir)
+	if stats.Corrupt != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	var ids []string
+	for _, rec := range recs {
+		ids = append(ids, rec.ID)
+	}
+	if strings.Join(ids, ",") != "live,after" {
+		t.Fatalf("post-compact records: %v", ids)
+	}
+	if bytes, count := j.Size(); count != 2 || bytes == 0 {
+		t.Fatalf("size after compact: %d bytes in %d segments", bytes, count)
+	}
+}
+
+// TestReopenAppendsNewSegment: a reopened journal never writes into an
+// old segment (which may end in a torn record) — it starts a new one.
+func TestReopenAppendsNewSegment(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{})
+	mustAppend(t, j, accepted("first"))
+	j.Close()
+
+	// Tear the tail, as a crash would.
+	segs, _ := segments(dir)
+	data, _ := os.ReadFile(segs[0].path)
+	full := append([]byte(nil), data...)
+	framed, err := frame(accepted("torn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(segs[0].path, append(full, framed[:headerSize+3]...), 0o644)
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j2, accepted("second"))
+	j2.Close()
+	recs, stats := replayAll(t, dir)
+	if stats.Records != 2 || stats.Corrupt != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if recs[0].ID != "first" || recs[1].ID != "second" {
+		t.Fatalf("records: %+v", recs)
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	j, _ := Open(t.TempDir(), Options{})
+	defer j.Close()
+	big := Record{Type: TypeAccepted, ID: "big", Request: json.RawMessage(`"` + strings.Repeat("x", MaxRecordSize) + `"`)}
+	if err := j.Append(big); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+}
+
+func TestReplayCallbackError(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{})
+	mustAppend(t, j, accepted("a"))
+	mustAppend(t, j, accepted("b"))
+	j.Close()
+	calls := 0
+	_, err := Replay(dir, func(Record) error {
+		calls++
+		return fmt.Errorf("stop")
+	})
+	if err == nil || !strings.Contains(err.Error(), "stop") {
+		t.Fatalf("callback error not propagated: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after asking to stop", calls)
+	}
+}

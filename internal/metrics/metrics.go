@@ -41,6 +41,11 @@ type family struct {
 	mu      sync.Mutex
 	series  map[string]*series
 	buckets []float64 // histogram only
+	// fn, when set, makes this an unlabeled function-backed family:
+	// its single value is sampled at render time instead of being
+	// pushed. Used for monotonic sources that already keep their own
+	// count (cache evictions, journal corruption totals).
+	fn func() float64
 }
 
 // series is one label-value combination of a family.
@@ -72,6 +77,19 @@ func (r *Registry) Counter(name, help string, labels ...string) *Counter {
 // Gauge registers a gauge family (a value that can go up and down).
 func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 	return &Gauge{r.register(name, help, "gauge", labels, nil)}
+}
+
+// CounterFunc registers a counter family whose value is sampled from
+// fn at scrape time. fn must be monotonically non-decreasing and safe
+// to call concurrently.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, "counter", nil, nil).fn = fn
+}
+
+// GaugeFunc registers a gauge family sampled from fn at scrape time.
+// fn must be safe to call concurrently.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", nil, nil).fn = fn
 }
 
 // Histogram registers a histogram family with the given upper bucket
@@ -208,6 +226,12 @@ func (r *Registry) Render() string {
 }
 
 func (f *family) render(b *strings.Builder) {
+	if f.fn != nil {
+		// Sample outside the lock — fn may itself take locks.
+		v := f.fn()
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", f.name, f.help, f.name, f.typ, f.name, formatFloat(v))
+		return
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)

@@ -122,3 +122,29 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Errorf("lost updates: counter %v histogram %v, want 8000", total, h.Count())
 	}
 }
+
+// TestFuncFamilies: CounterFunc/GaugeFunc sample their source at
+// render time, so the exposition always reflects the current value
+// without a push site.
+func TestFuncFamilies(t *testing.T) {
+	reg := NewRegistry()
+	var evictions float64
+	reg.CounterFunc("cache_evictions_total", "Entries displaced.", func() float64 { return evictions })
+	reg.GaugeFunc("journal_bytes", "Journal footprint.", func() float64 { return 42 })
+
+	out := reg.Render()
+	for _, want := range []string{
+		"# TYPE cache_evictions_total counter",
+		"cache_evictions_total 0",
+		"# TYPE journal_bytes gauge",
+		"journal_bytes 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	evictions = 7
+	if out := reg.Render(); !strings.Contains(out, "cache_evictions_total 7") {
+		t.Errorf("second render did not resample:\n%s", out)
+	}
+}

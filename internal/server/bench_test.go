@@ -2,13 +2,16 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"testing"
 	"time"
 
+	"verdict/internal/journal"
 	"verdict/internal/ltl"
 	"verdict/internal/mc"
 	"verdict/internal/resilience"
@@ -148,4 +151,125 @@ LTLSPEC G (x <= %d);
 	b.StopTimer()
 	b.ReportMetric(float64(accepted)/float64(b.N), "accepted/op")
 	b.ReportMetric(float64(rejected)/float64(b.N), "rejected/op")
+}
+
+// benchStubCheck settles instantly so the journal benchmarks measure
+// the durability machinery, not the engines.
+func benchStubCheck(*ts.System, *ltl.Formula, mc.Options, resilience.RetryPolicy) (*mc.Result, error) {
+	return &mc.Result{Status: mc.Holds, Engine: "stub", Depth: 1}, nil
+}
+
+func benchModel(i int) string {
+	return fmt.Sprintf(`
+MODULE m
+VAR x%d : 0..3;
+INIT x%d = 0;
+TRANS next(x%d) = ite(x%d < 3, x%d + 1, 0);
+LTLSPEC G (x%d <= 3);
+`, i, i, i, i, i, i)
+}
+
+// BenchmarkJournalOverhead prices the durability tax on a full
+// submit→settle round trip: the same stub check behind a memory-only
+// daemon, a journaling daemon (fsync per append — the production
+// setting), and a no-sync journal that isolates the write-path cost
+// from the sync cost.
+func BenchmarkJournalOverhead(b *testing.B) {
+	modes := []struct {
+		name string
+		cfg  func(b *testing.B) Config
+	}{
+		{"memory", func(b *testing.B) Config {
+			return Config{Workers: 2, Check: benchStubCheck}
+		}},
+		{"journal-fsync", func(b *testing.B) Config {
+			return Config{Workers: 2, Check: benchStubCheck, DataDir: b.TempDir()}
+		}},
+		{"journal-nosync", func(b *testing.B) Config {
+			return Config{Workers: 2, Check: benchStubCheck, DataDir: b.TempDir(), JournalNoSync: true}
+		}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			s := New(mode.cfg(b))
+			ht := httptest.NewServer(s.Handler())
+			defer func() {
+				ht.Close()
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				s.Drain(ctx)
+				s.Close()
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, cr := benchSubmit(b, ht.URL, CheckRequest{Model: benchModel(i)})
+				for {
+					var got CheckResponse
+					resp, err := http.Get(ht.URL + "/v1/checks/" + cr.ID + "?wait=1")
+					if err != nil {
+						b.Fatal(err)
+					}
+					json.NewDecoder(resp.Body).Decode(&got)
+					resp.Body.Close()
+					if got.Status == StatusDone {
+						break
+					}
+					if got.Status == StatusFailed {
+						b.Fatalf("check failed: %s", got.Error)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJournalRecovery measures cold-start replay: each iteration
+// plants a journal holding 64 accepted-but-unsettled jobs and times
+// New — journal scan, recompile, and re-enqueue — until the server is
+// ready to serve. Settling the replayed work is excluded.
+func BenchmarkJournalRecovery(b *testing.B) {
+	const jobs = 64
+	// Compile once against a throwaway server to journal real content
+	// addresses, so replay exercises the exact production path (no
+	// id-mismatch fallback).
+	scratch := New(Config{Workers: 1, Check: benchStubCheck})
+	reqs := make([]json.RawMessage, jobs)
+	ids := make([]string, jobs)
+	for k := 0; k < jobs; k++ {
+		req := CheckRequest{Model: benchModel(k)}
+		raw, err := json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cr, err := scratch.compile(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs[k], ids[k] = raw, cr.id
+	}
+	scratch.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		j, err := journal.Open(filepath.Join(dir, "journal"), journal.Options{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < jobs; k++ {
+			if err := j.Append(journal.Record{Type: journal.TypeAccepted, ID: ids[k], Request: reqs[k]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		j.Close()
+		b.StartTimer()
+		s := New(Config{Workers: 2, Check: benchStubCheck, DataDir: dir})
+		b.StopTimer()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		s.Drain(ctx)
+		cancel()
+		s.Close()
+	}
+	b.ReportMetric(jobs, "jobs/replay")
 }

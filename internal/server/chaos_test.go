@@ -1,0 +1,268 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// This file is the crash-restart chaos harness: it runs the real
+// verdictd binary, SIGKILLs it at randomized points — mid-enqueue,
+// mid-check, mid-settle — restarts it on the same data dir, and holds
+// the daemon to the durability contract:
+//
+//   - every submission the daemon acknowledged settles eventually,
+//     surviving any number of crashes in between;
+//   - a verdict, once observed, never changes — the wire result stays
+//     byte-identical across restarts;
+//   - replayed results still carry a passing witness validation.
+
+// chaosModel is a 4-step counter (x wraps, violating G (x <= 2) at
+// depth 3) plus a frozen scratch variable y whose range is the
+// template parameter: each distinct bound yields a distinct canonical
+// system — and therefore a distinct content address — while the
+// check itself stays uniformly cheap.
+const chaosModel = `
+MODULE chaos
+VAR
+  x : 0..3;
+  y : 0..%d;
+INIT
+  x = 0 & y = %d;
+TRANS
+  next(x) = ite(x < 3, x + 1, 0) & next(y) = y;
+LTLSPEC
+  G (x <= 2);
+`
+
+// chaosDaemon is one run of the verdictd process.
+type chaosDaemon struct {
+	cmd  *exec.Cmd
+	base string // http://127.0.0.1:port
+}
+
+func startChaosDaemon(t *testing.T, bin, dataDir string) *chaosDaemon {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dataDir,
+		"-workers", "2",
+		"-queue", "64",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The daemon picks its own port; its startup log line is the only
+	// place the address appears. Keep draining stderr afterwards so the
+	// process can never block on a full pipe.
+	addrCh := make(chan string, 1)
+	go func() {
+		re := regexp.MustCompile(`listening on (\S+) \(`)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if m := re.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &chaosDaemon{cmd: cmd, base: "http://" + addr}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("daemon did not report a listen address")
+		return nil
+	}
+}
+
+// kill is SIGKILL + reap: the process gets no chance to flush, drain,
+// or say goodbye — the journal's fsync'd records are all that's left.
+func (d *chaosDaemon) kill() {
+	d.cmd.Process.Kill()
+	d.cmd.Wait()
+}
+
+// chaosPromise tracks one acknowledged submission: once a settled
+// result is observed its raw bytes are pinned and every later
+// observation must match them exactly.
+type chaosPromise struct {
+	result  json.RawMessage
+	witness string
+}
+
+// chaosVerify demands every acknowledged id resolve on the (possibly
+// restarted) daemon at base, checking byte-identity and witness
+// validation on each settled verdict.
+func chaosVerify(t *testing.T, base string, accepted map[string]*chaosPromise) {
+	t.Helper()
+	ids := make([]string, 0, len(accepted))
+	for id := range accepted {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		p := accepted[id]
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s did not settle within 30s of the restart", id)
+			}
+			resp, err := http.Get(base + "/v1/checks/" + id + "?wait=1")
+			if err != nil {
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusNotFound {
+				t.Fatalf("acknowledged job %s vanished after a crash: the journal lost it", id)
+			}
+			if resp.StatusCode != http.StatusOK {
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			var cr struct {
+				Status  string          `json:"status"`
+				Error   string          `json:"error"`
+				Witness string          `json:"witness"`
+				Result  json.RawMessage `json:"result"`
+			}
+			if err := json.Unmarshal(raw, &cr); err != nil {
+				t.Fatalf("job %s: bad status body %q: %v", id, raw, err)
+			}
+			if cr.Status != StatusDone && cr.Status != StatusFailed {
+				continue // still queued/running; the long poll paces us
+			}
+			if cr.Status == StatusFailed {
+				t.Fatalf("job %s settled failed after replay: %s", id, cr.Error)
+			}
+			if cr.Witness != "validated" {
+				t.Fatalf("job %s: witness %q after replay, want validated", id, cr.Witness)
+			}
+			if p.result == nil {
+				p.result = cr.Result
+				p.witness = cr.Witness
+			} else if !bytes.Equal(p.result, cr.Result) {
+				t.Fatalf("job %s verdict changed across a restart:\n  before: %s\n  after:  %s", id, p.result, cr.Result)
+			}
+			break
+		}
+	}
+}
+
+// chaosSubmit posts one model; only a 200/202 acknowledgement counts
+// — a submission the daemon never acked carries no durability promise.
+func chaosSubmit(base, model string) (string, bool) {
+	body, err := json.Marshal(CheckRequest{Model: model})
+	if err != nil {
+		return "", false
+	}
+	resp, err := http.Post(base+"/v1/checks", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", false
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return "", false
+	}
+	var cr CheckResponse
+	if err := json.Unmarshal(raw, &cr); err != nil || cr.ID == "" {
+		return "", false
+	}
+	return cr.ID, true
+}
+
+// TestChaosCrashRestart is the ≥20-point randomized kill loop (5 in
+// -short mode). Each round starts the daemon on the shared data dir,
+// first verifies every previously acknowledged job, then submits a
+// fresh batch while a timer fires SIGKILL somewhere inside the
+// enqueue/check/settle window.
+func TestChaosCrashRestart(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH; cannot build the daemon binary")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "verdictd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/verdictd")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building verdictd: %v\n%s", err, out)
+	}
+
+	iterations := 20
+	if testing.Short() {
+		iterations = 5
+	}
+	seed := time.Now().UnixNano()
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("chaos: %d kill points, seed %d", iterations, seed)
+
+	dataDir := filepath.Join(t.TempDir(), "data")
+	var mu sync.Mutex
+	accepted := make(map[string]*chaosPromise)
+	bound := 0
+
+	for i := 0; i < iterations; i++ {
+		d := startChaosDaemon(t, bin, dataDir)
+		// Every job acknowledged before any earlier crash must resolve
+		// on this fresh process before it gets crashed in turn.
+		mu.Lock()
+		snapshot := make(map[string]*chaosPromise, len(accepted))
+		for id, p := range accepted {
+			snapshot[id] = p
+		}
+		mu.Unlock()
+		chaosVerify(t, d.base, snapshot)
+
+		// Submit a batch while the fuse burns: depending on the draw the
+		// kill lands mid-enqueue, mid-check, or after everything settled.
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for j := 0; j < 3; j++ {
+				bound++
+				model := fmt.Sprintf(chaosModel, bound, bound)
+				if id, ok := chaosSubmit(d.base, model); ok {
+					mu.Lock()
+					accepted[id] = &chaosPromise{}
+					mu.Unlock()
+				}
+			}
+		}()
+		time.Sleep(time.Duration(rng.Intn(25)) * time.Millisecond)
+		d.kill()
+		<-done
+	}
+
+	// Final restart: the full history must resolve, byte-stable.
+	d := startChaosDaemon(t, bin, dataDir)
+	defer d.kill()
+	chaosVerify(t, d.base, accepted)
+	if len(accepted) == 0 {
+		t.Fatal("no submission was ever acknowledged; the harness tested nothing")
+	}
+	t.Logf("chaos: %d acknowledged job(s) survived %d SIGKILLs", len(accepted), iterations)
+}

@@ -1,0 +1,399 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"verdict/internal/ltl"
+	"verdict/internal/mc"
+	"verdict/internal/resilience"
+	"verdict/internal/ts"
+)
+
+// newDurableServer starts a server on dataDir without registering the
+// drain-on-cleanup helper — durability tests abandon servers to
+// simulate crashes.
+func newDurableServer(t *testing.T, dataDir string, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.DataDir = dataDir
+	s := New(cfg)
+	ht := httptest.NewServer(s.Handler())
+	return s, ht
+}
+
+// abandon simulates a crash: the listener dies and the server is
+// dropped without Drain or Close — exactly what SIGKILL leaves behind
+// (a journal whose fsync'd records are the only trace of the work).
+func abandon(s *Server, ht *httptest.Server) {
+	ht.Close()
+	// A killed process writes nothing further: mark durability failed so
+	// the leaked workers (unblocked during test cleanup) cannot recreate
+	// journal segments while TempDir cleanup is deleting the data dir.
+	if s.durable != nil {
+		s.durable.failed.Store(true)
+	}
+	s.closeDurable()
+}
+
+func shutdown(t *testing.T, s *Server, ht *httptest.Server) {
+	t.Helper()
+	ht.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s.Drain(ctx)
+	s.Close()
+}
+
+// TestUnsettledJobsReplayAfterCrash: a crash with one job mid-check
+// and one queued loses neither — the restarted daemon re-enqueues
+// both under their original ids and settles them.
+func TestUnsettledJobsReplayAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	g := newGate()
+	// Runs last (cleanups are LIFO): unblock the abandoned workers so
+	// the test process does not leak them mid-check.
+	t.Cleanup(func() { close(g.release) })
+
+	s1, ht1 := newDurableServer(t, dir, Config{Workers: 1, QueueDepth: 4, Check: g.check})
+	_, crA := submit(t, ht1.URL, CheckRequest{Model: counterModel})
+	<-g.started // job A is mid-check
+	_, crB := submit(t, ht1.URL, CheckRequest{Model: counterModel, Spec: 1})
+	if crA.ID == "" || crB.ID == "" || crA.ID == crB.ID {
+		t.Fatalf("submissions: %+v %+v", crA, crB)
+	}
+	abandon(s1, ht1)
+
+	var calls atomic.Int64
+	fast := func(*ts.System, *ltl.Formula, mc.Options, resilience.RetryPolicy) (*mc.Result, error) {
+		calls.Add(1)
+		return &mc.Result{Status: mc.Holds, Engine: "fake", Depth: 1}, nil
+	}
+	s2, ht2 := newDurableServer(t, dir, Config{Workers: 2, Check: fast})
+	defer shutdown(t, s2, ht2)
+	for _, id := range []string{crA.ID, crB.ID} {
+		final := waitDone(t, ht2.URL, id)
+		if final.Status != StatusDone || final.Result == nil {
+			t.Fatalf("replayed job %s: %+v", id, final)
+		}
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("replayed checks run: %d, want 2", got)
+	}
+	if got := s2.durableStat(func(d *durability) int64 { return d.replayed.Load() }); got != 2 {
+		t.Errorf("verdictd_journal_replayed_jobs_total = %v, want 2", got)
+	}
+	// Resubmitting the same content collapses onto the replayed
+	// result — the content address survived the restart.
+	code, again := submit(t, ht2.URL, CheckRequest{Model: counterModel})
+	if code != http.StatusOK || !again.Cached || again.ID != crA.ID {
+		t.Errorf("resubmission after replay: %d %+v", code, again)
+	}
+}
+
+// TestSettledResultsSurviveRestart: a settled verdict is served
+// byte-identically by the next incarnation — same result JSON, same
+// validated witness — without re-running the check.
+func TestSettledResultsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ht1 := newDurableServer(t, dir, Config{Workers: 2})
+	_, cr := submit(t, ht1.URL, CheckRequest{Model: counterModel})
+	before := waitDone(t, ht1.URL, cr.ID)
+	if before.Status != StatusDone || before.Result == nil || before.Result.Status != mc.Violated {
+		t.Fatalf("first run: %+v", before)
+	}
+	rawBefore := rawResultField(t, ht1.URL, cr.ID)
+	shutdown(t, s1, ht1)
+
+	boom := func(*ts.System, *ltl.Formula, mc.Options, resilience.RetryPolicy) (*mc.Result, error) {
+		t.Error("settled job was re-run after restart")
+		return nil, fmt.Errorf("must not run")
+	}
+	s2, ht2 := newDurableServer(t, dir, Config{Workers: 1, Check: boom})
+	defer shutdown(t, s2, ht2)
+
+	after := waitDone(t, ht2.URL, cr.ID)
+	if after.Status != StatusDone || after.Result == nil {
+		t.Fatalf("after restart: %+v", after)
+	}
+	if after.Witness != "validated" {
+		t.Errorf("witness after restart: %q, want validated", after.Witness)
+	}
+	if rawAfter := rawResultField(t, ht2.URL, cr.ID); rawAfter != rawBefore {
+		t.Errorf("wire result changed across restart:\nbefore: %s\nafter:  %s", rawBefore, rawAfter)
+	}
+	// The trace endpoint is rehydrated too.
+	var tr struct {
+		States []map[string]any `json:"states"`
+	}
+	if code := getJSON(t, ht2.URL+"/v1/checks/"+cr.ID+"/trace", &tr); code != http.StatusOK || len(tr.States) == 0 {
+		t.Errorf("trace after restart: code %d, %d states", code, len(tr.States))
+	}
+	// A resubmission of the same content is a cache hit, not a re-run.
+	code, again := submit(t, ht2.URL, CheckRequest{Model: counterModel})
+	if code != http.StatusOK || !again.Cached {
+		t.Errorf("resubmission after restart: %d %+v", code, again)
+	}
+}
+
+// rawResultField fetches a job and returns its raw `result` JSON, for
+// byte-identity comparisons across restarts.
+func rawResultField(t *testing.T, base, id string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/checks/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var wire struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(wire.Result) == 0 {
+		t.Fatalf("job %s has no result field", id)
+	}
+	return string(wire.Result)
+}
+
+// TestQueuedJobsSurviveAbortedDrain: SIGTERM with a wedged worker and
+// a non-empty queue — the drain gives up, but every queued-but-
+// unstarted job was journaled at admission and runs in the next
+// incarnation.
+func TestQueuedJobsSurviveAbortedDrain(t *testing.T) {
+	dir := t.TempDir()
+	g := newGate()
+	t.Cleanup(func() { close(g.release) })
+
+	s1, ht1 := newDurableServer(t, dir, Config{Workers: 1, QueueDepth: 8, Check: g.check})
+	_, crA := submit(t, ht1.URL, CheckRequest{Model: counterModel})
+	<-g.started
+	var queued []string
+	for i := 0; i < 3; i++ {
+		model := fmt.Sprintf("MODULE m\nVAR x : 0..%d;\nINIT x = 0;\nTRANS next(x) = x;\nLTLSPEC G (x >= 0);\n", i+1)
+		code, cr := submit(t, ht1.URL, CheckRequest{Model: model})
+		if code != http.StatusAccepted {
+			t.Fatalf("queued submit %d: %d", i, code)
+		}
+		queued = append(queued, cr.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s1.Drain(ctx); err == nil {
+		t.Fatal("drain with a wedged worker should time out")
+	}
+	abandon(s1, ht1)
+
+	s2, ht2 := newDurableServer(t, dir, Config{Workers: 2})
+	defer shutdown(t, s2, ht2)
+	for _, id := range append([]string{crA.ID}, queued...) {
+		if final := waitDone(t, ht2.URL, id); final.Status != StatusDone {
+			t.Errorf("job %s after aborted drain + restart: %+v", id, final)
+		}
+	}
+}
+
+// TestCorruptJournalTolerated: bit-flipped and truncated journal
+// segments must not stop the daemon — it starts, counts the damage in
+// /metrics, and keeps every record the damage did not touch.
+func TestCorruptJournalTolerated(t *testing.T) {
+	dir := t.TempDir()
+	g := newGate()
+	t.Cleanup(func() { close(g.release) })
+	s1, ht1 := newDurableServer(t, dir, Config{Workers: 1, QueueDepth: 8, Check: g.check})
+	_, crA := submit(t, ht1.URL, CheckRequest{Model: counterModel})
+	<-g.started
+	_, crB := submit(t, ht1.URL, CheckRequest{Model: counterModel, Spec: 1})
+	abandon(s1, ht1)
+
+	// Damage the journal: flip a bit inside the first record (losing
+	// it) and append a torn tail.
+	segs, err := filepath.Glob(filepath.Join(dir, "journal", "journal-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no journal segments: %v %v", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[30] ^= 0x01 // inside record A's payload
+	data = append(data, "vdwj\xff\xff"...)
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ht2 := newDurableServer(t, dir, Config{Workers: 2})
+	defer shutdown(t, s2, ht2)
+	// Job B survived the damage and replays to completion.
+	if final := waitDone(t, ht2.URL, crB.ID); final.Status != StatusDone {
+		t.Fatalf("intact job after corruption: %+v", final)
+	}
+	// Job A's record was the damaged one: the daemon is allowed to
+	// lose exactly that record, never to crash over it.
+	if code := getJSON(t, ht2.URL+"/v1/checks/"+crA.ID, nil); code != http.StatusNotFound && code != http.StatusOK {
+		t.Errorf("damaged job id: status %d", code)
+	}
+	resp, err := http.Get(ht2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text := readBody(t, resp)
+	if !strings.Contains(text, "verdictd_journal_corrupt_records_total") {
+		t.Fatal("/metrics missing verdictd_journal_corrupt_records_total")
+	}
+	if strings.Contains(text, "verdictd_journal_corrupt_records_total 0\n") {
+		t.Errorf("corruption not counted:\n%s", grepMetric(text, "verdictd_journal"))
+	}
+}
+
+// TestBadDataDirDegradesToMemoryOnly: a data dir the daemon cannot
+// use (here: a regular file) costs durability, not availability.
+func TestBadDataDirDegradesToMemoryOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, ht := newDurableServer(t, path, Config{Workers: 1})
+	defer shutdown(t, s, ht)
+	if s.durable != nil {
+		t.Fatal("durability should be disabled on an unusable data dir")
+	}
+	_, cr := submit(t, ht.URL, CheckRequest{Model: counterModel})
+	if final := waitDone(t, ht.URL, cr.ID); final.Status != StatusDone {
+		t.Fatalf("memory-only check: %+v", final)
+	}
+	resp, err := http.Get(ht.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if text := readBody(t, resp); !strings.Contains(text, "verdictd_journal_active 0") {
+		t.Errorf("degraded daemon should expose verdictd_journal_active 0:\n%s", grepMetric(text, "verdictd_journal"))
+	}
+}
+
+// TestAppendFailureDegradesMidFlight: the first failed journal write
+// flips the daemon to memory-only — accepted work keeps running,
+// verdictd_journal_active drops to 0, and the error is counted.
+func TestAppendFailureDegradesMidFlight(t *testing.T) {
+	restore := resilience.InjectFaults(map[string]resilience.Fault{
+		"journal/append": resilience.FaultExhaust,
+	})
+	defer restore()
+
+	dir := t.TempDir()
+	s, ht := newDurableServer(t, dir, Config{Workers: 1})
+	defer shutdown(t, s, ht)
+	_, cr := submit(t, ht.URL, CheckRequest{Model: counterModel})
+	if final := waitDone(t, ht.URL, cr.ID); final.Status != StatusDone {
+		t.Fatalf("check after disk failure: %+v", final)
+	}
+	if !s.durable.failed.Load() {
+		t.Fatal("append failure did not degrade the daemon")
+	}
+	resp, err := http.Get(ht.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text := readBody(t, resp)
+	for _, want := range []string{"verdictd_journal_active 0", "verdictd_journal_append_errors_total 1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, grepMetric(text, "verdictd_journal"))
+		}
+	}
+}
+
+// TestEvictedResultServedFromDisk: the disk store outlives the LRU —
+// an evicted result is rehydrated on lookup instead of 404ing, and
+// the eviction shows up in verdict_cache_evictions_total.
+func TestEvictedResultServedFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, ht := newDurableServer(t, dir, Config{Workers: 1, CacheSize: 1})
+	defer shutdown(t, s, ht)
+
+	_, crA := submit(t, ht.URL, CheckRequest{Model: counterModel})
+	waitDone(t, ht.URL, crA.ID)
+	_, crB := submit(t, ht.URL, CheckRequest{Model: counterModel, Spec: 1})
+	waitDone(t, ht.URL, crB.ID) // evicts A from the one-entry LRU
+
+	if got := s.mEvictions.Value(); got < 1 {
+		t.Errorf("verdict_cache_evictions_total = %v, want >= 1", got)
+	}
+	final := waitDone(t, ht.URL, crA.ID)
+	if final.Status != StatusDone || final.Result == nil || final.Result.Status != mc.Violated {
+		t.Fatalf("evicted job from disk: %+v", final)
+	}
+	resp, err := http.Get(ht.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if text := readBody(t, resp); !strings.Contains(text, "verdict_cache_evictions_total") {
+		t.Error("/metrics missing verdict_cache_evictions_total")
+	}
+}
+
+// TestJournalCompaction: settled history is rewritten away once it
+// passes the threshold; live (unsettled) jobs survive the rewrite.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	fast := func(*ts.System, *ltl.Formula, mc.Options, resilience.RetryPolicy) (*mc.Result, error) {
+		return &mc.Result{Status: mc.Holds, Engine: "fake", Depth: 1}, nil
+	}
+	s, ht := newDurableServer(t, dir, Config{Workers: 2, CacheSize: 4, JournalSegmentSize: 256, Check: fast})
+	// Tiny segments → threshold 1 KiB of settled bytes triggers
+	// compaction quickly.
+	for i := 0; i < 40; i++ {
+		model := fmt.Sprintf("MODULE m\nVAR x : 0..%d;\nINIT x = 0;\nTRANS next(x) = x;\nLTLSPEC G (x >= 0);\n", i+1)
+		_, cr := submit(t, ht.URL, CheckRequest{Model: model})
+		waitDone(t, ht.URL, cr.ID)
+	}
+	shutdown(t, s, ht)
+	bytes, count := int64(0), 0
+	segs, _ := filepath.Glob(filepath.Join(dir, "journal", "journal-*.wal"))
+	for _, seg := range segs {
+		if fi, err := os.Stat(seg); err == nil {
+			bytes += fi.Size()
+		}
+		count++
+	}
+	// 40 settled jobs × (accepted+settled) records would be far past
+	// 10 KiB uncompacted on 256-byte segments; compaction keeps the
+	// tail short.
+	if bytes > 8<<10 || count > 20 {
+		t.Errorf("journal not compacted: %d bytes in %d segments", bytes, count)
+	}
+}
+
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// grepMetric filters an exposition to the lines naming prefix, for
+// readable failure output.
+func grepMetric(text, prefix string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, prefix) && !strings.HasPrefix(line, "#") {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

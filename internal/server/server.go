@@ -72,6 +72,20 @@ type Config struct {
 	// attempt, it limits how long any single request can hold a
 	// worker.
 	MaxRetryAttempts int
+	// DataDir, when set, makes the daemon crash-safe: accepted checks
+	// and settled results are journaled (fsync'd, checksummed) under
+	// DataDir/journal and settled results are persisted under
+	// DataDir/results. On startup the journal is replayed — unsettled
+	// jobs re-enqueue under their original ids, settled verdicts stay
+	// retrievable byte-identically. Empty keeps the daemon memory-only
+	// (results and queued work die with the process).
+	DataDir string
+	// JournalSegmentSize overrides the journal's segment-rotation
+	// threshold (default journal.DefaultSegmentSize).
+	JournalSegmentSize int64
+	// JournalNoSync skips per-record fsync — only for tests and
+	// benchmarks measuring the non-durable ceiling.
+	JournalNoSync bool
 	// Check overrides the verification function (tests).
 	Check CheckFunc
 	// Log receives operational messages (default log.Default()).
@@ -137,6 +151,10 @@ type job struct {
 	phi  *ltl.Formula
 	opts mc.Options
 	pol  resilience.RetryPolicy
+	// reqJSON is the original submission body, kept while the job is
+	// unsettled so the journal can re-accept it after a crash and the
+	// compactor can rewrite it; dropped at settlement.
+	reqJSON json.RawMessage
 
 	status string
 	result *mc.Result
@@ -158,6 +176,11 @@ type Server struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
+	// durable is the crash-safety layer (journal + disk-backed result
+	// store); nil when Config.DataDir is unset or the disk failed at
+	// startup — the memory-only mode.
+	durable *durability
+
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
@@ -170,10 +193,10 @@ type Server struct {
 	mWins       *metrics.Counter
 	mBudgetExh  *metrics.Counter
 	mWitnessBad *metrics.Counter
+	mEvictions  *metrics.Counter
 	gQueueDepth *metrics.Gauge
 	gInflight   *metrics.Gauge
 	gCacheSize  *metrics.Gauge
-	gEvictions  *metrics.Gauge
 	hLatency    *metrics.Histogram
 }
 
@@ -191,6 +214,18 @@ func New(cfg Config) *Server {
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 
+	if cfg.DataDir != "" {
+		d, err := openDurability(cfg.DataDir, cfg.JournalSegmentSize, cfg.JournalNoSync)
+		if err != nil {
+			// The paper's framing: the checker must not itself be a
+			// fragile component. A bad data dir costs durability, not
+			// availability.
+			cfg.Log.Printf("durability: opening %s failed (%v); running memory-only — results will not survive a restart", cfg.DataDir, err)
+		} else {
+			s.durable = d
+		}
+	}
+
 	s.mRequests = s.reg.Counter("verdictd_requests_total", "HTTP requests served, by path pattern and status code.", "path", "code")
 	s.mChecks = s.reg.Counter("verdictd_checks_total", "Finished checks, by verdict (holds/violated/unknown/error).", "verdict")
 	s.mCacheHits = s.reg.Counter("verdictd_cache_hits_total", "Submissions answered from the result cache or deduplicated onto an in-flight identical job.")
@@ -199,12 +234,36 @@ func New(cfg Config) *Server {
 	s.mWins = s.reg.Counter("verdictd_engine_wins_total", "Conclusive checks, by deciding engine.", "engine")
 	s.mBudgetExh = s.reg.Counter("verdictd_budget_exhaustions_total", "Checks that degraded to unknown because a resource budget ran out.")
 	s.mWitnessBad = s.reg.Counter("verdict_witness_failures_total", "Engine verdicts rejected by independent witness validation: counterexamples that did not replay or certificates that did not check.")
+	s.mEvictions = s.reg.Counter("verdict_cache_evictions_total", "Finished jobs displaced from the in-memory result cache by capacity pressure (disk-backed entries stay retrievable).")
+	s.finished.OnEvict(func(string, any) { s.mEvictions.Inc() })
 	s.gQueueDepth = s.reg.Gauge("verdictd_queue_depth", "Jobs admitted but not yet started.")
 	s.gInflight = s.reg.Gauge("verdictd_inflight_checks", "Checks currently executing.")
 	s.gCacheSize = s.reg.Gauge("verdictd_cache_entries", "Finished jobs held in the result cache.")
-	s.gEvictions = s.reg.Gauge("verdictd_cache_evictions", "Finished jobs displaced from the result cache so far.")
 	s.hLatency = s.reg.Histogram("verdictd_check_duration_seconds", "Wall-clock time of finished checks, by deciding engine.",
 		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}, "engine")
+	s.reg.CounterFunc("verdictd_journal_corrupt_records_total", "Damaged journal records (bad CRC, torn tail, garbage) detected and skipped during startup replay.",
+		func() float64 { return s.durableStat(func(d *durability) int64 { return d.corrupt.Load() }) })
+	s.reg.CounterFunc("verdictd_journal_replayed_jobs_total", "Accepted-but-unsettled jobs re-enqueued from the journal at startup.",
+		func() float64 { return s.durableStat(func(d *durability) int64 { return d.replayed.Load() }) })
+	s.reg.CounterFunc("verdictd_journal_restored_results_total", "Settled results restored or repaired from the journal and result store at startup.",
+		func() float64 { return s.durableStat(func(d *durability) int64 { return d.restored.Load() }) })
+	s.reg.CounterFunc("verdictd_journal_append_errors_total", "Failed durability writes; the first one degrades the daemon to memory-only mode.",
+		func() float64 { return s.durableStat(func(d *durability) int64 { return d.appendErrs.Load() }) })
+	s.reg.GaugeFunc("verdictd_journal_active", "1 while accepted work and results are being journaled, 0 in (possibly degraded) memory-only mode.",
+		func() float64 {
+			if s.durable != nil && !s.durable.failed.Load() {
+				return 1
+			}
+			return 0
+		})
+	s.reg.GaugeFunc("verdictd_journal_bytes", "On-disk size of the journal across segments.",
+		func() float64 {
+			return s.durableStat(func(d *durability) int64 { bytes, _ := d.j.Size(); return bytes })
+		})
+	s.reg.GaugeFunc("verdictd_journal_segments", "Journal segment files on disk.",
+		func() float64 {
+			return s.durableStat(func(d *durability) int64 { _, n := d.j.Size(); return int64(n) })
+		})
 
 	s.mux.HandleFunc("POST /v1/checks", s.instrument("/v1/checks", s.handleSubmit))
 	s.mux.HandleFunc("GET /v1/checks/{id}", s.instrument("/v1/checks/{id}", s.handleStatus))
@@ -216,7 +275,22 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	// Replay after the workers are up so re-enqueued jobs (possibly
+	// more than QueueDepth of them) drain as they are admitted. New
+	// has not returned yet, so the daemon is not serving until every
+	// promised job is queued again.
+	if s.durable != nil {
+		s.replayJournal()
+	}
 	return s
+}
+
+// durableStat samples a durability counter, 0 in memory-only mode.
+func (s *Server) durableStat(get func(*durability) int64) float64 {
+	if s.durable == nil {
+		return 0
+	}
+	return float64(get(s.durable))
 }
 
 // Handler returns the HTTP entry point.
@@ -246,8 +320,11 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // Close cancels any still-running checks (after a failed or skipped
-// Drain) and releases the server's context.
-func (s *Server) Close() { s.cancel() }
+// Drain), closes the journal, and releases the server's context.
+func (s *Server) Close() {
+	s.cancel()
+	s.closeDurable()
+}
 
 // --- worker pool ---
 
@@ -269,25 +346,40 @@ func (s *Server) runJob(j *job) {
 	s.gInflight.Add(-1)
 
 	verdict, engine := "error", "error"
-	s.mu.Lock()
-	if err != nil || res == nil {
-		j.status = StatusFailed
-		if err != nil {
-			j.errMsg = err.Error()
-		} else {
-			j.errMsg = "check returned no result"
+	snap := storedJob{Status: StatusFailed}
+	switch {
+	case err != nil:
+		snap.Error = err.Error()
+	case res == nil:
+		snap.Error = "check returned no result"
+	default:
+		raw, merr := json.Marshal(res)
+		if merr != nil {
+			snap.Error = "result does not serialize: " + merr.Error()
+			res = nil
+			break
 		}
-	} else {
-		j.status = StatusDone
-		j.result = res
+		snap.Status = StatusDone
+		snap.Result = raw
 		verdict = res.Status.String()
 		engine = engineLabel(res.Engine)
 	}
+	// Durability before visibility: the outcome is journaled and in
+	// the result store before any client can observe it, so a settled
+	// verdict survives a crash byte-identically.
+	s.persistSettled(j, snap)
+
+	s.mu.Lock()
+	j.status = snap.Status
+	j.errMsg = snap.Error
+	if snap.Status == StatusDone {
+		j.result = res
+	}
 	delete(s.inflight, j.id)
 	// Settled jobs only serve status/error/result, so drop the parsed
-	// system and formula before caching — CacheSize entries of large
-	// models would otherwise stay pinned in memory.
-	j.sys, j.phi = nil, nil
+	// system, formula, and request before caching — CacheSize entries
+	// of large models would otherwise stay pinned in memory.
+	j.sys, j.phi, j.reqJSON = nil, nil, nil
 	j.opts, j.pol = mc.Options{}, resilience.RetryPolicy{}
 	s.finished.Add(j.id, j)
 	s.mu.Unlock()
@@ -351,6 +443,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Re-marshal rather than keep the raw body: the journaled form is
+	// the decoded request, independent of client formatting.
+	reqJSON, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "request does not re-serialize: "+err.Error())
+		return
+	}
+	// Warm the LRU from the disk-backed store first, so results that
+	// outlived the LRU (or a restart) are cache hits, not re-runs.
+	s.restoreFromStore(cr.id)
 
 	s.mu.Lock()
 	// Singleflight: an identical request is the same content address,
@@ -379,7 +481,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := &job{id: cr.id, key: cr.key, sys: cr.sys, phi: cr.phi,
-		opts: cr.opts, pol: cr.pol, status: StatusQueued, done: make(chan struct{})}
+		opts: cr.opts, pol: cr.pol, reqJSON: reqJSON, status: StatusQueued, done: make(chan struct{})}
 	select {
 	case s.queue <- j:
 	default:
@@ -391,18 +493,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.inflight[j.id] = j
 	s.mu.Unlock()
+	// Journal the acceptance (fsync'd) before acknowledging: once the
+	// client holds this id, a crash cannot lose the job.
+	s.persistAccepted(j.id, reqJSON)
 	s.mCacheMiss.Inc()
 	s.writeJob(w, http.StatusAccepted, j, false)
 }
 
 func (s *Server) lookup(id string) (*job, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if j, ok := s.inflight[id]; ok {
+		s.mu.Unlock()
 		return j, true
 	}
 	if v, ok := s.finished.Get(id); ok {
+		s.mu.Unlock()
 		return v.(*job), true
+	}
+	s.mu.Unlock()
+	// The disk store outlives both the LRU and the process: an id
+	// evicted from memory (or served before a restart) still answers.
+	if j := s.restoreFromStore(id); j != nil {
+		return j, true
 	}
 	return nil, false
 }
@@ -455,7 +567,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Pull-model gauges: sampled at scrape time.
 	s.gQueueDepth.Set(float64(len(s.queue)))
 	s.gCacheSize.Set(float64(s.finished.Len()))
-	s.gEvictions.Set(float64(s.finished.Evictions()))
 	s.reg.ServeHTTP(w, r)
 }
 
