@@ -1,0 +1,28 @@
+# Developer entry points. Everything here is plain `go` — the Makefile
+# only names the invocations CI and the docs refer to.
+
+GO ?= go
+
+.PHONY: build test race bench-baseline bench-baseline-check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# Regenerate the committed benchmark trajectory (BENCH_fig6.json):
+# the reduced fig6 sweep through the portfolio in coop, racing, and
+# legacy modes. Run this deliberately — on a quiet machine — when a
+# change intentionally moves the numbers, and commit the result.
+bench-baseline:
+	$(GO) run ./cmd/verdict-bench -baseline write -baseline-file BENCH_fig6.json
+
+# The gate CI runs: re-measure and compare against the committed
+# baseline (exit 1 on verdict drift, >4x total-time regression, coop
+# slower than racing, or coop no faster than legacy).
+bench-baseline-check:
+	$(GO) run ./cmd/verdict-bench -baseline compare -baseline-file BENCH_fig6.json

@@ -9,6 +9,11 @@
 //	verdict-bench -exp fig6     # Figure 6: scalability sweep
 //	verdict-bench -exp all
 //
+// Beyond the experiments, -baseline write/compare maintains the
+// committed benchmark trajectory (BENCH_fig6.json): a reduced fig6
+// subset through the portfolio with cooperation on and off, gated in
+// CI against verdict drift and time regressions (see baseline.go).
+//
 // Absolute runtimes differ from the paper's NuXMV-on-a-MacBook setup;
 // the shapes (violation ≪ verification, exponential growth in topology
 // size and failure budget k, timeouts on the largest fat trees) are
@@ -45,10 +50,15 @@ func main() {
 		ckpt     = flag.String("checkpoint", "", "fig6: persist each completed sweep cell to this JSON file, so a killed run can be resumed")
 		resume   = flag.Bool("resume", false, "fig6: skip cells already recorded in the -checkpoint file, replaying their stored rows")
 		validate = flag.Bool("validate", false, "independently validate every counterexample and proof certificate (fig5, lbecmp, fig6); witness status joins the output, overhead joins the timings")
+		rebuild  = flag.Bool("rebuild-bmc", false, "force per-depth re-encoding in BMC instead of incremental solver reuse (reproduces the pre-incremental timings; for A/B measurement only)")
+		baseline = flag.String("baseline", "", "benchmark trajectory gate: 'write' records the reduced fig6 sweep (coop and racing portfolio) to -baseline-file, 'compare' re-runs it and exits 1 on verdict drift, total-time regression beyond -baseline-tolerance, or cooperative mode slower than racing")
+		baseFile = flag.String("baseline-file", "BENCH_fig6.json", "committed baseline path for -baseline")
+		baseTol  = flag.Float64("baseline-tolerance", 4.0, "total-time drift factor tolerated by -baseline compare (cross-machine gate; 0 = use the factor recorded in the baseline)")
 		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	validateWitness = *validate
+	rebuildBMC = *rebuild
 	if *version {
 		fmt.Println(buildinfo.String("verdict-bench"))
 		return
@@ -59,6 +69,11 @@ func main() {
 	// between experiments.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
+
+	if *baseline != "" {
+		runBaseline(*baseline, *baseFile, *baseTol)
+		return
+	}
 
 	run := map[string]func(){
 		"table1": table1,
@@ -87,8 +102,12 @@ func main() {
 }
 
 // validateWitness mirrors -validate for the experiments that produce
-// verdicts with evidence.
-var validateWitness bool
+// verdicts with evidence; rebuildBMC mirrors -rebuild-bmc for A/B
+// measurement of the incremental blast layer.
+var (
+	validateWitness bool
+	rebuildBMC      bool
+)
 
 func banner(name string) {
 	fmt.Printf("\n===== %s =====\n", name)
@@ -267,7 +286,7 @@ func fig6(ctx context.Context, budget time.Duration, maxFatTree int, engine stri
 			}
 			return nil
 		}
-		opts := verdict.Options{Timeout: budget, Context: ctx, ValidateWitness: validateWitness}
+		opts := verdict.Options{Timeout: budget, Context: ctx, ValidateWitness: validateWitness, RebuildBMC: rebuildBMC}
 		if slot == 0 {
 			m, err := verdict.BuildRollout(verdict.RolloutConfig{Topo: c.topo, P: 1, K: c.kViol, M: 1})
 			if err != nil {

@@ -5,11 +5,8 @@ import (
 	"time"
 
 	"verdict/internal/cnf"
-	"verdict/internal/expr"
 	"verdict/internal/ltl"
 	"verdict/internal/sat"
-	"verdict/internal/smt"
-	"verdict/internal/trace"
 	"verdict/internal/ts"
 )
 
@@ -19,6 +16,15 @@ import (
 // pure SAT pipeline; systems with real-valued variables automatically
 // go through the lazy SMT(LRA) context. BMC never returns Holds — use
 // KInduction or the BDD engine to prove properties.
+//
+// For pure co-safety negations (every witness is a finite prefix —
+// notably safety invariants G(p)) the unrolling is incremental: depth
+// k+1 extends depth k's solver through the blast layer, reusing its
+// clause database and heuristics (Options.IncrementalBMC extends this
+// to lasso searches too). Under the portfolio's cooperation bus, BMC
+// additionally publishes "no counterexample below k" bounds after each
+// clean depth and skips depths another engine has already proven
+// clean.
 func BMC(sys *ts.System, phi *ltl.Formula, opts Options) (res *Result, err error) {
 	// The CNF encoder reports unsupported input (e.g. var*var
 	// multiplication in TRANS) by panicking with a typed CompileError;
@@ -33,10 +39,16 @@ func BMC(sys *ts.System, phi *ltl.Formula, opts Options) (res *Result, err error
 	if !sys.Finite() {
 		engine = "smt-bmc"
 	}
+	incremental := opts.incrementalBMC(neg)
+	// Depth bounds are exchangeable over the bus only for safety
+	// invariants, where BMC's depth-k queries and k-induction's base
+	// cases cover exactly the same witnesses (an init path ending in a
+	// ¬p state).
+	coop := opts.coop
+	if _, isInv := ltl.IsSafetyInvariant(phi); !isInv {
+		coop = nil
+	}
 
-	// By default each depth gets a fresh solver; Options.IncrementalBMC
-	// instead extends one solver across depths (see the comment on the
-	// option for why rebuild is the default).
 	var u *unroller
 	stats := &Stats{}
 	// finish folds the live solver's counters in and attaches the
@@ -44,6 +56,7 @@ func BMC(sys *ts.System, phi *ltl.Formula, opts Options) (res *Result, err error
 	finish := func(r *Result) *Result {
 		if u != nil {
 			stats.addSolver(u.sats)
+			stats.IncrementalReuses += u.reuses
 		}
 		r.Stats = stats
 		return r
@@ -54,7 +67,7 @@ func BMC(sys *ts.System, phi *ltl.Formula, opts Options) (res *Result, err error
 			return finish(&Result{Status: Unknown, Engine: engine, Depth: k, Elapsed: time.Since(start), Note: opts.stopNote()}), nil
 		}
 		var err error
-		if u == nil || !opts.IncrementalBMC {
+		if u == nil || !incremental {
 			if u != nil {
 				stats.addSolver(u.sats)
 			}
@@ -64,6 +77,12 @@ func BMC(sys *ts.System, phi *ltl.Formula, opts Options) (res *Result, err error
 		}
 		if err != nil {
 			return nil, err
+		}
+		if coop.bound() > k {
+			// Another engine already proved this depth clean; keep the
+			// unrolling in sync and move on.
+			stats.DepthTime = append(stats.DepthTime, time.Since(depthStart))
+			continue
 		}
 		// No-loop witness.
 		st := u.solve(u.benc.EncodeNoLoop(neg))
@@ -103,6 +122,10 @@ func BMC(sys *ts.System, phi *ltl.Formula, opts Options) (res *Result, err error
 				}
 			}
 		}
+		// Depth k is clean; depths 0..k-1 were clean before (we iterate
+		// from 0 and every skip was covered by a published bound), so
+		// no counterexample exists below k+1.
+		coop.publishBound(k + 1)
 		stats.DepthTime = append(stats.DepthTime, time.Since(depthStart))
 	}
 	return finish(&Result{
@@ -137,152 +160,4 @@ func coSafety(f *ltl.Formula) bool {
 		return false
 	}
 	return coSafety(f.L) && coSafety(f.R)
-}
-
-// cnfEncoder builds a CNF encoder honoring the ablation options.
-func cnfEncoder(s *sat.Solver, opts Options) *cnf.Encoder {
-	e := cnf.NewEncoder(s)
-	e.NoSeqCounter = opts.NoSeqCounter
-	return e
-}
-
-// unroller owns one unrolled copy of a system at a fixed depth k:
-// frames 0..k, a parameter frame, and either a plain SAT solver or an
-// SMT context depending on the system's domain.
-type unroller struct {
-	sys    *ts.System
-	enc    *cnf.Encoder
-	ctx    *smt.Context // nil for pure SAT
-	sats   *sat.Solver
-	frames []*cnf.Frame
-	params *cnf.Frame
-	benc   *ltl.BoundedEncoder
-
-	finiteState  []*expr.Var
-	finiteParams []*expr.Var
-	realState    []*expr.Var
-	realParams   []*expr.Var
-}
-
-func newUnroller(sys *ts.System, k int, opts Options, start time.Time) (*unroller, error) {
-	u := &unroller{sys: sys}
-	for _, v := range sys.Vars() {
-		if v.T.Finite() {
-			u.finiteState = append(u.finiteState, v)
-		} else {
-			u.realState = append(u.realState, v)
-		}
-	}
-	for _, p := range sys.Params() {
-		if p.T.Finite() {
-			u.finiteParams = append(u.finiteParams, p)
-		} else {
-			u.realParams = append(u.realParams, p)
-		}
-	}
-	if sys.Finite() {
-		u.sats = sat.New()
-		u.enc = cnfEncoder(u.sats, opts)
-	} else {
-		u.ctx = smt.NewContext()
-		u.ctx.BlockFullAssignment = opts.BlockFullAssignment
-		u.sats = u.ctx.Sat
-		u.enc = u.ctx.Enc
-		u.enc.NoSeqCounter = opts.NoSeqCounter
-	}
-	u.sats.Interrupt = opts.interrupt(start)
-	u.sats.ConflictBudget = opts.Budget.SATConflicts
-
-	u.params = u.enc.NewFrame(u.finiteParams)
-	u.enc.Params = u.params
-	for i := 0; i <= k; i++ {
-		u.frames = append(u.frames, u.enc.NewFrame(u.finiteState))
-	}
-	u.benc = ltl.NewBoundedEncoder(u.enc, u.frames)
-
-	// INIT at frame 0, INVAR everywhere, TRANS along the chain.
-	u.enc.Assert(sys.InitExpr(), u.frames[0], nil)
-	invar := sys.InvarExpr()
-	for i := 0; i <= k; i++ {
-		u.enc.Assert(invar, u.frames[i], nil)
-	}
-	tr := sys.TransExpr()
-	for i := 0; i < k; i++ {
-		u.enc.Assert(tr, u.frames[i], u.frames[i+1])
-	}
-	return u, nil
-}
-
-// extend grows the unrolling by one frame: domain constraints come
-// with the fresh frame, INVAR and the transition from the previous
-// frame are asserted, and the bounded-LTL encoder is rebuilt over the
-// longer path (its encodings depend on the bound; the underlying gate
-// and atom definitions in the solver are shared and remain valid).
-func (u *unroller) extend() error {
-	k := len(u.frames)
-	f := u.enc.NewFrame(u.finiteState)
-	u.frames = append(u.frames, f)
-	u.enc.Assert(u.sys.InvarExpr(), f, nil)
-	u.enc.Assert(u.sys.TransExpr(), u.frames[k-1], f)
-	u.benc = ltl.NewBoundedEncoder(u.enc, u.frames)
-	return nil
-}
-
-// loopLit returns the literal closing the lasso: a transition from
-// frame k whose successor state is frame l itself. Compiling TRANS
-// with (cur = frame k, next = frame l) pins the successor to the very
-// variables of position l, which is exactly the bounded loop
-// semantics' requirement that position k+1 and position l coincide.
-func (u *unroller) loopLit(l int) sat.Lit {
-	k := len(u.frames) - 1
-	return u.enc.Lit(u.sys.TransExpr(), u.frames[k], u.frames[l])
-}
-
-func (u *unroller) solve(assumptions ...sat.Lit) sat.Status {
-	if u.ctx != nil {
-		return u.ctx.Solve(assumptions...)
-	}
-	return u.sats.Solve(assumptions...)
-}
-
-// extractTrace decodes the current model into a trace.
-func (u *unroller) extractTrace(loop int) *trace.Trace {
-	t := trace.New()
-	t.LoopStart = loop
-	for _, p := range u.finiteParams {
-		t.Params[p.Name] = u.enc.Model(u.params, p)
-	}
-	for _, p := range u.realParams {
-		t.Params[p.Name] = expr.RealValue(u.ctx.RealValue(p, nil))
-	}
-	for _, f := range u.frames {
-		s := trace.NewState()
-		for _, v := range u.finiteState {
-			s.Values[v.Name] = u.enc.Model(f, v)
-		}
-		for _, v := range u.realState {
-			s.Values[v.Name] = expr.RealValue(u.ctx.RealValue(v, f))
-		}
-		// Also decode DEFINE macros for readability.
-		env := expr.MapEnv{}
-		for k, val := range s.Values {
-			if vv, ok := u.sys.VarByName(k); ok {
-				env[vv] = val
-			}
-		}
-		for _, p := range u.finiteParams {
-			env[p] = t.Params[p.Name]
-		}
-		for _, name := range u.sys.DefineNames() {
-			def, _ := u.sys.DefineByName(name)
-			if !expr.IsFinite(def) || expr.HasNext(def) {
-				continue
-			}
-			if v, err := expr.Eval(def, env, nil); err == nil {
-				s.Values[name] = v
-			}
-		}
-		t.States = append(t.States, s)
-	}
-	return t
 }

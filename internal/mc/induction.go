@@ -20,6 +20,20 @@ import (
 // reachable in exactly k steps; the induction step checks that any
 // simple path of k+1 p-states cannot be extended to a ¬p state. Base
 // violated → Violated with trace; step unsatisfiable → Holds.
+//
+// Both query families are strictly additive in k, so the engine is
+// incremental: one base unroller and one step unroller grow frame by
+// frame through the blast layer, and every depth reuses the previous
+// depth's clause databases via sat.Solver.SolveAssuming (the ¬p-at-end
+// obligation is an assumption, never asserted). Under the portfolio's
+// cooperation bus two further savings apply: base cases already
+// covered by a published "no counterexample below k" bound are
+// skipped (and clean base cases publish their own bound back), and a
+// reachable-set invariant handed off by the BDD engine is installed as
+// a sticky strengthening hypothesis on the step case — sound because a
+// minimal counterexample path visits only reachable states, decisive
+// because reach ⟹ p makes the strengthened step UNSAT immediately
+// when the property holds.
 func KInduction(sys *ts.System, p *expr.Expr, opts Options) (res *Result, err error) {
 	// See BMC: unsupported input surfaces as a cnf.CompileError panic
 	// and is converted to an error here rather than crashing the caller.
@@ -34,75 +48,127 @@ func KInduction(sys *ts.System, p *expr.Expr, opts Options) (res *Result, err er
 		return nil, fmt.Errorf("mc: k-induction property must be a boolean state predicate")
 	}
 	start := time.Now()
+	coop := opts.coop
 
 	stats := &Stats{}
+	var base, step *unroller
+	// finish folds both live solvers' counters exactly once, at the
+	// end — incremental solvers span all depths.
 	finish := func(r *Result) *Result {
+		if base != nil {
+			stats.addSolver(base.sats)
+			stats.IncrementalReuses += base.reuses
+		}
+		if step != nil {
+			stats.addSolver(step.sats)
+			stats.IncrementalReuses += step.reuses
+		}
 		r.Stats = stats
 		return r
 	}
+	strengthened := false
+	var strengthInv *expr.Expr
 	for k := 0; k <= opts.maxDepth(); k++ {
 		depthStart := time.Now()
 		if opts.expired(start) {
 			return finish(&Result{Status: Unknown, Engine: "k-induction", Depth: k, Elapsed: time.Since(start), Note: opts.stopNote()}), nil
 		}
-		// Base case: init path of k steps ending in ¬p.
-		base, err := newUnroller(sys, k, opts, start)
-		if err != nil {
+		// Grow the unrollings to this depth: base holds frames 0..k
+		// (with INIT), step holds frames 0..k+1 (without INIT).
+		if base == nil {
+			if base, err = newUnroller(sys, 0, opts, start); err != nil {
+				return nil, err
+			}
+		} else if err := base.extend(); err != nil {
 			return nil, err
 		}
-		st := base.solve(base.enc.Lit(expr.Not(p), base.frames[k], nil))
-		stats.addSolver(base.sats)
-		switch st {
-		case sat.Sat:
-			return finish(&Result{
-				Status:  Violated,
-				Trace:   base.extractTrace(-1),
-				Engine:  "k-induction",
-				Depth:   k,
-				Elapsed: time.Since(start),
-			}), nil
-		case sat.Unknown:
-			return finish(&Result{Status: Unknown, Engine: "k-induction", Depth: k, Elapsed: time.Since(start), Note: opts.solverNote(base.sats, start)}), nil
+		if step == nil {
+			if step, err = newStepUnroller(sys, 1, opts, start); err != nil {
+				return nil, err
+			}
+			step.enc.Assert(p, step.frames[0], nil)
+		} else if err := step.extend(); err != nil {
+			return nil, err
+		}
+		// A reachable-set invariant handed off over the bus joins the
+		// step case as a sticky hypothesis (asserted at every frame,
+		// current and future) the first time it is seen.
+		if !strengthened {
+			if inv, _, ok := coop.invariant(); ok {
+				step.assertSticky(inv)
+				strengthInv = inv
+				strengthened = true
+				coop.noteHandoff()
+			}
+		}
+		// Frame k joined the step prefix this iteration: it must carry
+		// p, and the simple-path constraint makes it pairwise distinct
+		// from the earlier prefix frames (required for completeness;
+		// without it k-induction can loop forever on systems with
+		// unreachable p-cycles). Earlier pairs were added at earlier
+		// depths.
+		if k > 0 {
+			step.enc.Assert(p, step.frames[k], nil)
+			for i := 0; i < k; i++ {
+				step.sats.AddClause(step.enc.EqFrames(step.frames[i], step.frames[k]).Not())
+			}
+		}
+
+		// Base case: init path of k steps ending in ¬p — skipped when a
+		// published bound already covers this depth.
+		if coop.bound() <= k {
+			st := base.solve(base.enc.Lit(expr.Not(p), base.frames[k], nil))
+			switch st {
+			case sat.Sat:
+				return finish(&Result{
+					Status:  Violated,
+					Trace:   base.extractTrace(-1),
+					Engine:  "k-induction",
+					Depth:   k,
+					Elapsed: time.Since(start),
+				}), nil
+			case sat.Unknown:
+				return finish(&Result{Status: Unknown, Engine: "k-induction", Depth: k, Elapsed: time.Since(start), Note: opts.solverNote(base.sats, start)}), nil
+			}
+			// Depths 0..k-1 were clean before this one (iteration from
+			// 0; skips were bound-covered), so no counterexample below
+			// k+1.
+			coop.publishBound(k + 1)
 		}
 
 		// Induction step: p-states 0..k on a simple path, ¬p at k+1.
-		step, err := newStepUnroller(sys, k+1, opts, start)
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i <= k; i++ {
-			step.enc.Assert(p, step.frames[i], nil)
-		}
-		// Simple-path constraint: all of frames 0..k pairwise distinct
-		// (required for completeness; without it k-induction can loop
-		// forever on systems with unreachable p-cycles).
-		for i := 0; i <= k; i++ {
-			for j := i + 1; j <= k; j++ {
-				step.sats.AddClause(step.enc.EqFrames(step.frames[i], step.frames[j]).Not())
-			}
-		}
-		st = step.solve(step.enc.Lit(expr.Not(p), step.frames[k+1], nil))
-		stats.addSolver(step.sats)
+		st := step.solve(step.enc.Lit(expr.Not(p), step.frames[k+1], nil))
 		stats.DepthTime = append(stats.DepthTime, time.Since(depthStart))
 		switch st {
 		case sat.Unsat:
-			// Certify the proof: at depth 0 the property itself is
-			// inductive (base: INIT∧INVAR ⟹ p; step: p∧TRANS ⟹ p'), so
-			// the certificate names p as its own strengthening and is
-			// checked by the three inductive-invariant conditions. At
-			// k > 0 the strengthening is the simple-path unrolling, which
-			// has no compact predicate form — the certificate claims only
+			// Certify the proof: at depth 0 the property itself —
+			// conjoined with the handed-off invariant when one
+			// strengthened the step — is inductive, so the certificate
+			// names that predicate as its strengthening and is checked
+			// by the three inductive-invariant conditions. At k > 0 the
+			// strengthening is the simple-path unrolling, which has no
+			// compact predicate form — the certificate claims only
 			// reachability and is checked by explicit replay.
 			cert := &witness.Certificate{Kind: "k-induction", Property: p, Depth: k}
+			note := fmt.Sprintf("proved at induction depth %d", k)
 			if k == 0 {
 				cert.Invariant = p
+				if strengthened {
+					// p alone need not be inductive once the step case
+					// leans on the reach invariant; inv∧p is (inv is
+					// inductive and the step proved inv∧p∧TRANS ⟹ p').
+					cert.Invariant = expr.And(strengthInv, p)
+				}
+			}
+			if strengthened {
+				note += " (step strengthened by handed-off reach invariant)"
 			}
 			return finish(&Result{
 				Status:  Holds,
 				Engine:  "k-induction",
 				Depth:   k,
 				Elapsed: time.Since(start),
-				Note:    fmt.Sprintf("proved at induction depth %d", k),
+				Note:    note,
 				Cert:    cert,
 			}), nil
 		case sat.Unknown:
@@ -116,41 +182,6 @@ func KInduction(sys *ts.System, p *expr.Expr, opts Options) (res *Result, err er
 		Elapsed: time.Since(start),
 		Note:    fmt.Sprintf("not inductive up to depth %d", opts.maxDepth()),
 	}), nil
-}
-
-// newStepUnroller builds an unrolled chain WITHOUT the initial-state
-// constraint, for induction steps.
-func newStepUnroller(sys *ts.System, k int, opts Options, start time.Time) (*unroller, error) {
-	u := &unroller{sys: sys}
-	for _, v := range sys.Vars() {
-		if v.T.Finite() {
-			u.finiteState = append(u.finiteState, v)
-		}
-	}
-	for _, p := range sys.Params() {
-		if p.T.Finite() {
-			u.finiteParams = append(u.finiteParams, p)
-		}
-	}
-	u.sats = sat.New()
-	u.enc = cnfEncoder(u.sats, opts)
-	u.sats.Interrupt = opts.interrupt(start)
-	u.sats.ConflictBudget = opts.Budget.SATConflicts
-	u.params = u.enc.NewFrame(u.finiteParams)
-	u.enc.Params = u.params
-	for i := 0; i <= k; i++ {
-		u.frames = append(u.frames, u.enc.NewFrame(u.finiteState))
-	}
-	invar := sys.InvarExpr()
-	for i := 0; i <= k; i++ {
-		u.enc.Assert(invar, u.frames[i], nil)
-	}
-	tr := sys.TransExpr()
-	for i := 0; i < k; i++ {
-		u.enc.Assert(tr, u.frames[i], u.frames[i+1])
-	}
-	u.benc = ltl.NewBoundedEncoder(u.enc, u.frames)
-	return u, nil
 }
 
 // CheckInvariant proves or refutes G(p): k-induction first (it can

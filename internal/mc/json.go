@@ -98,19 +98,26 @@ type wireStats struct {
 	DepthTimeNS     []int64  `json:"depth_time_ns,omitempty"`
 	EngineErrors    []string `json:"engine_errors,omitempty"`
 	WitnessFailures int64    `json:"witness_failures,omitempty"`
+	// Cooperation counters (portfolio cooperative mode).
+	BoundsShared        int64 `json:"bounds_shared,omitempty"`
+	InvariantsHandedOff int64 `json:"invariants_handed_off,omitempty"`
+	IncrementalReuses   int64 `json:"incremental_reuses,omitempty"`
 }
 
 // MarshalJSON renders the stats in their wire shape.
 func (st *Stats) MarshalJSON() ([]byte, error) {
 	w := wireStats{
-		Conflicts:       st.Conflicts,
-		Decisions:       st.Decisions,
-		Propagations:    st.Propagations,
-		Learnts:         st.Learnts,
-		Restarts:        st.Restarts,
-		BDDNodes:        st.BDDNodes,
-		EngineErrors:    st.EngineErrors,
-		WitnessFailures: st.WitnessFailures,
+		Conflicts:           st.Conflicts,
+		Decisions:           st.Decisions,
+		Propagations:        st.Propagations,
+		Learnts:             st.Learnts,
+		Restarts:            st.Restarts,
+		BDDNodes:            st.BDDNodes,
+		EngineErrors:        st.EngineErrors,
+		WitnessFailures:     st.WitnessFailures,
+		BoundsShared:        st.BoundsShared,
+		InvariantsHandedOff: st.InvariantsHandedOff,
+		IncrementalReuses:   st.IncrementalReuses,
 	}
 	for _, d := range st.DepthTime {
 		w.DepthTimeNS = append(w.DepthTimeNS, d.Nanoseconds())
@@ -125,14 +132,17 @@ func (st *Stats) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*st = Stats{
-		Conflicts:       w.Conflicts,
-		Decisions:       w.Decisions,
-		Propagations:    w.Propagations,
-		Learnts:         w.Learnts,
-		Restarts:        w.Restarts,
-		BDDNodes:        w.BDDNodes,
-		EngineErrors:    w.EngineErrors,
-		WitnessFailures: w.WitnessFailures,
+		Conflicts:           w.Conflicts,
+		Decisions:           w.Decisions,
+		Propagations:        w.Propagations,
+		Learnts:             w.Learnts,
+		Restarts:            w.Restarts,
+		BDDNodes:            w.BDDNodes,
+		EngineErrors:        w.EngineErrors,
+		WitnessFailures:     w.WitnessFailures,
+		BoundsShared:        w.BoundsShared,
+		InvariantsHandedOff: w.InvariantsHandedOff,
+		IncrementalReuses:   w.IncrementalReuses,
 	}
 	for _, ns := range w.DepthTimeNS {
 		st.DepthTime = append(st.DepthTime, time.Duration(ns))

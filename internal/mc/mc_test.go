@@ -577,7 +577,9 @@ func TestIncrementalBMCAgrees(t *testing.T) {
 			ltl.G(ltl.Atom(p)),
 			ltl.F(ltl.G(ltl.Atom(p))),
 		} {
-			r1, err := BMC(sys, phi, Options{MaxDepth: 10})
+			// RebuildBMC forces the per-depth rebuild reference even for
+			// co-safety negations, where incremental is now the default.
+			r1, err := BMC(sys, phi, Options{MaxDepth: 10, RebuildBMC: true})
 			if err != nil {
 				t.Fatal(err)
 			}

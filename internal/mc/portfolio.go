@@ -42,10 +42,21 @@ const stallGrace = 250 * time.Millisecond
 // over a shared child of opts.Context; the winner's cancel signal
 // reaches the losers through the same cooperative polling that
 // implements wall-clock deadlines. Losing goroutines may outlive this
-// call briefly (until their next poll); they hold no shared mutable
-// state — ts.System and expression trees are immutable during
-// checking — so this is safe, merely a little CPU spent after the
-// answer is in.
+// call briefly (until their next poll); the only mutable state they
+// share is the cooperation bus, which is built for exactly that
+// (atomics and a mutex; ts.System and expression trees are immutable
+// during checking) — so this is safe, merely a little CPU spent after
+// the answer is in.
+//
+// Unless Options.NoCooperation is set, the race is also a relay: the
+// engines publish proven facts to a shared cooperation bus — BMC and
+// k-induction exchange "no counterexample below depth k" bounds so
+// neither re-proves depths the other cleared, and the BDD engine hands
+// its converged reachable-set invariant to k-induction as a
+// strengthening hypothesis. Every shared fact is a theorem, so
+// cooperation affects time-to-verdict, never the verdict itself; the
+// bus totals land in the winner's Stats (BoundsShared,
+// InvariantsHandedOff, IncrementalReuses).
 //
 // The race is fault-isolated: an engine that panics is recovered in
 // its own goroutine into a structured *resilience.EngineError and the
@@ -67,6 +78,17 @@ func Portfolio(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) 
 	defer cancel()
 	inner := opts
 	inner.Context = ctx
+	// The cooperation bus (see coop.go) lets the racers share proven
+	// facts: BMC and k-induction exchange "no counterexample below k"
+	// depth bounds, and the BDD engine hands its converged reach set to
+	// k-induction as a strengthening invariant. Facts are theorems, so
+	// cooperation changes speed, never verdicts; -no-coop reverts to a
+	// pure race.
+	var bus *coopBus
+	if !opts.NoCooperation {
+		bus = newCoopBus()
+	}
+	inner.coop = bus
 
 	type run struct {
 		name string
@@ -158,6 +180,17 @@ func Portfolio(sys *ts.System, phi *ltl.Formula, opts Options) (*Result, error) 
 		pending = 0
 	}
 	attach := func(r *Result) *Result {
+		if bus != nil {
+			// Race-wide cooperation totals. The losers' goroutines may
+			// still be draining toward their next cancellation poll, so
+			// the counters can tick briefly after this snapshot; the
+			// snapshot itself is atomic loads — race-clean by
+			// construction, checked by the -race stress test.
+			if r.Stats == nil {
+				r.Stats = &Stats{}
+			}
+			bus.fold(r.Stats)
+		}
 		if len(failures) > 0 || witnessFails > 0 {
 			if r.Stats == nil {
 				r.Stats = &Stats{}

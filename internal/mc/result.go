@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"verdict/internal/ltl"
 	"verdict/internal/sat"
 	"verdict/internal/trace"
 	"verdict/internal/witness"
@@ -96,6 +97,18 @@ type Stats struct {
 	// returned result itself. The rejections' details land in
 	// EngineErrors.
 	WitnessFailures int64
+	// Cooperation counters. On a portfolio result they are race-wide
+	// totals folded from the cooperation bus after the race settles; on
+	// a single-engine result IncrementalReuses is that engine's own
+	// count and the other two are zero. BoundsShared counts "no
+	// counterexample below depth k" facts published (each publication
+	// that raised the shared bound); InvariantsHandedOff counts engines
+	// that installed a handed-off reachable-set invariant as a
+	// strengthening hypothesis; IncrementalReuses counts unroller
+	// extensions that reused a retained solver instead of re-blasting.
+	BoundsShared        int64
+	InvariantsHandedOff int64
+	IncrementalReuses   int64
 }
 
 // addSolver folds a solver's counters into the stats. Call it exactly
@@ -130,6 +143,10 @@ func (st *Stats) String() string {
 			ds = append(ds, fmt.Sprintf("%d:%v", k, d.Round(time.Microsecond)))
 		}
 		parts = append(parts, "per-depth: "+strings.Join(ds, " "))
+	}
+	if st.BoundsShared != 0 || st.InvariantsHandedOff != 0 || st.IncrementalReuses != 0 {
+		parts = append(parts, fmt.Sprintf("coop: %d bounds shared, %d invariants handed off, %d incremental reuses",
+			st.BoundsShared, st.InvariantsHandedOff, st.IncrementalReuses))
 	}
 	if len(st.EngineErrors) > 0 {
 		parts = append(parts, "engine failures: "+strings.Join(st.EngineErrors, "; "))
@@ -215,12 +232,14 @@ type Options struct {
 	// BlockFullAssignment makes the SMT engine block theory conflicts
 	// with whole assignments instead of simplex explanations (ablation).
 	BlockFullAssignment bool
-	// IncrementalBMC extends one solver across unroll depths instead
-	// of rebuilding per depth. Measured results are mixed: ~3x faster
-	// on co-safety searches (the Figure 5 workload), but slower on
-	// liveness lasso searches, where every depth's loop-witness
-	// encodings pile up as stale gates that burden later depths. It is
-	// therefore opt-in; see BenchmarkAblationIncremental.
+	// IncrementalBMC forces BMC to extend one solver across unroll
+	// depths instead of rebuilding per depth. Incremental solving is
+	// already the default whenever the negated property is pure
+	// co-safety (a finite prefix decides every witness — the Figure 5/6
+	// workload — where it measures ~3x faster); this flag extends it to
+	// liveness lasso searches too, where results are mixed: every
+	// depth's loop-witness encodings pile up as stale gates that burden
+	// later depths. See BenchmarkAblationIncremental.
 	IncrementalBMC bool
 	// MaxExplicitStates caps explicit-state enumeration (default 1e6).
 	MaxExplicitStates int
@@ -254,6 +273,37 @@ type Options struct {
 	// validation and falls back to the survivors; single-engine checks
 	// record the failure in Result.Witness and Stats.WitnessFailures.
 	ValidateWitness bool
+	// NoCooperation makes Portfolio race its engines in isolation
+	// (pre-cooperation behavior, `verdict -no-coop`): no shared depth
+	// bounds, no invariant handoff. Cooperation never changes verdicts
+	// — only how fast one is reached — so this is a debugging and
+	// benchmarking knob (the baseline gate measures both modes), and
+	// the escape hatch if a bus bug is ever suspected in production.
+	NoCooperation bool
+
+	// RebuildBMC forces BMC back onto the per-depth rebuild path even
+	// for co-safety properties, re-encoding the whole unrolling at
+	// every depth. A measurement and differential-testing escape
+	// hatch, never a performance choice: the incremental-vs-rebuild
+	// equivalence oracle needs the rebuild reference, and
+	// `verdict-bench -rebuild-bmc` uses it to reproduce the
+	// pre-incremental timings recorded in EXPERIMENTS.md.
+	RebuildBMC bool
+
+	// coop is the portfolio's shared cooperation bus, threaded to the
+	// engines it races. Internal: a nil bus means racing mode, and
+	// callers outside this package cannot set it.
+	coop *coopBus
+}
+
+// incrementalBMC decides whether BMC extends one solver across depths:
+// forced by IncrementalBMC, default for pure co-safety negations
+// (where no loop-witness gates can pile up and reuse is a pure win).
+func (o Options) incrementalBMC(neg *ltl.Formula) bool {
+	if o.RebuildBMC {
+		return false
+	}
+	return o.IncrementalBMC || coSafety(neg)
 }
 
 func (o Options) maxDepth() int {

@@ -99,6 +99,146 @@ func checkCNF(t *testing.T, nVars int, clauses [][]Lit) {
 	}
 }
 
+// checkIncrementalCNF is the differential oracle for SolveAssuming:
+// the same CNF is fed to one solver in randomized chunks, with a
+// randomized assumption query after every chunk, and each verdict is
+// cross-checked against brute-force enumeration of the clause prefix
+// plus the assumptions. Models must satisfy clauses and assumptions;
+// unsat cores must be subsets of the assumptions that are genuinely
+// inconsistent with the prefix. The final assumption-free call must
+// agree with a fresh solver on the full CNF.
+func checkIncrementalCNF(t *testing.T, nVars int, clauses [][]Lit, seed int64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	s := New()
+	for i := 0; i < nVars; i++ {
+		s.NewVar()
+	}
+	randAssumps := func() []Lit {
+		a := make([]Lit, 0, 3)
+		for i := r.Intn(4); i > 0; i-- {
+			a = append(a, MkLit(r.Intn(nVars), r.Intn(2) == 1))
+		}
+		return a
+	}
+	// withUnits appends assumptions as unit clauses for the enumerator.
+	withUnits := func(prefix [][]Lit, assumps []Lit) [][]Lit {
+		all := append([][]Lit{}, prefix...)
+		for _, a := range assumps {
+			all = append(all, []Lit{a})
+		}
+		return all
+	}
+	query := func(prefix [][]Lit, assumps []Lit) {
+		t.Helper()
+		st := s.SolveAssuming(assumps...)
+		if st == Unknown {
+			t.Fatalf("SolveAssuming returned unknown without a budget\nprefix=%v assumps=%v", prefix, assumps)
+		}
+		want := bruteForce(nVars, withUnits(prefix, assumps))
+		if (st == Sat) != want {
+			t.Fatalf("incremental SolveAssuming(%v) = %v, brute force says sat=%v\nnVars=%d prefix=%v", assumps, st, want, nVars, prefix)
+		}
+		if st == Sat {
+			// The model must satisfy the clauses added so far AND the
+			// assumptions of this call.
+			for _, a := range assumps {
+				if s.ValueLit(a) != TrueV {
+					t.Fatalf("model under assumptions violates assumption %v\nprefix=%v", a, prefix)
+				}
+			}
+			for _, c := range prefix {
+				ok := false
+				for _, l := range c {
+					if s.ValueLit(l) == TrueV {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("model under assumptions %v falsifies clause %v\nprefix=%v", assumps, c, prefix)
+				}
+			}
+			return
+		}
+		// Unsat: the reported core must be assumptions, and must be
+		// genuinely inconsistent with the prefix on its own.
+		asm := make(map[Lit]bool, len(assumps))
+		for _, a := range assumps {
+			asm[a] = true
+		}
+		core := s.Core()
+		for _, l := range core {
+			if !asm[l] {
+				t.Fatalf("core literal %v is not among the assumptions %v\nprefix=%v", l, assumps, prefix)
+			}
+		}
+		if len(assumps) > 0 && bruteForce(nVars, withUnits(prefix, core)) {
+			t.Fatalf("core %v of assumptions %v is not actually unsat with the prefix\nprefix=%v", core, assumps, prefix)
+		}
+	}
+
+	var prefix [][]Lit
+	dead := false // AddClause proved top-level unsat
+	for len(clauses) > 0 {
+		chunk := 1 + r.Intn(len(clauses))
+		for _, c := range clauses[:chunk] {
+			prefix = append(prefix, c)
+			if !dead && !s.AddClause(c...) {
+				dead = true
+				if bruteForce(nVars, prefix) {
+					t.Fatalf("AddClause says top-level unsat, brute force says sat\nprefix=%v", prefix)
+				}
+			}
+		}
+		clauses = clauses[chunk:]
+		if dead {
+			// A dead solver must answer Unsat to every later query.
+			if st := s.SolveAssuming(randAssumps()...); st != Unsat {
+				t.Fatalf("solver answered %v after top-level unsat", st)
+			}
+			continue
+		}
+		query(prefix, randAssumps())
+	}
+	if dead {
+		return
+	}
+	// Final assumption-free call vs a fresh solver on the full CNF.
+	query(prefix, nil)
+	fresh := New()
+	for i := 0; i < nVars; i++ {
+		fresh.NewVar()
+	}
+	freshSt := Status(Unsat)
+	ok := true
+	for _, c := range prefix {
+		if !fresh.AddClause(c...) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		freshSt = fresh.Solve()
+	}
+	if incSt := s.SolveAssuming(); incSt != freshSt {
+		t.Fatalf("incremental solver says %v, fresh solver says %v\nnVars=%d clauses=%v", incSt, freshSt, nVars, prefix)
+	}
+}
+
+// incrementalSeed derives a deterministic chunking/assumption seed
+// from the CNF itself, so fuzz executions are reproducible.
+func incrementalSeed(nVars int, clauses [][]Lit) int64 {
+	h := int64(nVars)
+	for _, c := range clauses {
+		h = h*131 + int64(len(c))
+		for _, l := range c {
+			h = h*31 + int64(l)
+		}
+	}
+	return h
+}
+
 func FuzzSolver(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{3, 2, 3, 0, 5, 0})            // (x1 ∨ ¬x1)(¬x2)
@@ -107,6 +247,7 @@ func FuzzSolver(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		nVars, clauses := decodeCNF(data)
 		checkCNF(t, nVars, clauses)
+		checkIncrementalCNF(t, nVars, clauses, incrementalSeed(nVars, clauses))
 	})
 }
 
@@ -133,5 +274,6 @@ func TestSolverVsBruteForce(t *testing.T) {
 			clauses = append(clauses, c)
 		}
 		checkCNF(t, nVars, clauses)
+		checkIncrementalCNF(t, nVars, clauses, int64(1000+i))
 	}
 }

@@ -1,0 +1,162 @@
+package sat
+
+import "testing"
+
+// Tests for the incremental solving contract of SolveAssuming: the
+// learned-clause database, literal activities, and saved phases
+// survive across calls; assumptions hold for exactly one call; and
+// clauses added between calls join the problem seamlessly.
+
+// addPigeonhole asserts the pigeonhole principle PHP(holes+1, holes)
+// guarded by a selector literal: every clause gets `guard` added, so
+// the (unsatisfiable) instance is active only under the assumption
+// guard.Not(). Returns the pigeon/hole variables.
+func addPigeonhole(s *Solver, holes int, guard Lit) [][]int {
+	pigeons := holes + 1
+	p := make([][]int, pigeons)
+	for i := range p {
+		p[i] = make([]int, holes)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i < pigeons; i++ {
+		c := []Lit{guard}
+		for j := 0; j < holes; j++ {
+			c = append(c, Pos(p[i][j]))
+		}
+		s.AddClause(c...)
+	}
+	for j := 0; j < holes; j++ {
+		for i := 0; i < pigeons; i++ {
+			for k := i + 1; k < pigeons; k++ {
+				s.AddClause(guard, Neg(p[i][j]), Neg(p[k][j]))
+			}
+		}
+	}
+	return p
+}
+
+// TestSolveAssumingRetainsState checks that solver state genuinely
+// persists across SolveAssuming calls: learned clauses stay in the
+// database, activities keep their values, and a repeat of the same
+// hard query is answered with at most the original search effort.
+func TestSolveAssumingRetainsState(t *testing.T) {
+	s := New()
+	sel := s.NewVar()
+	addPigeonhole(s, 4, Pos(sel))
+
+	if st := s.SolveAssuming(Neg(sel)); st != Unsat {
+		t.Fatalf("guarded pigeonhole under activation = %v, want unsat", st)
+	}
+	c1 := s.Conflicts
+	if c1 == 0 {
+		t.Fatal("pigeonhole refutation recorded no conflicts")
+	}
+	if s.Learnts == 0 {
+		t.Fatal("pigeonhole refutation learned no clauses")
+	}
+	learnt1 := s.Learnts
+	// Literal activity must survive the call (EVSIDS state is part of
+	// the retained heuristics).
+	bumped := false
+	for _, a := range s.activity {
+		if a > 0 {
+			bumped = true
+			break
+		}
+	}
+	if !bumped {
+		t.Fatal("no literal activity left after a conflicting solve")
+	}
+	core := s.Core()
+	if len(core) != 1 || core[0] != Neg(sel) {
+		t.Fatalf("Core() = %v, want [%v]", core, Neg(sel))
+	}
+
+	// The identical query again: the retained clause database must not
+	// make it harder, and typically makes it much cheaper.
+	if st := s.SolveAssuming(Neg(sel)); st != Unsat {
+		t.Fatalf("repeat query = %v, want unsat", st)
+	}
+	if c2 := s.Conflicts - c1; c2 > c1 {
+		t.Errorf("repeat of an identical unsat query took more conflicts (%d) than the first (%d); clause database not retained?", c2, c1)
+	}
+	if s.Learnts < learnt1 {
+		t.Errorf("learned-clause counter went backwards: %d then %d", learnt1, s.Learnts)
+	}
+
+	// The assumption held for its calls only: with the guard released
+	// the instance is trivially satisfiable.
+	if st := s.SolveAssuming(); st != Sat {
+		t.Fatalf("unguarded solve = %v, want sat", st)
+	}
+	if got := s.Stats().Solves; got != 3 {
+		t.Errorf("Stats().Solves = %d, want 3", got)
+	}
+}
+
+// TestSolveAssumingInterleavedClauses drives the MiniSat-style
+// incremental pattern: alternate clause additions with assumption
+// queries and cross-check every verdict against brute force.
+func TestSolveAssumingInterleavedClauses(t *testing.T) {
+	s := New()
+	const n = 4
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	var sofar [][]Lit
+	add := func(c ...Lit) {
+		sofar = append(sofar, c)
+		if !s.AddClause(c...) {
+			t.Fatalf("AddClause(%v) reported top-level unsat", c)
+		}
+	}
+	check := func(assumps ...Lit) {
+		t.Helper()
+		st := s.SolveAssuming(assumps...)
+		all := append([][]Lit{}, sofar...)
+		for _, a := range assumps {
+			all = append(all, []Lit{a})
+		}
+		want := bruteForce(n, all)
+		if (st == Sat) != want {
+			t.Fatalf("SolveAssuming(%v) = %v, brute force says sat=%v (clauses %v)", assumps, st, want, sofar)
+		}
+		if st == Sat {
+			for _, a := range assumps {
+				if s.ValueLit(a) != TrueV {
+					t.Fatalf("model violates assumption %v", a)
+				}
+			}
+		}
+	}
+
+	add(Pos(0), Pos(1))
+	check(Neg(0))
+	add(Neg(1), Pos(2))
+	check(Neg(0), Neg(2)) // forces 1 and ¬1: unsat under assumptions
+	check(Pos(0))
+	add(Neg(2), Pos(3))
+	check(Neg(0), Neg(3))
+	check() // still satisfiable with no assumptions
+	if got := s.Stats().Solves; got != 5 {
+		t.Errorf("Stats().Solves = %d, want 5", got)
+	}
+}
+
+// TestSolveDelegatesToSolveAssuming pins Solve == SolveAssuming.
+func TestSolveDelegatesToSolveAssuming(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(Pos(v))
+	if st := s.Solve(Neg(v)); st != Unsat {
+		t.Fatalf("Solve under contradicting assumption = %v, want unsat", st)
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("Solve = %v, want sat", st)
+	}
+	if got := s.Stats().Solves; got != 2 {
+		t.Errorf("Stats().Solves = %d, want 2 (Solve must count as SolveAssuming)", got)
+	}
+}

@@ -134,6 +134,7 @@ type Solver struct {
 	Decisions    int64
 	Propagations int64
 	Learnts      int64
+	Solves       int64
 
 	// Budget: abort Solve with Unknown after this many conflicts
 	// (0 = unlimited). Used to implement verification timeouts.
@@ -528,8 +529,23 @@ func luby(x int64) int64 {
 // Solve determines satisfiability under the given assumptions. On Sat,
 // Value reports the model; on Unsat, Core reports the subset of
 // assumptions in the final conflict. Unknown is returned only when the
-// conflict budget is exhausted.
+// conflict budget is exhausted. Solve is SolveAssuming under its
+// historical name; both are fully incremental.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	return s.SolveAssuming(assumptions...)
+}
+
+// SolveAssuming is the incremental solving entry point: it decides the
+// current clause set under the given assumptions, which hold only for
+// this call. Everything the search discovers persists for the next
+// call — learned clauses stay in the database, literal activities and
+// saved phases keep their values, and clauses added between calls
+// simply join the problem — so a sequence of related queries (BMC
+// depths k, k+1, ..., induction steps, loop-literal probes) shares one
+// growing clause database instead of restarting from nothing. Each
+// call gets its own conflict budget and restart schedule.
+func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
+	s.Solves++
 	if !s.ok {
 		s.conflict = nil
 		return Unsat
@@ -778,8 +794,12 @@ type Stats struct {
 	Propagations int64
 	Learnts      int64
 	Restarts     int64
-	Vars         int
-	Clauses      int
+	// Solves counts Solve/SolveAssuming calls answered by this solver;
+	// values above 1 mean the clause database and heuristic state were
+	// reused incrementally.
+	Solves  int64
+	Vars    int
+	Clauses int
 }
 
 // Stats snapshots the search counters. The caller owns the copy; the
@@ -792,6 +812,7 @@ func (s *Solver) Stats() Stats {
 		Propagations: s.Propagations,
 		Learnts:      s.Learnts,
 		Restarts:     int64(s.restartCnt),
+		Solves:       s.Solves,
 		Vars:         s.NumVars(),
 		Clauses:      s.NumClauses(),
 	}

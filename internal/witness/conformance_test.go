@@ -156,6 +156,67 @@ func TestConformance(t *testing.T) {
 	}
 }
 
+// TestConformanceCooperation sweeps the portfolio over random
+// instances in cooperative and non-cooperative (-no-coop) modes.
+// Cooperation shares only proven facts between engines, so the two
+// modes must return identical verdicts on every instance, and the
+// evidence from both must survive independent validation. CI runs
+// this under -race: the sweep doubles as a scheduler-noise audit of
+// the cooperation bus inside the real portfolio topology.
+func TestConformanceCooperation(t *testing.T) {
+	for _, seed := range []int64{11, 12} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 6; i++ {
+				sys, vars := randomSystem(r, fmt.Sprintf("coop-%d-%d", seed, i))
+				if err := sys.Validate(); err != nil {
+					t.Fatalf("generator produced an invalid system: %v", err)
+				}
+				for j := 0; j < 2; j++ {
+					phi := randomProperty(r, vars)
+					what := fmt.Sprintf("sys%d/prop%d: %s", i, j, phi)
+					opts := mc.Options{MaxDepth: 12, Timeout: 10 * time.Second, ValidateWitness: true}
+					coop, err := mc.Portfolio(sys, phi, opts)
+					if err != nil {
+						t.Fatalf("%s: cooperative portfolio failed: %v", what, err)
+					}
+					opts.NoCooperation = true
+					racing, err := mc.Portfolio(sys, phi, opts)
+					if err != nil {
+						t.Fatalf("%s: racing portfolio failed: %v", what, err)
+					}
+					// These instances are tiny, so both modes conclude; an
+					// Unknown would make the equivalence check vacuous.
+					if coop.Status == mc.Unknown || racing.Status == mc.Unknown {
+						t.Fatalf("%s: inconclusive on a toy instance: coop=%v racing=%v",
+							what, coop.Status, racing.Status)
+					}
+					if coop.Status != racing.Status {
+						t.Fatalf("%s: cooperation flipped the verdict: coop=%v racing=%v",
+							what, coop.Status, racing.Status)
+					}
+					for _, res := range []*mc.Result{coop, racing} {
+						if res.Witness == witness.Failed {
+							t.Fatalf("%s: %s verdict failed witness validation: %s", what, res.Engine, res.Note)
+						}
+						if res.Trace != nil {
+							if err := witness.Validate(sys, phi, res.Trace); err != nil {
+								t.Fatalf("%s: %s counterexample rejected: %v", what, res.Engine, err)
+							}
+						}
+					}
+					if racing.Stats != nil &&
+						(racing.Stats.BoundsShared != 0 || racing.Stats.InvariantsHandedOff != 0) {
+						t.Fatalf("%s: -no-coop run reports cooperation traffic: %+v", what, racing.Stats)
+					}
+				}
+			}
+		})
+	}
+}
+
 // checkInstance runs every applicable engine on (sys, phi) and holds
 // each verdict to the conformance contract.
 func checkInstance(t *testing.T, sys *ts.System, phi *ltl.Formula, what string) {
