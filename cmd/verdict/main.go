@@ -135,7 +135,7 @@ func main() {
 	}
 	opts := verdict.Options{MaxDepth: *depth, Timeout: *timeout, Workers: *workers,
 		ValidateWitness: *validate, NoCooperation: *noCoop,
-		Budget:          verdict.Budget{SATConflicts: *satBudget, BDDNodes: *bddBudget}}
+		Budget: verdict.Budget{SATConflicts: *satBudget, BDDNodes: *bddBudget}}
 	if retryPolicy.Attempts > 0 {
 		// Under a retry ladder the wall clock is a per-attempt budget to
 		// escalate, not a fixed cap, so it moves into the Budget.

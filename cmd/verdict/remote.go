@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"verdict"
+	"verdict/internal/cluster"
 	"verdict/internal/server"
 	"verdict/internal/trace"
 )
@@ -33,10 +34,17 @@ import (
 // The client is built to outlive daemon trouble: every call carries
 // the -wait deadline, transient failures (transport errors, 5xx, and
 // 429 admission pushback) are retried with full-jitter exponential
-// backoff — honoring the server's Retry-After when it names one — and
-// because check ids are content addresses, a submission interrupted
-// mid-flight can be retried or resumed with -id across a daemon
-// restart without ever running the check twice.
+// backoff — honoring the server's Retry-After when it names one, but
+// never sleeping past the -wait deadline — and because check ids are
+// content addresses, a submission interrupted mid-flight can be
+// retried or resumed with -id across a daemon restart without ever
+// running the check twice.
+//
+// -server accepts a comma-separated list of cluster nodes. The client
+// builds the same consistent-hash ring the fleet uses (node identity
+// = normalized URL), polls the id's ring owner first, and fails over
+// to the id's replicas when the owner is unreachable — an id is only
+// declared unknown when every node says so.
 //
 // The returned exit code mirrors the local command: 0 when the
 // property holds (or is unknown), 1 when it is violated, 2 when the
@@ -49,7 +57,7 @@ func runRemote(args []string) int {
 	}
 	fs := flag.NewFlagSet("remote check", flag.ExitOnError)
 	var (
-		serverURL = fs.String("server", "http://127.0.0.1:8080", "verdictd base URL")
+		serverURL = fs.String("server", "http://127.0.0.1:8080", "verdictd base URL, or a comma-separated list of cluster node URLs")
 		modelPath = fs.String("model", "", "path to a .vsmv model file")
 		checkID   = fs.String("id", "", "resume an existing check id instead of submitting a model")
 		property  = fs.String("property", "", "inline LTL property (overrides the model's LTLSPECs)")
@@ -69,7 +77,7 @@ func runRemote(args []string) int {
 		fs.Usage()
 		return 2
 	}
-	rc := newRetryClient(*retries, *retryBase)
+	cl := newNodeClient(*serverURL, newRetryClient(*retries, *retryBase))
 	// One deadline governs the whole run — submit, polls, and the trace
 	// fetch — and is propagated into every request's context, so a
 	// wedged daemon cannot hold the client past -wait.
@@ -95,7 +103,7 @@ func runRemote(args []string) int {
 				RetryAttempts: *retryBudg,
 			},
 		}
-		cr, err := submitRemote(ctx, rc, *serverURL, req)
+		cr, err := submitRemote(ctx, cl, req)
 		if err != nil {
 			log.Printf("submit: %v", err)
 			return 2
@@ -103,7 +111,7 @@ func runRemote(args []string) int {
 		id = cr.ID
 		fmt.Printf("submitted: id %s (cached=%v)\n", cr.ID, cr.Cached)
 	}
-	final, err := awaitRemote(ctx, rc, *serverURL, id, *wait)
+	final, err := awaitRemote(ctx, cl, id, *wait)
 	if err != nil {
 		log.Print(err)
 		return 2
@@ -127,7 +135,7 @@ func runRemote(args []string) int {
 		// as a smoke test of the full-trace API when asked for -full-trace.
 		if *fullTrace {
 			var tr trace.Trace
-			if err := rc.getJSON(ctx, *serverURL+"/v1/checks/"+id+"/trace", &tr); err != nil {
+			if err := cl.getJSON(ctx, id, "/v1/checks/"+id+"/trace", &tr); err != nil {
 				log.Printf("trace endpoint: %v", err)
 				return 2
 			}
@@ -139,57 +147,140 @@ func runRemote(args []string) int {
 	return 0
 }
 
-// submitRemote posts the check request. Submissions are
-// content-addressed — the same request always maps to the same id —
-// so a POST that may or may not have reached the daemon is safe to
-// retry: the worst case is a duplicate submit that hits the cache.
-func submitRemote(ctx context.Context, rc *retryClient, base string, req server.CheckRequest) (server.CheckResponse, error) {
+// nodeClient is the fleet-aware side of the remote client: the server
+// list, and — when there is more than one — the same consistent-hash
+// ring the cluster routes by, so reads go to the node most likely to
+// hold the id.
+type nodeClient struct {
+	rc      *retryClient
+	servers []string
+	ring    *cluster.Ring // nil for a single server
+}
+
+func newNodeClient(serverList string, rc *retryClient) *nodeClient {
+	var servers []string
+	for _, s := range strings.Split(serverList, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			servers = append(servers, cluster.Normalize(s))
+		}
+	}
+	cl := &nodeClient{rc: rc, servers: servers}
+	if len(servers) > 1 {
+		cl.ring = cluster.NewRing(servers, 0)
+	}
+	return cl
+}
+
+// order returns the nodes to try for id, best first: the id's ring
+// owner and successors in cluster mode, the configured order when
+// there is one server (or no id yet to route by).
+func (c *nodeClient) order(id string) []string {
+	if c.ring == nil || id == "" {
+		return c.servers
+	}
+	return c.ring.Successors(id, 0)
+}
+
+// getJSON is a retried idempotent GET with node failover.
+func (c *nodeClient) getJSON(ctx context.Context, id, path string, out any) error {
+	var lastErr error
+	for _, base := range c.order(id) {
+		if err := c.rc.getJSON(ctx, base+path, out); err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// submitRemote posts the check request, failing over across nodes on
+// transport errors. Submissions are content-addressed — the same
+// request always maps to the same id on every node — so a POST that
+// may or may not have reached a daemon is safe to retry anywhere: the
+// worst case is a duplicate submit that hits the cluster-wide cache.
+func submitRemote(ctx context.Context, cl *nodeClient, req server.CheckRequest) (server.CheckResponse, error) {
 	var zero server.CheckResponse
 	body, err := json.Marshal(req)
 	if err != nil {
 		return zero, err
 	}
-	status, raw, err := rc.do(ctx, http.MethodPost, base+"/v1/checks", body)
-	if err != nil {
-		return zero, err
-	}
-	switch status {
-	case http.StatusOK, http.StatusAccepted:
-		var cr server.CheckResponse
-		if err := json.Unmarshal(raw, &cr); err != nil {
-			return zero, fmt.Errorf("bad response: %w", err)
+	var lastErr error
+	for _, base := range cl.servers {
+		status, raw, err := cl.rc.do(ctx, http.MethodPost, base+"/v1/checks", body)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				break
+			}
+			continue
 		}
-		return cr, nil
-	default:
-		return zero, fmt.Errorf("HTTP %d: %s", status, strings.TrimSpace(string(raw)))
+		switch status {
+		case http.StatusOK, http.StatusAccepted:
+			var cr server.CheckResponse
+			if err := json.Unmarshal(raw, &cr); err != nil {
+				return zero, fmt.Errorf("bad response: %w", err)
+			}
+			return cr, nil
+		default:
+			// The daemon answered; a definitive rejection (bad model,
+			// draining) is the same on every node — no failover.
+			return zero, fmt.Errorf("HTTP %d: %s", status, strings.TrimSpace(string(raw)))
+		}
 	}
+	return zero, lastErr
 }
 
 // awaitRemote long-polls the status endpoint until the job settles or
-// the deadline carried by ctx expires. A 404 is terminal: the id is
-// unknown to the daemon (a memory-only restart lost it), and no
-// amount of retrying will bring it back.
-func awaitRemote(ctx context.Context, rc *retryClient, base, id string, wait time.Duration) (server.CheckResponse, error) {
+// the deadline carried by ctx expires, trying the id's nodes in ring
+// order each round. A 404 is terminal only when every node says so:
+// the id is unknown to the whole fleet (a memory-only restart lost
+// it), and no amount of retrying will bring it back.
+func awaitRemote(ctx context.Context, cl *nodeClient, id string, wait time.Duration) (server.CheckResponse, error) {
 	var cr server.CheckResponse
 	for {
-		status, raw, err := rc.do(ctx, http.MethodGet, base+"/v1/checks/"+id+"?wait=1", nil)
-		if err != nil {
-			if ctx.Err() != nil && cr.Status != "" {
-				return cr, fmt.Errorf("no verdict after %v (job %s still %s)", wait, id, cr.Status)
+		nodes := cl.order(id)
+		answered := false
+		notFound, unreachable := 0, 0
+		var lastErr error
+		for _, base := range nodes {
+			status, raw, err := cl.rc.do(ctx, http.MethodGet, base+"/v1/checks/"+id+"?wait=1", nil)
+			if err != nil {
+				if ctx.Err() != nil {
+					if cr.Status != "" {
+						return cr, fmt.Errorf("no verdict after %v (job %s still %s)", wait, id, cr.Status)
+					}
+					return cr, fmt.Errorf("poll: %w", err)
+				}
+				unreachable++
+				lastErr = err
+				continue
 			}
-			return cr, fmt.Errorf("poll: %w", err)
+			switch {
+			case status == http.StatusNotFound:
+				notFound++
+				continue
+			case status != http.StatusOK:
+				return cr, fmt.Errorf("poll: HTTP %d: %s", status, strings.TrimSpace(string(raw)))
+			}
+			if err := json.Unmarshal(raw, &cr); err != nil {
+				return cr, fmt.Errorf("poll: bad response: %w", err)
+			}
+			answered = true
+			break
 		}
 		switch {
-		case status == http.StatusNotFound:
-			return cr, fmt.Errorf("job %s is unknown to the daemon (lost across a memory-only restart?); resubmit the model", id)
-		case status != http.StatusOK:
-			return cr, fmt.Errorf("poll: HTTP %d: %s", status, strings.TrimSpace(string(raw)))
-		}
-		if err := json.Unmarshal(raw, &cr); err != nil {
-			return cr, fmt.Errorf("poll: bad response: %w", err)
-		}
-		if cr.Status == server.StatusDone || cr.Status == server.StatusFailed {
-			return cr, nil
+		case answered:
+			if cr.Status == server.StatusDone || cr.Status == server.StatusFailed {
+				return cr, nil
+			}
+		case notFound == len(nodes):
+			return cr, fmt.Errorf("job %s is unknown to every daemon (lost across a memory-only restart?); resubmit the model", id)
+		case unreachable == len(nodes):
+			return cr, fmt.Errorf("poll: no node reachable: %w", lastErr)
 		}
 		select {
 		case <-time.After(200 * time.Millisecond):
@@ -272,6 +363,13 @@ func (rc *retryClient) do(ctx context.Context, method, url string, body []byte) 
 			return 0, nil, lastErr
 		}
 		delay := rc.backoff(attempt, retryAfter)
+		// Never start a sleep the deadline would interrupt: a server
+		// pushing a Retry-After past -wait gets an immediate failure the
+		// caller can act on, not a client that burns its whole budget
+		// asleep and then times out with nothing to show.
+		if dl, ok := ctx.Deadline(); ok && delay >= time.Until(dl) {
+			return 0, nil, fmt.Errorf("retry delay %v exceeds the wait deadline: %w", delay.Round(time.Millisecond), lastErr)
+		}
 		rc.logf("remote: %v; retrying in %v", lastErr, delay.Round(time.Millisecond))
 		select {
 		case <-time.After(delay):

@@ -197,3 +197,34 @@ func TestRemoteCheckWaitDeadline(t *testing.T) {
 		t.Fatalf("client took %v to give up on a 300ms wait", elapsed)
 	}
 }
+
+// TestRemoteCheckRetryAfterCappedByDeadline (ISSUE satellite): a
+// server demanding a Retry-After far beyond the -wait budget must not
+// park the client for the full hour — the backoff is capped by the
+// deadline and the run fails fast.
+func TestRemoteCheckRetryAfterCappedByDeadline(t *testing.T) {
+	var polls atomic.Int64
+	hostile := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		polls.Add(1)
+		w.Header().Set("Retry-After", "3600")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer hostile.Close()
+	model := filepath.Join(t.TempDir(), "m.vsmv")
+	if err := os.WriteFile(model, []byte(remoteTestModel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	args := []string{"check", "-server", hostile.URL, "-model", model, "-wait", "2s", "-retries", "3"}
+	if got := runRemote(args); got != 2 {
+		t.Fatalf("runRemote(%v) = %d, want 2", args, got)
+	}
+	// An uncapped client would sleep 3600s before its next attempt;
+	// anything near the -wait budget proves the cap held.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("client honored a %v Retry-After past its 2s wait budget (took %v)", time.Hour, elapsed)
+	}
+	if polls.Load() == 0 {
+		t.Fatal("client never reached the server")
+	}
+}

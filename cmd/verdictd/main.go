@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,6 +49,10 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "directory for the crash-safe job journal and result store (empty = memory-only)")
 		segmentSize  = flag.Int64("journal-segment", 0, "journal segment rotation size in bytes (0 = default 4MiB)")
 		noSync       = flag.Bool("journal-no-sync", false, "skip the fsync per journal append (faster, loses crash safety — benchmarks only)")
+		peers        = flag.String("peers", "", "comma-separated base URLs of the other cluster nodes (empty = single-node)")
+		advertise    = flag.String("advertise", "", "this node's base URL as peers reach it (required with -peers)")
+		replication  = flag.Int("replication", 2, "nodes holding each accepted job and settled verdict, this one included")
+		probeEvery   = flag.Duration("probe-interval", 500*time.Millisecond, "peer health-probe period in cluster mode")
 		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -55,18 +60,33 @@ func main() {
 		fmt.Println(buildinfo.String("verdictd"))
 		return
 	}
+	var peerList []string
+	if *peers != "" {
+		if *advertise == "" {
+			log.Fatal("-peers requires -advertise (the URL peers use to reach this node)")
+		}
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
 
 	s := server.New(server.Config{
-		QueueDepth:         *queueDepth,
-		Workers:            *workers,
-		CacheSize:          *cacheSize,
-		DefaultTimeout:     *checkTimeout,
-		MaxDepth:           *maxDepth,
-		MaxRetryAttempts:   *maxRetries,
-		DataDir:            *dataDir,
-		JournalSegmentSize: *segmentSize,
-		JournalNoSync:      *noSync,
-		Log:                log.Default(),
+		QueueDepth:           *queueDepth,
+		Workers:              *workers,
+		CacheSize:            *cacheSize,
+		DefaultTimeout:       *checkTimeout,
+		MaxDepth:             *maxDepth,
+		MaxRetryAttempts:     *maxRetries,
+		DataDir:              *dataDir,
+		JournalSegmentSize:   *segmentSize,
+		JournalNoSync:        *noSync,
+		ClusterSelf:          *advertise,
+		ClusterPeers:         peerList,
+		Replication:          *replication,
+		ClusterProbeInterval: *probeEvery,
+		Log:                  log.Default(),
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 

@@ -102,6 +102,18 @@ func (l *LRU) Add(key string, value any) {
 	}
 }
 
+// Keys returns the live keys, most recent first. A rebalance-time
+// walk, not a hot path.
+func (l *LRU) Keys() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, l.order.Len())
+	for el := l.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry).key)
+	}
+	return out
+}
+
 // Len returns the number of live entries.
 func (l *LRU) Len() int {
 	l.mu.Lock()

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"sync"
 )
 
@@ -103,6 +104,26 @@ func (d *DiskStore) Delete(key string) error {
 		return fmt.Errorf("cache: disk store: %w", err)
 	}
 	return nil
+}
+
+// Keys lists the stored content addresses (a directory scan — used
+// by cluster rebalancing, not the serving path).
+func (d *DiskStore) Keys() ([]string, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, fmt.Errorf("cache: disk store: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		key := strings.TrimSuffix(e.Name(), ".json")
+		if keyPattern.MatchString(key) {
+			keys = append(keys, key)
+		}
+	}
+	return keys, nil
 }
 
 // Len counts the stored entries (a directory scan — the store is a

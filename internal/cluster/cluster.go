@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config describes one node's view of the fleet.
+type Config struct {
+	// Self is this node's advertised base URL. It must appear in (or
+	// is added to) Peers.
+	Self string
+	// Peers is the static member list: every node's advertised base
+	// URL, self included.
+	Peers []string
+	// Replication is how many distinct nodes hold each accepted job
+	// and settled verdict (default 2, clamped to the member count).
+	Replication int
+	// VirtualNodes tunes ring granularity (default
+	// DefaultVirtualNodes).
+	VirtualNodes int
+	// ProbeInterval / ProbeTimeout / DeadAfter / Probe configure the
+	// failure detector (see TrackerOptions).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	DeadAfter     int
+	Probe         ProbeFunc
+	// OnChange is invoked (from the probe goroutine) whenever a peer's
+	// health state changes — the serving layer uses it to trigger
+	// ownership rebalancing.
+	OnChange func(node string, s State)
+}
+
+// Cluster is one node's routing brain: the static-membership ring
+// plus the live health view. Methods are safe for concurrent use.
+type Cluster struct {
+	self        string
+	replication int
+	ring        *Ring
+	tracker     *Tracker
+}
+
+// New validates the membership and builds the cluster. It does not
+// start probing — call Start.
+func New(cfg Config) (*Cluster, error) {
+	self := Normalize(cfg.Self)
+	if self == "" {
+		return nil, fmt.Errorf("cluster: node needs an advertised URL")
+	}
+	members := append([]string{self}, cfg.Peers...)
+	ring := NewRing(members, cfg.VirtualNodes)
+	if ring.Len() < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 members, have %d", ring.Len())
+	}
+	repl := cfg.Replication
+	if repl <= 0 {
+		repl = 2
+	}
+	if repl > ring.Len() {
+		repl = ring.Len()
+	}
+	var peers []string
+	for _, n := range ring.Nodes() {
+		if n != self {
+			peers = append(peers, n)
+		}
+	}
+	tracker := NewTracker(peers, TrackerOptions{
+		Interval:  cfg.ProbeInterval,
+		Timeout:   cfg.ProbeTimeout,
+		DeadAfter: cfg.DeadAfter,
+		Probe:     cfg.Probe,
+		OnChange:  cfg.OnChange,
+	})
+	return &Cluster{self: self, replication: repl, ring: ring, tracker: tracker}, nil
+}
+
+// Start launches health probing; Stop halts it.
+func (c *Cluster) Start() { c.tracker.Start() }
+func (c *Cluster) Stop()  { c.tracker.Stop() }
+
+// Self returns this node's normalized identity.
+func (c *Cluster) Self() string { return c.self }
+
+// Members returns every member, sorted.
+func (c *Cluster) Members() []string { return c.ring.Nodes() }
+
+// Replication returns the effective replication factor.
+func (c *Cluster) Replication() int { return c.replication }
+
+// IsSelf reports whether node names this node.
+func (c *Cluster) IsSelf(node string) bool { return Normalize(node) == c.self }
+
+// State returns a member's health verdict (self is always Alive).
+func (c *Cluster) State(node string) State {
+	if c.IsSelf(node) {
+		return Alive
+	}
+	return c.tracker.State(node)
+}
+
+// AlivePeers counts peers currently passing probes.
+func (c *Cluster) AlivePeers() int { return c.tracker.AliveCount() }
+
+// Owner returns the healthy node owning key: the key's ring owner,
+// or — when that node is dead — the first non-dead successor. Falls
+// back to self when every other member is dead (the last node
+// standing serves everything).
+func (c *Cluster) Owner(key string) string {
+	for _, n := range c.ring.Successors(key, 0) {
+		if c.State(n) != Dead {
+			return n
+		}
+	}
+	return c.self
+}
+
+// Replicas returns the key's replica set: up to Replication distinct
+// non-dead nodes in ring order starting at the owner. Always at least
+// one node (self, when everyone else is dead).
+func (c *Cluster) Replicas(key string) []string {
+	out := make([]string, 0, c.replication)
+	for _, n := range c.ring.Successors(key, 0) {
+		if c.State(n) != Dead {
+			out = append(out, n)
+			if len(out) == c.replication {
+				return out
+			}
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, c.self)
+	}
+	return out
+}
+
+// ReadTargets returns every non-dead member in ring-successor order
+// for key, self excluded — the candidates a read that missed locally
+// should be proxied to, best first.
+func (c *Cluster) ReadTargets(key string) []string {
+	var out []string
+	for _, n := range c.ring.Successors(key, 0) {
+		if !c.IsSelf(n) && c.State(n) != Dead {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// OwnsLocally reports whether this node is the key's current owner.
+func (c *Cluster) OwnsLocally(key string) bool { return c.IsSelf(c.Owner(key)) }

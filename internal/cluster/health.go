@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// State is a peer's failure-detector verdict.
+type State int
+
+const (
+	// Alive: the last probe succeeded.
+	Alive State = iota
+	// Suspect: recent probes failed, but not enough of them to write
+	// the peer off. Suspect peers keep receiving replication traffic
+	// (they may just be slow) but stop being preferred for routing.
+	Suspect
+	// Dead: DeadAfter consecutive probes failed. The ring routes
+	// around dead peers and their shadowed work is promoted.
+	Dead
+)
+
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// ProbeFunc checks one peer, returning nil when it is healthy. The
+// default implementation GETs the peer's /healthz; tests substitute
+// fakes.
+type ProbeFunc func(ctx context.Context, node string) error
+
+// TrackerOptions tunes the failure detector. Zero values get
+// defaults chosen for LAN-scale fleets.
+type TrackerOptions struct {
+	// Interval between probe rounds (default 500ms).
+	Interval time.Duration
+	// Timeout for one probe (default 1s).
+	Timeout time.Duration
+	// DeadAfter is the number of consecutive failures that declare a
+	// peer dead (default 3). Failures below it mark the peer suspect.
+	DeadAfter int
+	// Probe overrides the health check (tests).
+	Probe ProbeFunc
+	// OnChange, when set, is invoked (outside the tracker's lock, from
+	// the probe goroutine) every time a peer's state changes.
+	OnChange func(node string, s State)
+}
+
+func (o TrackerOptions) withDefaults() TrackerOptions {
+	if o.Interval <= 0 {
+		o.Interval = 500 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = time.Second
+	}
+	if o.DeadAfter <= 0 {
+		o.DeadAfter = 3
+	}
+	if o.Probe == nil {
+		o.Probe = httpProbe
+	}
+	return o
+}
+
+// httpProbe is the production probe: GET <node>/healthz, any HTTP 200
+// counts as alive. A degraded daemon (durability lost, still serving)
+// answers 200 with a "degraded" body — degraded is not dead, and
+// routing away from it would amplify a disk failure into an outage.
+func httpProbe(ctx context.Context, node string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Tracker probes a fixed peer set periodically and keeps a
+// failure-detector state per peer. Start launches the probe loop;
+// Stop halts it.
+type Tracker struct {
+	peers []string
+	opts  TrackerOptions
+
+	mu sync.Mutex
+	st map[string]*peerState
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type peerState struct {
+	state    State
+	failures int // consecutive probe failures
+}
+
+// NewTracker builds a tracker over the normalized peer list (the
+// local node must not be in it). Peers start Alive — a fleet booting
+// in any order must not route around peers it has simply not probed
+// yet.
+func NewTracker(peers []string, opts TrackerOptions) *Tracker {
+	t := &Tracker{opts: opts.withDefaults(), st: make(map[string]*peerState), stop: make(chan struct{})}
+	for _, p := range peers {
+		p = Normalize(p)
+		if p == "" {
+			continue
+		}
+		if _, dup := t.st[p]; dup {
+			continue
+		}
+		t.peers = append(t.peers, p)
+		t.st[p] = &peerState{state: Alive}
+	}
+	return t
+}
+
+// Start launches the probe loop. Probes run concurrently per peer so
+// one wedged peer cannot delay detecting another.
+func (t *Tracker) Start() {
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		ticker := time.NewTicker(t.opts.Interval)
+		defer ticker.Stop()
+		for {
+			t.probeAll()
+			select {
+			case <-t.stop:
+				return
+			case <-ticker.C:
+			}
+		}
+	}()
+}
+
+// Stop halts the probe loop and waits for in-flight probes.
+func (t *Tracker) Stop() {
+	close(t.stop)
+	t.wg.Wait()
+}
+
+func (t *Tracker) probeAll() {
+	var wg sync.WaitGroup
+	for _, p := range t.peers {
+		wg.Add(1)
+		go func(node string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), t.opts.Timeout)
+			defer cancel()
+			t.record(node, t.opts.Probe(ctx, node))
+		}(p)
+	}
+	wg.Wait()
+}
+
+// record folds one probe outcome into the peer's state, firing
+// OnChange on transitions.
+func (t *Tracker) record(node string, err error) {
+	t.mu.Lock()
+	ps, ok := t.st[node]
+	if !ok {
+		t.mu.Unlock()
+		return
+	}
+	prev := ps.state
+	if err == nil {
+		ps.failures = 0
+		ps.state = Alive
+	} else {
+		ps.failures++
+		if ps.failures >= t.opts.DeadAfter {
+			ps.state = Dead
+		} else {
+			ps.state = Suspect
+		}
+	}
+	next := ps.state
+	t.mu.Unlock()
+	if next != prev && t.opts.OnChange != nil {
+		t.opts.OnChange(node, next)
+	}
+}
+
+// State reports a peer's current verdict; unknown nodes are Dead (a
+// node outside the member list can never take traffic).
+func (t *Tracker) State(node string) State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ps, ok := t.st[Normalize(node)]; ok {
+		return ps.state
+	}
+	return Dead
+}
+
+// AliveCount returns how many peers currently pass probes (Alive
+// only — suspects are in transition and not counted healthy).
+func (t *Tracker) AliveCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, ps := range t.st {
+		if ps.state == Alive {
+			n++
+		}
+	}
+	return n
+}

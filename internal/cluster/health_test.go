@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeProbe is a switchable probe: healthy nodes answer nil, the rest
+// fail.
+type fakeProbe struct {
+	mu   sync.Mutex
+	down map[string]bool
+}
+
+func (f *fakeProbe) set(node string, down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down == nil {
+		f.down = make(map[string]bool)
+	}
+	f.down[node] = down
+}
+
+func (f *fakeProbe) probe(_ context.Context, node string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down[node] {
+		return fmt.Errorf("%s is down", node)
+	}
+	return nil
+}
+
+// TestTrackerStateMachine drives a peer through
+// alive → suspect → dead → alive with a fake probe and checks both
+// the state reads and the OnChange transitions.
+func TestTrackerStateMachine(t *testing.T) {
+	fp := &fakeProbe{}
+	var mu sync.Mutex
+	var transitions []string
+	tr := NewTracker([]string{"http://a:1"}, TrackerOptions{
+		Probe:     fp.probe,
+		DeadAfter: 2,
+		OnChange: func(node string, s State) {
+			mu.Lock()
+			transitions = append(transitions, s.String())
+			mu.Unlock()
+		},
+	})
+	if got := tr.State("http://a:1"); got != Alive {
+		t.Fatalf("initial state = %v, want alive (unprobed peers must not be routed around)", got)
+	}
+
+	fp.set("http://a:1", true)
+	tr.probeAll()
+	if got := tr.State("http://a:1"); got != Suspect {
+		t.Fatalf("after 1 failure: %v, want suspect", got)
+	}
+	tr.probeAll()
+	if got := tr.State("http://a:1"); got != Dead {
+		t.Fatalf("after 2 failures: %v, want dead", got)
+	}
+	if got := tr.AliveCount(); got != 0 {
+		t.Fatalf("AliveCount with a dead peer = %d", got)
+	}
+
+	fp.set("http://a:1", false)
+	tr.probeAll()
+	if got := tr.State("http://a:1"); got != Alive {
+		t.Fatalf("after recovery: %v, want alive (one good probe heals)", got)
+	}
+	if got := tr.AliveCount(); got != 1 {
+		t.Fatalf("AliveCount after recovery = %d", got)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"suspect", "dead", "alive"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", transitions, want)
+		}
+	}
+}
+
+// TestTrackerUnknownNodeIsDead: a node outside the member list can
+// never be routed to.
+func TestTrackerUnknownNodeIsDead(t *testing.T) {
+	tr := NewTracker([]string{"http://a:1"}, TrackerOptions{Probe: (&fakeProbe{}).probe})
+	if got := tr.State("http://stranger:1"); got != Dead {
+		t.Fatalf("unknown node state = %v, want dead", got)
+	}
+}
+
+// TestTrackerLoop: the background loop probes on its own and Stop
+// halts it cleanly.
+func TestTrackerLoop(t *testing.T) {
+	fp := &fakeProbe{}
+	fp.set("http://a:1", true)
+	tr := NewTracker([]string{"http://a:1"}, TrackerOptions{
+		Probe:     fp.probe,
+		Interval:  5 * time.Millisecond,
+		DeadAfter: 2,
+	})
+	tr.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.State("http://a:1") != Dead {
+		if time.Now().After(deadline) {
+			t.Fatal("probe loop never declared the failing peer dead")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	tr.Stop()
+}
+
+// TestClusterRouting: owner/replica routing skips dead nodes, the
+// last node standing owns everything, and recovery restores the
+// original placement.
+func TestClusterRouting(t *testing.T) {
+	fp := &fakeProbe{}
+	c, err := New(Config{
+		Self:        "http://a:1",
+		Peers:       []string{"http://b:1", "http://c:1"},
+		Replication: 2,
+		Probe:       fp.probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a key owned by b so the death is observable.
+	var key string
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("key-%d", i)
+		if c.Owner(key) == "http://b:1" {
+			break
+		}
+	}
+	origReplicas := c.Replicas(key)
+	if len(origReplicas) != 2 || origReplicas[0] != "http://b:1" {
+		t.Fatalf("replicas of a b-owned key: %v", origReplicas)
+	}
+
+	// Kill b: ownership moves to its ring successor, replicas stay 2.
+	fp.set("http://b:1", true)
+	for i := 0; i < 3; i++ {
+		c.tracker.probeAll()
+	}
+	if got := c.Owner(key); got == "http://b:1" {
+		t.Fatal("dead node still owns its keys")
+	}
+	if reps := c.Replicas(key); len(reps) != 2 {
+		t.Fatalf("replicas with one node dead: %v, want 2 nodes", reps)
+	}
+	for _, n := range c.ReadTargets(key) {
+		if n == "http://b:1" || c.IsSelf(n) {
+			t.Fatalf("read targets include dead node or self: %v", c.ReadTargets(key))
+		}
+	}
+
+	// Kill c too: self is the last node standing and owns everything.
+	fp.set("http://c:1", true)
+	for i := 0; i < 3; i++ {
+		c.tracker.probeAll()
+	}
+	if got := c.Owner(key); got != "http://a:1" {
+		t.Fatalf("last node standing: owner = %s, want self", got)
+	}
+	if reps := c.Replicas(key); len(reps) != 1 || reps[0] != "http://a:1" {
+		t.Fatalf("last node standing: replicas = %v, want just self", reps)
+	}
+
+	// Recovery restores the original placement exactly.
+	fp.set("http://b:1", false)
+	fp.set("http://c:1", false)
+	c.tracker.probeAll()
+	if got := c.Owner(key); got != "http://b:1" {
+		t.Fatalf("after recovery: owner = %s, want http://b:1", got)
+	}
+}
+
+// TestClusterConfigValidation: a cluster needs an identity and at
+// least one peer; replication clamps to the member count.
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := New(Config{Peers: []string{"http://b:1"}}); err == nil {
+		t.Error("missing Self accepted")
+	}
+	if _, err := New(Config{Self: "http://a:1"}); err == nil {
+		t.Error("single-node cluster accepted")
+	}
+	c, err := New(Config{Self: "http://a:1", Peers: []string{"http://b:1"}, Replication: 99, Probe: (&fakeProbe{}).probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Replication(); got != 2 {
+		t.Errorf("replication clamped to %d, want 2", got)
+	}
+}

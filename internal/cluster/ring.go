@@ -1,0 +1,135 @@
+// Package cluster turns a set of verdictd nodes into a fleet: a
+// consistent-hash ring routes jobs by their content address, a
+// failure detector tracks which peers are alive, and the Cluster type
+// combines both into the routing questions the serving layer asks —
+// who owns this key, who replicates it, and who is healthy enough to
+// take traffic right now.
+//
+// The ring hashes node identities (their advertised base URLs) onto a
+// 64-bit circle through a fixed number of virtual nodes, so ownership
+// moves minimally when membership changes: removing one of N nodes
+// relocates ~1/N of the keyspace and nothing else. Keys are the same
+// hex content addresses verdictd already uses for cache dedup, which
+// is what makes the cache a cluster-wide property — every node routes
+// an identical submission to the same owner, where the existing
+// singleflight and LRU collapse it.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultVirtualNodes is the number of points each node contributes
+// to the ring. 64 keeps the keyspace split within a few percent of
+// even for small fleets while the ring stays tiny (N×64 entries).
+const DefaultVirtualNodes = 64
+
+// Ring is an immutable consistent-hash ring over a set of node
+// identities. Build one with NewRing; lookups are safe for concurrent
+// use.
+type Ring struct {
+	nodes  []string
+	vnodes []vnode // sorted by hash
+}
+
+type vnode struct {
+	hash uint64
+	node string
+}
+
+// hash64 maps a string onto the ring circle. SHA-256 (truncated) is
+// already in the trust base for content addressing; reusing it keeps
+// placement independent of Go's runtime hash and identical across
+// nodes and client versions.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Normalize canonicalizes a node identity so "http://a:1/" and
+// "http://a:1" hash identically on every member.
+func Normalize(node string) string {
+	return strings.TrimRight(strings.TrimSpace(node), "/")
+}
+
+// NewRing builds a ring over the given node identities (normalized,
+// deduplicated). virtual <= 0 uses DefaultVirtualNodes.
+func NewRing(nodes []string, virtual int) *Ring {
+	if virtual <= 0 {
+		virtual = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{}
+	for _, n := range nodes {
+		n = Normalize(n)
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+	}
+	sort.Strings(r.nodes)
+	for _, n := range r.nodes {
+		for i := 0; i < virtual; i++ {
+			r.vnodes = append(r.vnodes, vnode{hash: hash64(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool {
+		if r.vnodes[a].hash != r.vnodes[b].hash {
+			return r.vnodes[a].hash < r.vnodes[b].hash
+		}
+		return r.vnodes[a].node < r.vnodes[b].node
+	})
+	return r
+}
+
+// Nodes returns the ring's members, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner returns the node owning key: the first virtual node clockwise
+// from the key's hash. Empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	if len(r.vnodes) == 0 {
+		return ""
+	}
+	return r.vnodes[r.search(key)].node
+}
+
+// Successors returns up to n distinct nodes in ring order starting at
+// the key's owner — the replica set for the key. n <= 0 or n beyond
+// the member count returns every member in ring order.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.vnodes) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i, start := 0, r.search(key); i < len(r.vnodes) && len(out) < n; i++ {
+		v := r.vnodes[(start+i)%len(r.vnodes)]
+		if !seen[v.node] {
+			seen[v.node] = true
+			out = append(out, v.node)
+		}
+	}
+	return out
+}
+
+// search finds the index of the first vnode clockwise from the key.
+func (r *Ring) search(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0 // wrap: past the last point, the first owns it
+	}
+	return i
+}

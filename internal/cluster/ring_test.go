@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testNodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+// TestRingDeterminism: ownership is a pure function of membership —
+// two rings built from the same members (in any order, any URL
+// formatting) agree on every key. This is what lets servers and the
+// node-aware client route independently yet identically.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing([]string{"http://b:1", "http://a:1/", " http://c:1 "}, 0)
+	b := NewRing([]string{"http://c:1", "http://b:1/", "http://a:1"}, 0)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("%064x", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %s: owners diverge (%s vs %s)", key, a.Owner(key), b.Owner(key))
+		}
+	}
+	if got := a.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3 (normalization must deduplicate)", got)
+	}
+}
+
+// TestRingDistribution: virtual nodes keep the split roughly even —
+// no member of a 5-node ring owns more than ~2x its fair share over a
+// large key sample.
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(testNodes(5), 0)
+	counts := make(map[string]int)
+	const keys = 5000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	fair := keys / 5
+	for node, got := range counts {
+		if got > 2*fair || got < fair/3 {
+			t.Errorf("node %s owns %d of %d keys (fair share %d): distribution too skewed", node, got, keys, fair)
+		}
+	}
+	if len(counts) != 5 {
+		t.Errorf("only %d of 5 nodes own keys", len(counts))
+	}
+}
+
+// TestRingMinimalMovement: removing one of N nodes must relocate only
+// the keys that node owned (~1/N) — everything else stays put. This
+// is the property that makes health-driven ring changes cheap.
+func TestRingMinimalMovement(t *testing.T) {
+	nodes := testNodes(5)
+	full := NewRing(nodes, 0)
+	smaller := NewRing(nodes[:4], 0)
+	removed := nodes[4]
+	const keys = 2000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before, after := full.Owner(key), smaller.Owner(key)
+		if before == after {
+			continue
+		}
+		if Normalize(before) != Normalize(removed) {
+			t.Fatalf("key %s moved from surviving node %s to %s", key, before, after)
+		}
+		moved++
+	}
+	if moved == 0 || moved > keys/2 {
+		t.Errorf("%d of %d keys moved after removing 1 of 5 nodes; want ~%d", moved, keys, keys/5)
+	}
+}
+
+// TestRingSuccessors: replica sets are distinct nodes in ring order,
+// led by the owner, and clamp to the member count.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(testNodes(3), 0)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		succ := r.Successors(key, 2)
+		if len(succ) != 2 {
+			t.Fatalf("key %s: %d successors, want 2", key, len(succ))
+		}
+		if succ[0] != r.Owner(key) {
+			t.Fatalf("key %s: successor list %v does not start at owner %s", key, succ, r.Owner(key))
+		}
+		if succ[0] == succ[1] {
+			t.Fatalf("key %s: duplicate successor %v", key, succ)
+		}
+		if all := r.Successors(key, 10); len(all) != 3 {
+			t.Fatalf("key %s: over-asking returned %d nodes, want all 3", key, len(all))
+		}
+	}
+}
+
+// TestRingEmpty: a ring with no members answers without panicking.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Owner("k"); got != "" {
+		t.Errorf("empty ring owner = %q", got)
+	}
+	if got := r.Successors("k", 2); got != nil {
+		t.Errorf("empty ring successors = %v", got)
+	}
+}

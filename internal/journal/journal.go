@@ -65,6 +65,13 @@ type Record struct {
 	ID string `json:"id"`
 	// Request is the original submission body (accepted records).
 	Request json.RawMessage `json:"request,omitempty"`
+	// Owner, on accepted records written by a cluster node, is the
+	// advertised URL of the node that promised the job to the client.
+	// A replica journals peer-owned acceptances with the peer's URL so
+	// a restart knows to shadow them (run only if the owner dies)
+	// instead of re-enqueueing them locally. Empty on single-node
+	// journals.
+	Owner string `json:"owner,omitempty"`
 	// Status, Error, and Result mirror the job's settled wire state
 	// (settled records): status "done"/"failed", the failure message,
 	// and the result JSON exactly as the daemon serves it.

@@ -277,3 +277,53 @@ func TestReplayCallbackError(t *testing.T) {
 		t.Fatalf("callback ran %d times after asking to stop", calls)
 	}
 }
+
+// TestCrashAtRotationBoundary (ISSUE satellite): a crash landing
+// exactly at segment rotation — the old segment ends in a torn
+// partial frame and the freshly-created next segment is still empty —
+// must recover every record that was fully written, and the journal
+// must accept appends again afterward.
+func TestCrashAtRotationBoundary(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{})
+	mustAppend(t, j, accepted("a"))
+	mustAppend(t, j, settled("a"))
+	j.Close()
+
+	// Old segment: two good frames, then a frame torn mid-payload.
+	segs, _ := segments(dir)
+	if len(segs) != 1 {
+		t.Fatalf("segments: %+v", segs)
+	}
+	data, _ := os.ReadFile(segs[0].path)
+	framed, err := frame(accepted("torn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := headerSize + (len(framed)-headerSize)/2
+	os.WriteFile(segs[0].path, append(data, framed[:cut]...), 0o644)
+	// New segment: created by the rotation, crash before any append.
+	if err := os.WriteFile(segmentPath(dir, segs[0].seq+1), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, stats := replayAll(t, dir)
+	if stats.Records != 2 || stats.Corrupt != 1 || stats.Segments != 2 {
+		t.Fatalf("stats after rotation-boundary crash: %+v", stats)
+	}
+	if recs[0].ID != "a" || recs[1].ID != "a" {
+		t.Fatalf("records: %+v", recs)
+	}
+
+	// The journal reopens past the damage and keeps going.
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j2, accepted("after"))
+	j2.Close()
+	recs, stats = replayAll(t, dir)
+	if stats.Records != 3 || recs[2].ID != "after" {
+		t.Fatalf("after reopen: stats %+v records %+v", stats, recs)
+	}
+}

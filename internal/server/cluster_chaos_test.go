@@ -1,0 +1,408 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Multi-node chaos: a real 3-node verdictd cluster (separate
+// processes, separate data dirs) under load, with one node SIGKILLed
+// or partitioned (SIGSTOP) mid-flight. The contract under a single
+// node failure:
+//
+//   - every submission any node acknowledged settles eventually on
+//     the survivors, byte-identical and witness-validated;
+//   - identical submissions to different nodes dedup onto one
+//     execution cluster-wide;
+//   - a partitioned node heals back in and serves the same bytes.
+
+// pickPorts reserves n distinct loopback ports. Static cluster
+// membership needs every node's address before the first process
+// starts, so we listen, record, and release — the race window before
+// the daemon rebinds is tolerable in a test.
+func pickPorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	lns := make([]net.Listener, n)
+	for i := range ports {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		ports[i] = ln.Addr().(*net.TCPAddr).Port
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return ports
+}
+
+// clusterChaosNode is one member process of the fleet.
+type clusterChaosNode struct {
+	cmd     *exec.Cmd
+	base    string
+	dataDir string
+	port    int
+	dead    bool
+}
+
+func buildVerdictd(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH; cannot build the daemon binary")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "verdictd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/verdictd")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building verdictd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startClusterNode launches one member and waits for it to serve
+// /healthz. The listen address is fixed (not :0) because its peers
+// were already told where to find it.
+func startClusterNode(t *testing.T, bin string, ports []int, i int, dataDir string) *clusterChaosNode {
+	t.Helper()
+	var peers []string
+	for k, p := range ports {
+		if k != i {
+			peers = append(peers, fmt.Sprintf("http://127.0.0.1:%d", p))
+		}
+	}
+	addr := fmt.Sprintf("127.0.0.1:%d", ports[i])
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-advertise", "http://"+addr,
+		"-peers", strings.Join(peers, ","),
+		"-replication", "2",
+		"-probe-interval", "100ms",
+		"-data-dir", dataDir,
+		"-workers", "2",
+		"-queue", "64",
+	)
+	// Drain stderr so the process can never block on a full pipe.
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go io.Copy(io.Discard, stderr)
+	n := &clusterChaosNode{cmd: cmd, base: "http://" + addr, dataDir: dataDir, port: ports[i]}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			n.kill()
+			t.Fatalf("node %d never answered /healthz", i)
+		}
+		resp, err := http.Get(n.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return n
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func (n *clusterChaosNode) kill() {
+	if n.dead {
+		return
+	}
+	n.dead = true
+	n.cmd.Process.Kill()
+	n.cmd.Wait()
+}
+
+// peersHealthy reads the node's own view of the fleet from /healthz.
+func peersHealthy(base string) (int, error) {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return -1, err
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		PeersHealthy *int `json:"peers_healthy"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		return -1, err
+	}
+	if hz.PeersHealthy == nil {
+		return -1, fmt.Errorf("no peers_healthy key")
+	}
+	return *hz.PeersHealthy, nil
+}
+
+// awaitPeersHealthy waits until the node at base counts want healthy
+// peers — how the harness knows failure detection (or healing) landed.
+func awaitPeersHealthy(t *testing.T, base string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if got, err := peersHealthy(base); err == nil && got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			got, err := peersHealthy(base)
+			t.Fatalf("%s never saw %d healthy peers (last: %d, %v)", base, want, got, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// clusterSubmit posts one model with a bounded client (a partitioned
+// peer must not hang the harness); only an acknowledgement creates a
+// durability promise.
+func clusterSubmit(base, model string) (string, bool) {
+	body, err := json.Marshal(CheckRequest{Model: model})
+	if err != nil {
+		return "", false
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Post(base+"/v1/checks", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", false
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return "", false
+	}
+	var cr CheckResponse
+	if err := json.Unmarshal(raw, &cr); err != nil || cr.ID == "" {
+		return "", false
+	}
+	return cr.ID, true
+}
+
+// clusterVerify demands every acknowledged id settle on the node at
+// base: done, witness-validated, and byte-identical to any previously
+// pinned observation. Unlike the single-node chaosVerify, a 404 here
+// is retried — after an owner death the job may spend a detection
+// interval as a replica's shadow, invisible until promotion.
+func clusterVerify(t *testing.T, base string, accepted map[string]*chaosPromise) {
+	t.Helper()
+	for id, p := range accepted {
+		deadline := time.Now().Add(45 * time.Second)
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s did not settle on %s within 45s of the fault", id, base)
+			}
+			client := &http.Client{Timeout: 10 * time.Second}
+			resp, err := client.Get(base + "/v1/checks/" + id + "?wait=1")
+			if err != nil {
+				time.Sleep(100 * time.Millisecond)
+				continue
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				time.Sleep(100 * time.Millisecond)
+				continue
+			}
+			var cr struct {
+				Status  string          `json:"status"`
+				Error   string          `json:"error"`
+				Witness string          `json:"witness"`
+				Result  json.RawMessage `json:"result"`
+			}
+			if err := json.Unmarshal(raw, &cr); err != nil {
+				t.Fatalf("job %s: bad status body %q: %v", id, raw, err)
+			}
+			if cr.Status != StatusDone && cr.Status != StatusFailed {
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			if cr.Status == StatusFailed {
+				t.Fatalf("job %s settled failed after the fault: %s", id, cr.Error)
+			}
+			if cr.Witness != "validated" {
+				t.Fatalf("job %s: witness %q, want validated", id, cr.Witness)
+			}
+			if p.result == nil {
+				p.result = cr.Result
+			} else if !bytes.Equal(p.result, cr.Result) {
+				t.Fatalf("job %s verdict differs across nodes/faults:\n  before: %s\n  after:  %s", id, p.result, cr.Result)
+			}
+			break
+		}
+	}
+}
+
+// TestClusterChaosKillOneNode: steady-state dedup across the fleet,
+// then SIGKILL of one random node under load. No acknowledged job may
+// be lost; both survivors must serve every verdict byte-identically;
+// the restarted node must rejoin and serve them too.
+func TestClusterChaosKillOneNode(t *testing.T) {
+	bin := buildVerdictd(t)
+	ports := pickPorts(t, 3)
+	nodes := make([]*clusterChaosNode, 3)
+	for i := range nodes {
+		nodes[i] = startClusterNode(t, bin, ports, i, filepath.Join(t.TempDir(), "data"))
+		defer nodes[i].kill()
+	}
+	for _, n := range nodes {
+		awaitPeersHealthy(t, n.base, 2)
+	}
+
+	seed := time.Now().UnixNano()
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("cluster chaos: seed %d", seed)
+	bound := 0
+	accepted := make(map[string]*chaosPromise)
+
+	// Steady state first: identical submissions to different nodes must
+	// dedup onto one execution cluster-wide.
+	bound++
+	model := fmt.Sprintf(chaosModel, bound, bound)
+	id, ok := clusterSubmit(nodes[0].base, model)
+	if !ok {
+		t.Fatal("steady-state submission was not acknowledged")
+	}
+	accepted[id] = &chaosPromise{}
+	clusterVerify(t, nodes[0].base, accepted)
+	for _, n := range nodes[1:] {
+		id2, ok := clusterSubmit(n.base, model)
+		if !ok || id2 != id {
+			t.Fatalf("identical submission to %s: id %s ok=%v, want dedup to %s", n.base, id2, ok, id)
+		}
+	}
+	var execs float64
+	for _, n := range nodes {
+		resp, err := http.Get(n.base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		for _, line := range strings.Split(string(raw), "\n") {
+			if strings.HasPrefix(line, "verdictd_checks_total{") {
+				var v float64
+				fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &v)
+				execs += v
+			}
+		}
+	}
+	if execs != 1 {
+		t.Fatalf("identical submissions to 3 nodes ran %g checks cluster-wide, want 1", execs)
+	}
+
+	// Load the fleet round-robin and SIGKILL one random node mid-batch.
+	victim := rng.Intn(len(nodes))
+	t.Logf("cluster chaos: killing node %d mid-load", victim)
+	for j := 0; j < 12; j++ {
+		if j == 5 {
+			nodes[victim].kill()
+		}
+		bound++
+		target := nodes[j%len(nodes)]
+		if target.dead {
+			target = nodes[(j+1)%len(nodes)]
+		}
+		if id, ok := clusterSubmit(target.base, fmt.Sprintf(chaosModel, bound, bound)); ok {
+			accepted[id] = &chaosPromise{}
+		}
+	}
+	if len(accepted) < 2 {
+		t.Fatalf("only %d submissions acknowledged; the harness tested nothing", len(accepted))
+	}
+
+	// Every acknowledged job must settle on both survivors with the
+	// same bytes — including jobs the dead node owned, which survivors
+	// promote from their shadow copies.
+	killedAt := time.Now()
+	first := true
+	for i, n := range nodes {
+		if i == victim {
+			continue
+		}
+		awaitPeersHealthy(t, n.base, 1)
+		clusterVerify(t, n.base, accepted)
+		if first {
+			first = false
+			t.Logf("cluster chaos: all %d job(s) settled on a survivor %v after the kill", len(accepted), time.Since(killedAt).Round(time.Millisecond))
+		}
+	}
+
+	// The killed node restarts on its own data dir and rejoins.
+	restarted := startClusterNode(t, bin, ports, victim, nodes[victim].dataDir)
+	defer restarted.kill()
+	awaitPeersHealthy(t, restarted.base, 2)
+	clusterVerify(t, restarted.base, accepted)
+	t.Logf("cluster chaos: %d job(s) survived the kill, byte-stable on all 3 nodes", len(accepted))
+}
+
+// TestClusterChaosPartition: one node is partitioned away (SIGSTOP —
+// the process is alive but unreachable, the nastier failure mode),
+// the remaining majority keeps settling jobs, and the node heals back
+// in serving identical bytes.
+func TestClusterChaosPartition(t *testing.T) {
+	bin := buildVerdictd(t)
+	ports := pickPorts(t, 3)
+	nodes := make([]*clusterChaosNode, 3)
+	for i := range nodes {
+		nodes[i] = startClusterNode(t, bin, ports, i, filepath.Join(t.TempDir(), "data"))
+		defer nodes[i].kill()
+	}
+	for _, n := range nodes {
+		awaitPeersHealthy(t, n.base, 2)
+	}
+
+	const stopped = 2
+	if err := nodes[stopped].cmd.Process.Signal(syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+	healed := false
+	defer func() {
+		if !healed {
+			nodes[stopped].cmd.Process.Signal(syscall.SIGCONT)
+		}
+	}()
+	awaitPeersHealthy(t, nodes[0].base, 1)
+	awaitPeersHealthy(t, nodes[1].base, 1)
+
+	// The surviving majority keeps accepting and settling.
+	accepted := make(map[string]*chaosPromise)
+	for j := 0; j < 8; j++ {
+		bound := 100 + j
+		if id, ok := clusterSubmit(nodes[j%2].base, fmt.Sprintf(chaosModel, bound, bound)); ok {
+			accepted[id] = &chaosPromise{}
+		}
+	}
+	if len(accepted) < 4 {
+		t.Fatalf("majority acknowledged only %d/8 submissions during the partition", len(accepted))
+	}
+	clusterVerify(t, nodes[0].base, accepted)
+	clusterVerify(t, nodes[1].base, accepted)
+
+	// Heal the partition: the node comes back, is probed healthy again,
+	// and serves every verdict with the same bytes.
+	if err := nodes[stopped].cmd.Process.Signal(syscall.SIGCONT); err != nil {
+		t.Fatal(err)
+	}
+	healed = true
+	awaitPeersHealthy(t, nodes[0].base, 2)
+	awaitPeersHealthy(t, nodes[stopped].base, 2)
+	clusterVerify(t, nodes[stopped].base, accepted)
+	t.Logf("cluster chaos: %d job(s) settled during the partition, byte-stable after healing", len(accepted))
+}

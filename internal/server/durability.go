@@ -101,8 +101,11 @@ func (d *durability) fail(log interface{ Printf(string, ...any) }, op string, er
 // dying mid-append.
 // The request bytes are passed explicitly rather than read from the
 // job: a fast worker may settle the job (and clear its request field
-// under s.mu) before this append runs.
-func (s *Server) persistAccepted(id string, reqJSON json.RawMessage) {
+// under s.mu) before this append runs. owner is the cluster node that
+// promised the job to the client (empty single-node); a replica
+// journaling a peer's acceptance records the peer's URL so replay
+// shadows the job instead of re-enqueueing it.
+func (s *Server) persistAccepted(id string, reqJSON json.RawMessage, owner string) {
 	d := s.durable
 	if d == nil || d.failed.Load() {
 		return
@@ -113,7 +116,7 @@ func (s *Server) persistAccepted(id string, reqJSON json.RawMessage) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.j.Append(journal.Record{Type: journal.TypeAccepted, ID: id, Request: reqJSON}); err != nil {
+	if err := d.j.Append(journal.Record{Type: journal.TypeAccepted, ID: id, Request: reqJSON, Owner: owner}); err != nil {
 		d.fail(s.cfg.Log, "journal append", err)
 	}
 }
@@ -165,9 +168,12 @@ func (s *Server) maybeCompact() {
 	s.mu.Lock()
 	live := make([]journal.Record, 0, len(s.inflight))
 	for _, j := range s.inflight {
-		live = append(live, journal.Record{Type: journal.TypeAccepted, ID: j.id, Request: j.reqJSON})
+		live = append(live, journal.Record{Type: journal.TypeAccepted, ID: j.id, Request: j.reqJSON, Owner: j.owner})
 	}
 	s.mu.Unlock()
+	// Shadowed peer acceptances are live too: compacting them away
+	// would silently drop this node's promise to cover the owner.
+	live = append(live, s.shadowRecords()...)
 	if err := d.j.Compact(live); err != nil {
 		d.fail(s.cfg.Log, "journal compact", err)
 		return
@@ -250,6 +256,7 @@ func (s *Server) replayJournal() {
 	d := s.durable
 	type entry struct {
 		request json.RawMessage
+		owner   string
 		settled *storedJob
 	}
 	order := make([]string, 0, 64)
@@ -258,7 +265,7 @@ func (s *Server) replayJournal() {
 		switch rec.Type {
 		case journal.TypeAccepted:
 			if _, dup := jobs[rec.ID]; !dup {
-				jobs[rec.ID] = &entry{request: rec.Request}
+				jobs[rec.ID] = &entry{request: rec.Request, owner: rec.Owner}
 				order = append(order, rec.ID)
 			}
 		case journal.TypeSettled:
@@ -308,11 +315,19 @@ func (s *Server) replayJournal() {
 				d.restored.Add(1)
 				continue
 			}
-			if s.reenqueue(id, e.request) {
+			if cs := s.cluster; cs != nil && e.owner != "" && !cs.c.IsSelf(e.owner) {
+				// A peer's promise journaled here for replication: shadow
+				// it — run it only if the owner is declared dead — rather
+				// than re-enqueueing a job the owner is probably running.
+				s.addShadow(id, e.request, e.owner)
+				live = append(live, journal.Record{Type: journal.TypeAccepted, ID: id, Request: e.request, Owner: e.owner})
+				continue
+			}
+			if s.reenqueue(id, e.request, e.owner) {
 				// Record the live entry from the replayed bytes, not the
 				// job: a worker may already be settling it (and clearing
 				// its request) the moment reenqueue returns.
-				live = append(live, journal.Record{Type: journal.TypeAccepted, ID: id, Request: e.request})
+				live = append(live, journal.Record{Type: journal.TypeAccepted, ID: id, Request: e.request, Owner: e.owner})
 				d.replayed.Add(1)
 			}
 		}
@@ -331,7 +346,7 @@ func (s *Server) replayJournal() {
 // reenqueue recompiles a journaled request and admits it under its
 // original id. A request that no longer compiles (version skew,
 // damaged payload) settles as failed so its id still answers.
-func (s *Server) reenqueue(id string, reqJSON json.RawMessage) bool {
+func (s *Server) reenqueue(id string, reqJSON json.RawMessage, owner string) bool {
 	var req CheckRequest
 	err := json.Unmarshal(reqJSON, &req)
 	var cr *compiled
@@ -354,7 +369,7 @@ func (s *Server) reenqueue(id string, reqJSON json.RawMessage) bool {
 		// the journaled id — it is the one the client holds.
 		s.cfg.Log.Printf("durability: journaled job %s recompiles to %s; keeping the journaled id", id, cr.id)
 	}
-	j := &job{id: id, key: cr.key, sys: cr.sys, phi: cr.phi, opts: cr.opts, pol: cr.pol,
+	j := &job{id: id, key: cr.key, owner: owner, sys: cr.sys, phi: cr.phi, opts: cr.opts, pol: cr.pol,
 		reqJSON: reqJSON, status: StatusQueued, done: make(chan struct{})}
 	s.mu.Lock()
 	if _, dup := s.inflight[j.id]; dup {

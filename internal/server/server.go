@@ -26,7 +26,14 @@
 //	GET  /v1/checks/{id}       job status + result (verdict, stats, witness trace)
 //	GET  /v1/checks/{id}/trace full counterexample trace JSON
 //	GET  /metrics              Prometheus text format
-//	GET  /healthz              liveness + drain state
+//	GET  /healthz              liveness + drain + durability state
+//
+// Cluster mode (ClusterSelf + ClusterPeers set) adds internal
+// node-to-node endpoints — see cluster.go:
+//
+//	POST /v1/cluster/accept    replicate an accepted job to a ring successor
+//	POST /v1/cluster/replicate replicate a settled verdict to a ring successor
+//	GET  /v1/cluster/steal     hand one queued job to an idle peer
 package server
 
 import (
@@ -86,6 +93,21 @@ type Config struct {
 	// JournalNoSync skips per-record fsync — only for tests and
 	// benchmarks measuring the non-durable ceiling.
 	JournalNoSync bool
+	// ClusterSelf is this node's advertised base URL (e.g.
+	// "http://10.0.0.1:8080"). Together with ClusterPeers it switches
+	// the daemon into cluster mode: submissions route to their
+	// content address's ring owner, accepted work and settled verdicts
+	// replicate to ring successors, reads proxy to replicas, and idle
+	// nodes steal queued work. Empty runs single-node.
+	ClusterSelf string
+	// ClusterPeers lists the other members' advertised base URLs.
+	ClusterPeers []string
+	// Replication is how many nodes hold each accepted job and settled
+	// verdict, this node included (default 2, clamped to fleet size).
+	Replication int
+	// ClusterProbeInterval is the peer health-probe period (default
+	// 500ms).
+	ClusterProbeInterval time.Duration
 	// Check overrides the verification function (tests).
 	Check CheckFunc
 	// Log receives operational messages (default log.Default()).
@@ -146,6 +168,9 @@ const (
 type job struct {
 	id  string
 	key string
+	// owner is the advertised URL of the cluster node that promised
+	// this job to a client; empty in single-node mode.
+	owner string
 
 	sys  *ts.System
 	phi  *ltl.Formula
@@ -159,6 +184,10 @@ type job struct {
 	status string
 	result *mc.Result
 	errMsg string
+	// sealed is claimed (under Server.mu) by whichever settles the job
+	// first — the local worker or a replicated snapshot from a peer —
+	// so exactly one outcome is persisted and published.
+	sealed bool
 	done   chan struct{}
 }
 
@@ -181,23 +210,30 @@ type Server struct {
 	// startup — the memory-only mode.
 	durable *durability
 
+	// cluster is the fleet layer (consistent-hash routing, replication,
+	// work stealing); nil in single-node mode.
+	cluster *clusterState
+
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
-	reg         *metrics.Registry
-	mRequests   *metrics.Counter
-	mChecks     *metrics.Counter
-	mCacheHits  *metrics.Counter
-	mCacheMiss  *metrics.Counter
-	mRejections *metrics.Counter
-	mWins       *metrics.Counter
-	mBudgetExh  *metrics.Counter
-	mWitnessBad *metrics.Counter
-	mEvictions  *metrics.Counter
-	gQueueDepth *metrics.Gauge
-	gInflight   *metrics.Gauge
-	gCacheSize  *metrics.Gauge
-	hLatency    *metrics.Histogram
+	reg           *metrics.Registry
+	mRequests     *metrics.Counter
+	mChecks       *metrics.Counter
+	mCacheHits    *metrics.Counter
+	mCacheMiss    *metrics.Counter
+	mRejections   *metrics.Counter
+	mWins         *metrics.Counter
+	mBudgetExh    *metrics.Counter
+	mWitnessBad   *metrics.Counter
+	mEvictions    *metrics.Counter
+	mForwards     *metrics.Counter
+	mReplications *metrics.Counter
+	mSteals       *metrics.Counter
+	gQueueDepth   *metrics.Gauge
+	gInflight     *metrics.Gauge
+	gCacheSize    *metrics.Gauge
+	hLatency      *metrics.Histogram
 }
 
 // New builds a Server and starts its worker pool. Call Drain (and
@@ -224,6 +260,11 @@ func New(cfg Config) *Server {
 		} else {
 			s.durable = d
 		}
+	}
+	// Cluster state is built (but not started) before replay: replayed
+	// acceptances owned by peers must land as shadows, not local jobs.
+	if cfg.ClusterSelf != "" || len(cfg.ClusterPeers) > 0 {
+		s.initCluster(cfg)
 	}
 
 	s.mRequests = s.reg.Counter("verdictd_requests_total", "HTTP requests served, by path pattern and status code.", "path", "code")
@@ -264,12 +305,29 @@ func New(cfg Config) *Server {
 		func() float64 {
 			return s.durableStat(func(d *durability) int64 { _, n := d.j.Size(); return int64(n) })
 		})
+	// Cluster metrics register unconditionally so dashboards see the
+	// same series in every mode (zero-valued when single-node).
+	s.mForwards = s.reg.Counter("verdictd_cluster_forwards_total", "Requests proxied to another cluster node: submissions routed to their ring owner, reads answered by a replica.")
+	s.mReplications = s.reg.Counter("verdictd_cluster_replications_total", "Acceptance and settlement pushes to replica nodes, by result.", "result")
+	s.mSteals = s.reg.Counter("verdictd_cluster_steals_total", "Work-stealing handoffs, by role (victim gave a queued job away; thief completed a stolen job).", "role")
+	s.reg.GaugeFunc("verdictd_cluster_peers_healthy", "Peers the failure detector currently considers alive (0 in single-node mode).",
+		func() float64 {
+			if s.cluster == nil {
+				return 0
+			}
+			return float64(s.cluster.c.AlivePeers())
+		})
 
 	s.mux.HandleFunc("POST /v1/checks", s.instrument("/v1/checks", s.handleSubmit))
 	s.mux.HandleFunc("GET /v1/checks/{id}", s.instrument("/v1/checks/{id}", s.handleStatus))
 	s.mux.HandleFunc("GET /v1/checks/{id}/trace", s.instrument("/v1/checks/{id}/trace", s.handleTrace))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.Handle("GET /metrics", http.HandlerFunc(s.handleMetrics))
+	if s.cluster != nil {
+		s.mux.HandleFunc("POST /v1/cluster/accept", s.instrument("/v1/cluster/accept", s.handleClusterAccept))
+		s.mux.HandleFunc("POST /v1/cluster/replicate", s.instrument("/v1/cluster/replicate", s.handleClusterReplicate))
+		s.mux.HandleFunc("GET /v1/cluster/steal", s.instrument("/v1/cluster/steal", s.handleClusterSteal))
+	}
 
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -282,6 +340,9 @@ func New(cfg Config) *Server {
 	if s.durable != nil {
 		s.replayJournal()
 	}
+	// Probing and the steal/rebalance loops start last, over fully
+	// recovered state.
+	s.startCluster()
 	return s
 }
 
@@ -320,8 +381,10 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // Close cancels any still-running checks (after a failed or skipped
-// Drain), closes the journal, and releases the server's context.
+// Drain), stops cluster probing, closes the journal, and releases the
+// server's context.
 func (s *Server) Close() {
+	s.stopCluster()
 	s.cancel()
 	s.closeDurable()
 }
@@ -337,6 +400,12 @@ func (s *Server) worker() {
 
 func (s *Server) runJob(j *job) {
 	s.mu.Lock()
+	if j.sealed {
+		// A peer settled this job while it sat in the queue (a stolen
+		// job coming home, or a replicated verdict): nothing to run.
+		s.mu.Unlock()
+		return
+	}
 	j.status = StatusRunning
 	s.mu.Unlock()
 	s.gInflight.Add(1)
@@ -345,45 +414,42 @@ func (s *Server) runJob(j *job) {
 	elapsed := time.Since(start)
 	s.gInflight.Add(-1)
 
+	snap, res := buildSnapshot(res, err)
 	verdict, engine := "error", "error"
-	snap := storedJob{Status: StatusFailed}
-	switch {
-	case err != nil:
-		snap.Error = err.Error()
-	case res == nil:
-		snap.Error = "check returned no result"
-	default:
-		raw, merr := json.Marshal(res)
-		if merr != nil {
-			snap.Error = "result does not serialize: " + merr.Error()
-			res = nil
-			break
-		}
-		snap.Status = StatusDone
-		snap.Result = raw
+	if snap.Status == StatusDone {
 		verdict = res.Status.String()
 		engine = engineLabel(res.Engine)
 	}
-	// Durability before visibility: the outcome is journaled and in
-	// the result store before any client can observe it, so a settled
-	// verdict survives a crash byte-identically.
-	s.persistSettled(j, snap)
 
 	s.mu.Lock()
-	j.status = snap.Status
-	j.errMsg = snap.Error
-	if snap.Status == StatusDone {
-		j.result = res
+	if j.sealed {
+		// Lost the settlement race to a replicated snapshot; its bytes
+		// are already pinned — discard this run's.
+		s.mu.Unlock()
+		return
 	}
-	delete(s.inflight, j.id)
-	// Settled jobs only serve status/error/result, so drop the parsed
-	// system, formula, and request before caching — CacheSize entries
-	// of large models would otherwise stay pinned in memory.
-	j.sys, j.phi, j.reqJSON = nil, nil, nil
-	j.opts, j.pol = mc.Options{}, resilience.RetryPolicy{}
-	s.finished.Add(j.id, j)
+	j.sealed = true
 	s.mu.Unlock()
-	close(j.done)
+	// Durability before visibility: the outcome is pushed to the
+	// replica set, journaled, and in the result store before any
+	// client can observe it, so a settled verdict survives both a
+	// crash and the death of this node byte-identically. Replication
+	// runs first because it doubles as conflict detection: if a
+	// replica already pinned different bytes for this id (the fleet
+	// settled it while this node was partitioned or restarting), those
+	// bytes were published and ours were not — adopt theirs.
+	if remote, conflict := s.replicateSettled(j.id, snap); conflict {
+		if dec, ok := decodeStored(j.id, mustMarshal(remote)); ok {
+			snap, res = remote, dec.result
+			verdict, engine = "error", "error"
+			if snap.Status == StatusDone {
+				verdict = res.Status.String()
+				engine = engineLabel(res.Engine)
+			}
+		}
+	}
+	s.persistSettled(j, snap)
+	s.publish(j, snap, res)
 
 	s.mChecks.Inc(verdict)
 	s.hLatency.Observe(elapsed.Seconds(), engine)
@@ -399,6 +465,51 @@ func (s *Server) runJob(j *job) {
 	if j.errMsg != "" {
 		s.cfg.Log.Printf("check %s failed: %s", j.id, j.errMsg)
 	}
+}
+
+// buildSnapshot turns a check outcome into the durable wire snapshot.
+// The returned result is non-nil only for a done snapshot, and is
+// exactly what the snapshot's Result bytes decode to.
+func buildSnapshot(res *mc.Result, err error) (storedJob, *mc.Result) {
+	snap := storedJob{Status: StatusFailed}
+	switch {
+	case err != nil:
+		snap.Error = err.Error()
+	case res == nil:
+		snap.Error = "check returned no result"
+	default:
+		raw, merr := json.Marshal(res)
+		if merr != nil {
+			snap.Error = "result does not serialize: " + merr.Error()
+			return snap, nil
+		}
+		snap.Status = StatusDone
+		snap.Result = raw
+		return snap, res
+	}
+	return snap, nil
+}
+
+// publish makes a sealed, persisted settlement visible: the job moves
+// from the in-flight table to the finished cache and its done channel
+// closes. Callers must have claimed j.sealed first.
+func (s *Server) publish(j *job, snap storedJob, res *mc.Result) {
+	s.mu.Lock()
+	j.status = snap.Status
+	j.errMsg = snap.Error
+	if snap.Status == StatusDone {
+		j.result = res
+	}
+	delete(s.inflight, j.id)
+	// Settled jobs only serve status/error/result, so drop the parsed
+	// system, formula, and request before caching — CacheSize entries
+	// of large models would otherwise stay pinned in memory.
+	j.sys, j.phi, j.reqJSON = nil, nil, nil
+	j.opts, j.pol = mc.Options{}, resilience.RetryPolicy{}
+	s.finished.Add(j.id, j)
+	s.mu.Unlock()
+	close(j.done)
+	s.removeShadow(j.id)
 }
 
 // engineLabel collapses "portfolio/bmc" to "bmc" so the win counters
@@ -453,26 +564,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Warm the LRU from the disk-backed store first, so results that
 	// outlived the LRU (or a restart) are cache hits, not re-runs.
 	s.restoreFromStore(cr.id)
+	if s.answerFromCache(w, cr.id) {
+		return
+	}
+	// Route the job to its ring owner, so identical submissions landing
+	// anywhere in the fleet collapse onto the owner's singleflight and
+	// result cache. Local state was checked first: what this node
+	// already holds it serves without a hop.
+	if s.maybeForwardSubmit(w, r, cr.id, reqJSON) {
+		return
+	}
+	var owner string
+	if s.cluster != nil {
+		owner = s.cluster.c.Self()
+	}
 
 	s.mu.Lock()
-	// Singleflight: an identical request is the same content address,
-	// so it lands on the in-flight job instead of spawning another.
+	// Singleflight re-check: an identical submission may have admitted
+	// while this one was routing.
 	if j, ok := s.inflight[cr.id]; ok {
 		s.mu.Unlock()
 		s.mCacheHits.Inc()
 		s.writeJob(w, http.StatusOK, j, true)
 		return
-	}
-	if v, ok := s.finished.Get(cr.id); ok {
-		// A cached failure (caught panic, transient engine error) is
-		// not a reusable verdict — fall through and re-run the check;
-		// the fresh job replaces the stale entry when it settles.
-		if fj := v.(*job); fj.status != StatusFailed {
-			s.mu.Unlock()
-			s.mCacheHits.Inc()
-			s.writeJob(w, http.StatusOK, fj, true)
-			return
-		}
 	}
 	if s.draining {
 		s.mu.Unlock()
@@ -480,7 +594,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new checks")
 		return
 	}
-	j := &job{id: cr.id, key: cr.key, sys: cr.sys, phi: cr.phi,
+	j := &job{id: cr.id, key: cr.key, owner: owner, sys: cr.sys, phi: cr.phi,
 		opts: cr.opts, pol: cr.pol, reqJSON: reqJSON, status: StatusQueued, done: make(chan struct{})}
 	select {
 	case s.queue <- j:
@@ -493,11 +607,39 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.inflight[j.id] = j
 	s.mu.Unlock()
-	// Journal the acceptance (fsync'd) before acknowledging: once the
-	// client holds this id, a crash cannot lose the job.
-	s.persistAccepted(j.id, reqJSON)
+	// Journal the acceptance (fsync'd) and push it to the replica set
+	// before acknowledging: once the client holds this id, neither a
+	// crash nor the death of this node can lose the job.
+	s.persistAccepted(j.id, reqJSON, owner)
+	s.replicateAccept(j.id, reqJSON)
 	s.mCacheMiss.Inc()
 	s.writeJob(w, http.StatusAccepted, j, false)
+}
+
+// answerFromCache serves a submission from the in-flight table (the
+// singleflight path: an identical request is the same content
+// address) or the finished cache; reports whether it answered.
+func (s *Server) answerFromCache(w http.ResponseWriter, id string) bool {
+	s.mu.Lock()
+	if j, ok := s.inflight[id]; ok {
+		s.mu.Unlock()
+		s.mCacheHits.Inc()
+		s.writeJob(w, http.StatusOK, j, true)
+		return true
+	}
+	if v, ok := s.finished.Get(id); ok {
+		// A cached failure (caught panic, transient engine error) is
+		// not a reusable verdict — fall through and re-run the check;
+		// the fresh job replaces the stale entry when it settles.
+		if fj := v.(*job); fj.status != StatusFailed {
+			s.mu.Unlock()
+			s.mCacheHits.Inc()
+			s.writeJob(w, http.StatusOK, fj, true)
+			return true
+		}
+	}
+	s.mu.Unlock()
+	return false
 }
 
 func (s *Server) lookup(id string) (*job, bool) {
@@ -522,6 +664,11 @@ func (s *Server) lookup(id string) (*job, bool) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
+		// In cluster mode the id may live elsewhere: ask its replica
+		// set (owner first) before declaring it unknown.
+		if s.proxyRead(w, r, r.PathValue("id")) {
+			return
+		}
 		writeError(w, http.StatusNotFound, "unknown check id")
 		return
 	}
@@ -539,6 +686,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
+		if s.proxyRead(w, r, r.PathValue("id")) {
+			return
+		}
 		writeError(w, http.StatusNotFound, "unknown check id")
 		return
 	}
@@ -560,7 +710,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": draining})
+	// "degraded" still answers 200 — the daemon serves, load balancers
+	// and peer failure detectors must keep routing to it — but tells
+	// operators that durability was configured and lost (disk failure
+	// at startup or mid-flight), so results no longer survive a
+	// restart.
+	status := "ok"
+	if s.degraded() {
+		status = "degraded"
+	}
+	body := map[string]any{"status": status, "draining": draining}
+	if cs := s.cluster; cs != nil {
+		body["peers_healthy"] = cs.c.AlivePeers()
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// degraded reports that the daemon was configured durable but is
+// running memory-only.
+func (s *Server) degraded() bool {
+	if s.cfg.DataDir == "" {
+		return false // memory-only by choice is healthy
+	}
+	return s.durable == nil || s.durable.failed.Load()
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

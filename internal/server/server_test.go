@@ -389,6 +389,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		"verdictd_engine_wins_total{",
 		"verdictd_check_duration_seconds_bucket",
 		"verdictd_cache_entries 1",
+		// Cluster families register even single-node so dashboards can
+		// template on them fleet-wide: the gauge reads 0, the counters
+		// expose HELP/TYPE with no series yet.
+		"verdictd_cluster_peers_healthy 0",
+		"# TYPE verdictd_cluster_forwards_total counter",
+		"# TYPE verdictd_cluster_replications_total counter",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, text)
