@@ -111,6 +111,10 @@ func baselineCells() []baselineCell {
 	for _, c := range []tc{
 		{"test", verdict.TestTopology(), 2},
 		{"fattree4", verdict.FatTree(4), 2},
+		// fattree6 stretches the sweep past the toy sizes: 45 switches
+		// and 108 links, the largest instance that still fits a CI
+		// budget (its violation cell decides in seconds, not minutes).
+		{"fattree6", verdict.FatTree(6), 3},
 	} {
 		cells = append(cells, baselineCell{c.name + "/viol", c.topo, c.kViol, true})
 		for k := 0; k <= 1; k++ {

@@ -21,6 +21,12 @@
 // Submit a check to a verdictd daemon instead of running it locally:
 //
 //	verdict remote check -server http://host:8080 -model cluster.vsmv
+//
+// Continuously verify a stream of cluster config-change events,
+// locally or against a daemon (see cmd/verdict/watch.go):
+//
+//	verdict watch -events examples/streams/rollout-events.jsonl
+//	verdict watch -events - -server http://host:8080
 package main
 
 import (
@@ -88,10 +94,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("verdict: ")
 	// Subcommands sit in front of the flag set: `verdict remote ...`
-	// has its own flags (notably -server), so it must dispatch before
-	// flag.Parse sees the arguments.
+	// and `verdict watch ...` have their own flags (notably -server),
+	// so they must dispatch before flag.Parse sees the arguments.
 	if len(os.Args) > 1 && os.Args[1] == "remote" {
 		os.Exit(runRemote(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "watch" {
+		os.Exit(runWatch(os.Args[2:]))
 	}
 	var (
 		modelPath = flag.String("model", "", "path to a .vsmv model file")

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"verdict/internal/server"
+)
+
+// breakingStream is a minimal rollout that ends with a config change
+// violating the descheduler stability invariant; cleanStream is the
+// same rollout without the break.
+const breakingStream = `# rollout, then a bad threshold change
+{"kind":"node","name":"w2","op":"apply","node":{"capacity":100,"base_load":5}}
+{"kind":"deployment","name":"web","op":"apply","deployment":{"replicas":2,"request_cpu":50}}
+{"kind":"descheduler","op":"apply","descheduler":{"threshold":70}}
+{"kind":"telemetry","telemetry":{"pod_cpu":{"web-0":52}}}
+{"kind":"descheduler","op":"apply","descheduler":{"threshold":45}}
+`
+
+const cleanStream = `{"kind":"node","name":"w2","op":"apply","node":{"capacity":100,"base_load":5}}
+{"kind":"deployment","name":"web","op":"apply","deployment":{"replicas":2,"request_cpu":50}}
+{"kind":"descheduler","op":"apply","descheduler":{"threshold":70}}
+`
+
+func writeStream(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestWatchLocalExitCodes replays recorded streams through the
+// in-process watcher: exit 1 when an ingested change breaks an
+// invariant, 0 when the stream stays clean, 2 when the stream itself
+// is unusable.
+func TestWatchLocalExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		stream string
+		want   int
+	}{
+		{"invariant break", breakingStream, 1},
+		{"clean stream", cleanStream, 0},
+		{"garbage line", "{\"kind\":\"node\"", 2},
+		{"invalid event", `{"kind":"deployment","name":"web","op":"apply","deployment":{"replicas":0,"request_cpu":50}}`, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			args := []string{"-events", writeStream(t, c.stream)}
+			if got := runWatch(args); got != c.want {
+				t.Fatalf("runWatch(%v) = %d, want %d", args, got, c.want)
+			}
+		})
+	}
+	t.Run("missing file", func(t *testing.T) {
+		args := []string{"-events", filepath.Join(t.TempDir(), "absent.jsonl")}
+		if got := runWatch(args); got != 2 {
+			t.Fatalf("runWatch(%v) = %d, want 2", args, got)
+		}
+	})
+}
+
+// TestWatchShippedExample keeps the checked-in quickstart stream
+// honest: replaying examples/streams/rollout-events.jsonl must end in
+// the documented incident.
+func TestWatchShippedExample(t *testing.T) {
+	path := filepath.Join("..", "..", "examples", "streams", "rollout-events.jsonl")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := runWatch([]string{"-events", path}); got != 1 {
+		t.Fatalf("replaying the shipped example = exit %d, want 1 (documented incident)", got)
+	}
+}
+
+// TestWatchRemoteAgainstDaemon drives `verdict watch -server` against
+// an in-process verdictd: the breaking stream must surface the
+// incident (exit 1) and a clean stream must not; re-running with
+// -session attaches instead of failing on the 409.
+func TestWatchRemoteAgainstDaemon(t *testing.T) {
+	s := server.New(server.Config{Workers: 2})
+	ht := httptest.NewServer(s.Handler())
+	defer func() {
+		ht.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+		s.Close()
+	}()
+
+	breaking := writeStream(t, breakingStream)
+	args := []string{"-events", breaking, "-server", ht.URL, "-session", "cli-e2e", "-retry-base", "5ms"}
+	if got := runWatch(args); got != 1 {
+		t.Fatalf("runWatch(%v) = %d, want 1", args, got)
+	}
+
+	// Attach to the same session with a recovery event: the historical
+	// incident must not fail the new invocation.
+	recovery := writeStream(t, `{"kind":"descheduler","op":"apply","descheduler":{"threshold":70}}`+"\n")
+	args = []string{"-events", recovery, "-server", ht.URL, "-session", "cli-e2e", "-retry-base", "5ms"}
+	if got := runWatch(args); got != 0 {
+		t.Fatalf("attach after recovery: runWatch(%v) = %d, want 0", args, got)
+	}
+
+	t.Run("transport error", func(t *testing.T) {
+		args := []string{"-events", breaking, "-server", "http://127.0.0.1:1", "-retries", "0"}
+		if got := runWatch(args); got != 2 {
+			t.Fatalf("runWatch(%v) = %d, want 2", args, got)
+		}
+	})
+}

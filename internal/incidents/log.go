@@ -1,0 +1,67 @@
+package incidents
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"verdict/internal/trace"
+)
+
+// Report is a live incident: a continuously-verified property that a
+// configuration change just broke. It is the runtime counterpart of
+// the §3.1 study's Incident — instead of reconstructing a postmortem
+// from a provider's status page, the watcher writes the report at the
+// moment the violating change is ingested, with the model checker's
+// counterexample attached as the narrative.
+type Report struct {
+	// Seq is the ingest sequence number of the event batch whose
+	// configuration first exhibited the violation.
+	Seq uint64 `json:"seq"`
+	// Property names the broken invariant ("descheduler/web").
+	Property string `json:"property"`
+	// Detail is the human-readable invariant description, with the
+	// config values it was instantiated from.
+	Detail string `json:"detail"`
+	// Characteristics classify the incident in the Table 1 vocabulary.
+	Characteristics []Characteristic `json:"characteristics"`
+	// Trace is the violating run (nil when no engine produced one).
+	Trace *trace.Trace `json:"trace,omitempty"`
+	// Engine names the deciding engine.
+	Engine string `json:"engine,omitempty"`
+	// Witness records whether the trace was independently validated.
+	Witness string `json:"witness,omitempty"`
+}
+
+// characteristicJSON maps the enum to stable wire names.
+var characteristicJSON = map[Characteristic]string{
+	DynamicControl:        "dynamic-control",
+	NontrivialInteraction: "nontrivial-interaction",
+	QuantitativeMetrics:   "quantitative-metrics",
+	CrossLayer:            "cross-layer",
+}
+
+// MarshalJSON encodes a Characteristic as its stable wire name rather
+// than a bare int, so incident logs stay readable and the enum can be
+// reordered without changing persisted journals.
+func (c Characteristic) MarshalJSON() ([]byte, error) {
+	name, ok := characteristicJSON[c]
+	if !ok {
+		return nil, fmt.Errorf("incidents: unknown characteristic %d", int(c))
+	}
+	return json.Marshal(name)
+}
+
+// UnmarshalJSON decodes the wire name back to the enum.
+func (c *Characteristic) UnmarshalJSON(raw []byte) error {
+	var name string
+	if err := json.Unmarshal(raw, &name); err != nil {
+		return err
+	}
+	for k, v := range characteristicJSON {
+		if v == name {
+			*c = k
+			return nil
+		}
+	}
+	return fmt.Errorf("incidents: unknown characteristic %q", name)
+}

@@ -54,11 +54,15 @@ import (
 const (
 	TypeAccepted = "accepted"
 	TypeSettled  = "settled"
+	// TypeWatch carries a continuous-verification session snapshot
+	// (internal/watch.Snapshot JSON in Request); replay keeps the last
+	// snapshot per session id and restores non-closed sessions.
+	TypeWatch = "watch"
 )
 
 // Record is one journal entry.
 type Record struct {
-	// Type is TypeAccepted or TypeSettled.
+	// Type is TypeAccepted, TypeSettled, or TypeWatch.
 	Type string `json:"type"`
 	// ID is the job's content address — the idempotency key replay
 	// uses to pair accepted records with their settlements.

@@ -505,16 +505,20 @@ func TestClusterShadowReplayAfterCrash(t *testing.T) {
 // — still HTTP 200 — once a durable daemon falls back to memory-only,
 // and "ok" when memory-only was the configuration.
 func TestHealthzDegraded(t *testing.T) {
-	// Memory-only by choice: healthy.
+	// Memory-only by choice: healthy, with the structured body naming
+	// each subsystem's state.
 	_, ht := newTestServer(t, Config{Workers: 1, Check: newInstantOK()})
-	var hz struct {
-		Status string `json:"status"`
-	}
+	var hz HealthzResponse
 	if code := getJSON(t, ht.URL+"/healthz", &hz); code != http.StatusOK || hz.Status != "ok" {
 		t.Fatalf("memory-only healthz: %d %q, want 200 ok", code, hz.Status)
 	}
+	if hz.Journal.Status != "off" || hz.Cluster.Status != "off" || hz.Watch.Status != "ok" {
+		t.Fatalf("memory-only subsystems = journal %q cluster %q watch %q, want off/off/ok",
+			hz.Journal.Status, hz.Cluster.Status, hz.Watch.Status)
+	}
 
-	// Durable daemon: healthy until the disk dies, degraded after.
+	// Durable daemon: healthy until the disk dies, degraded after —
+	// and the structured body pins the degradation on the journal.
 	restore := resilience.InjectFaults(map[string]resilience.Fault{
 		"journal/append": resilience.FaultExhaust,
 	})
@@ -523,6 +527,9 @@ func TestHealthzDegraded(t *testing.T) {
 	if code := getJSON(t, ht2.URL+"/healthz", &hz); code != http.StatusOK || hz.Status != "ok" {
 		t.Fatalf("durable healthz before failure: %d %q, want 200 ok", code, hz.Status)
 	}
+	if hz.Journal.Status != "active" {
+		t.Fatalf("durable journal status = %q, want active", hz.Journal.Status)
+	}
 	_, cr := submit(t, ht2.URL, CheckRequest{Model: counterModel})
 	waitDone(t, ht2.URL, cr.ID)
 	if !s2.durable.failed.Load() {
@@ -530,6 +537,9 @@ func TestHealthzDegraded(t *testing.T) {
 	}
 	if code := getJSON(t, ht2.URL+"/healthz", &hz); code != http.StatusOK || hz.Status != "degraded" {
 		t.Fatalf("degraded healthz: %d %q, want 200 degraded", code, hz.Status)
+	}
+	if hz.Journal.Status != "degraded" {
+		t.Fatalf("degraded journal status = %q, want degraded", hz.Journal.Status)
 	}
 }
 

@@ -174,6 +174,8 @@ func (s *Server) maybeCompact() {
 	// Shadowed peer acceptances are live too: compacting them away
 	// would silently drop this node's promise to cover the owner.
 	live = append(live, s.shadowRecords()...)
+	// Open watch sessions survive as their latest snapshot.
+	live = append(live, s.watchRecords()...)
 	if err := d.j.Compact(live); err != nil {
 		d.fail(s.cfg.Log, "journal compact", err)
 		return
@@ -261,6 +263,7 @@ func (s *Server) replayJournal() {
 	}
 	order := make([]string, 0, 64)
 	jobs := make(map[string]*entry)
+	watchSnaps := make(map[string]json.RawMessage)
 	stats, err := journal.Replay(d.j.Dir(), func(rec journal.Record) error {
 		switch rec.Type {
 		case journal.TypeAccepted:
@@ -268,6 +271,10 @@ func (s *Server) replayJournal() {
 				jobs[rec.ID] = &entry{request: rec.Request, owner: rec.Owner}
 				order = append(order, rec.ID)
 			}
+		case journal.TypeWatch:
+			// Sessions snapshot their full state on every change: the
+			// last record per session wins.
+			watchSnaps[rec.ID] = rec.Request
 		case journal.TypeSettled:
 			e, ok := jobs[rec.ID]
 			if !ok {
@@ -332,6 +339,20 @@ func (s *Server) replayJournal() {
 			}
 		}
 	}
+	// Non-tombstoned watch snapshots stay live across the compaction;
+	// their sessions restore after it so fresh appends land in
+	// segments the compactor cannot delete.
+	openWatch := make(map[string]json.RawMessage, len(watchSnaps))
+	for id, raw := range watchSnaps {
+		var probe struct {
+			Closed bool `json:"closed"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil || probe.Closed {
+			continue
+		}
+		openWatch[id] = raw
+		live = append(live, journal.Record{Type: journal.TypeWatch, ID: id, Request: raw})
+	}
 	if stats.Records > 0 || stats.Corrupt > 0 {
 		d.mu.Lock()
 		if err := d.j.Compact(live); err != nil {
@@ -341,6 +362,7 @@ func (s *Server) replayJournal() {
 		s.cfg.Log.Printf("durability: replayed journal: %d record(s), %d job(s) re-enqueued, %d result(s) restored",
 			stats.Records, d.replayed.Load(), d.restored.Load())
 	}
+	s.restoreWatches(openWatch)
 }
 
 // reenqueue recompiles a journaled request and admits it under its

@@ -52,6 +52,7 @@ import (
 	"verdict/internal/metrics"
 	"verdict/internal/resilience"
 	"verdict/internal/ts"
+	"verdict/internal/watch"
 )
 
 // CheckFunc runs one verification. The default runs the mc portfolio
@@ -214,6 +215,18 @@ type Server struct {
 	// work stealing); nil in single-node mode.
 	cluster *clusterState
 
+	// Continuous-verification sessions (watch.go). watchMu guards all
+	// three maps; watchSnaps holds the latest journaled snapshot bytes
+	// per open session — the compactor's live set. watchTraces is a
+	// memory-only side cache of BMC-derived counterexamples for
+	// verdicts whose winning engine produced none, so a config flapping
+	// back to a known-violated model re-reports its incident without
+	// re-deriving the trace.
+	watchMu     sync.Mutex
+	watches     map[string]*watch.Session
+	watchSnaps  map[string][]byte
+	watchTraces map[string]watchTrace
+
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
@@ -234,6 +247,14 @@ type Server struct {
 	gInflight     *metrics.Gauge
 	gCacheSize    *metrics.Gauge
 	hLatency      *metrics.Histogram
+
+	mWatchEvents    *metrics.Counter
+	mWatchRechecks  *metrics.Counter
+	mWatchFlips     *metrics.Counter
+	mWatchIncidents *metrics.Counter
+	mWatchCoalesced *metrics.Counter
+	gWatchSessions  *metrics.Gauge
+	hWatchLatency   *metrics.Histogram
 }
 
 // New builds a Server and starts its worker pool. Call Drain (and
@@ -318,6 +339,8 @@ func New(cfg Config) *Server {
 			return float64(s.cluster.c.AlivePeers())
 		})
 
+	s.initWatch()
+
 	s.mux.HandleFunc("POST /v1/checks", s.instrument("/v1/checks", s.handleSubmit))
 	s.mux.HandleFunc("GET /v1/checks/{id}", s.instrument("/v1/checks/{id}", s.handleStatus))
 	s.mux.HandleFunc("GET /v1/checks/{id}/trace", s.instrument("/v1/checks/{id}/trace", s.handleTrace))
@@ -381,11 +404,15 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // Close cancels any still-running checks (after a failed or skipped
-// Drain), stops cluster probing, closes the journal, and releases the
-// server's context.
+// Drain), stops watch sessions and cluster probing, closes the
+// journal, and releases the server's context. Checks are cancelled
+// before the watch sessions stop: a session blocked in a verify pass
+// needs its check to return before it can wind down (the interrupted
+// pass settles as failed and re-runs on the next start).
 func (s *Server) Close() {
 	s.stopCluster()
 	s.cancel()
+	s.closeWatches()
 	s.closeDurable()
 }
 
@@ -706,6 +733,35 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res.Trace)
 }
 
+// HealthzResponse is the structured GET /healthz body: the overall
+// status plus one sub-object per subsystem so operators can tell
+// WHICH subsystem degraded, not just that something did.
+type HealthzResponse struct {
+	// Status is "ok" or "degraded" (degraded still answers 200 — the
+	// daemon serves; only durability was lost).
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+	// Journal is "active" (journaling), "degraded" (configured durable
+	// but fell back to memory-only), or "off" (memory-only by choice).
+	Journal struct {
+		Status string `json:"status"`
+	} `json:"journal"`
+	// Cluster is "off" single-node, else "ok" with the failure
+	// detector's healthy-peer count.
+	Cluster struct {
+		Status       string `json:"status"`
+		PeersHealthy int    `json:"peers_healthy,omitempty"`
+	} `json:"cluster"`
+	// Watch reports open continuous-verification sessions.
+	Watch struct {
+		Status   string `json:"status"`
+		Sessions int    `json:"sessions"`
+	} `json:"watch"`
+	// PeersHealthy mirrors Cluster.PeersHealthy at the top level for
+	// clients of the pre-structured body (cluster mode only).
+	PeersHealthy *int `json:"peers_healthy,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
@@ -715,14 +771,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	// operators that durability was configured and lost (disk failure
 	// at startup or mid-flight), so results no longer survive a
 	// restart.
-	status := "ok"
+	var body HealthzResponse
+	body.Status = "ok"
 	if s.degraded() {
-		status = "degraded"
+		body.Status = "degraded"
 	}
-	body := map[string]any{"status": status, "draining": draining}
+	body.Draining = draining
+	switch {
+	case s.cfg.DataDir == "":
+		body.Journal.Status = "off"
+	case s.degraded():
+		body.Journal.Status = "degraded"
+	default:
+		body.Journal.Status = "active"
+	}
+	body.Cluster.Status = "off"
 	if cs := s.cluster; cs != nil {
-		body["peers_healthy"] = cs.c.AlivePeers()
+		body.Cluster.Status = "ok"
+		alive := cs.c.AlivePeers()
+		body.Cluster.PeersHealthy = alive
+		body.PeersHealthy = &alive
 	}
+	body.Watch.Status = "ok"
+	body.Watch.Sessions = s.watchSessionCount()
 	writeJSON(w, http.StatusOK, body)
 }
 

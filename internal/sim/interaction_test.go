@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// countEvents filters the event log by action, optionally at one tick
+// (at < 0 means any tick).
+func countEvents(c *Cluster, action string, at int) []Event {
+	var out []Event
+	for _, e := range c.Events {
+		if e.Action == action && (at < 0 || e.Time == at) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestBindAndEvictSameTick pins the controller-ordering semantics:
+// within one tick the scheduler binds a pending pod and the
+// descheduler — registered after it, as in the Figure 2 cluster —
+// evicts it again, because the node's base load alone exceeds the
+// eviction threshold. The pod ends the tick pending with its request
+// still reserved on the node (graceful termination).
+func TestBindAndEvictSameTick(t *testing.T) {
+	c := New()
+	c.AddNode(&Node{Name: "w2", Capacity: 100, BaseLoad: 60})
+	c.AddDeployment(&Deployment{App: "web", Replicas: 1, RequestCPU: 30, UsageCPU: 30})
+	c.AddController(&DeploymentController{Every: 1})
+	c.AddController(&Scheduler{Every: 1})
+	c.AddController(&Descheduler{Every: 1, Threshold: 55})
+
+	c.Step()
+	binds := countEvents(c, "bind", 1)
+	evicts := countEvents(c, "evict", 1)
+	if len(binds) != 1 || len(evicts) != 1 {
+		t.Fatalf("tick 1: %d bind(s), %d evict(s), want 1 and 1\n%v", len(binds), len(evicts), c.Events)
+	}
+	if binds[0].Pod != evicts[0].Pod {
+		t.Fatalf("bind and evict hit different pods: %q vs %q", binds[0].Pod, evicts[0].Pod)
+	}
+	pod := c.Pods[binds[0].Pod]
+	if !pod.Pending() {
+		t.Fatalf("pod bound to %q after same-tick eviction, want pending", pod.Node)
+	}
+	// Graceful termination: the evicted pod's request stays reserved on
+	// w2 through the next tick, so the scheduler cannot immediately
+	// re-bind it there (60 base + 30 reserved + 30 request > 100).
+	if got := c.RequestedOn("w2"); got != 90 {
+		t.Fatalf("RequestedOn(w2) after eviction = %d, want 90 (base 60 + terminating 30)", got)
+	}
+	c.Step()
+	if len(countEvents(c, "bind", 2)) != 0 {
+		t.Fatalf("tick 2: pod re-bound while its own termination reservation blocks the node\n%v", c.Events)
+	}
+	// Tick 3: the reservation expired, so the bind/evict cycle repeats
+	// — the single-node analogue of the Figure 2 oscillation.
+	c.Step()
+	if len(countEvents(c, "bind", 3)) != 1 || len(countEvents(c, "evict", 3)) != 1 {
+		t.Fatalf("tick 3: want the bind/evict cycle to repeat\n%v", c.Events)
+	}
+}
+
+// TestDeschedulerThresholdBoundary pins the comparison direction the
+// verification models encode: LowNodeUtilization evicts strictly
+// above the threshold, so a node sitting exactly at it is stable.
+func TestDeschedulerThresholdBoundary(t *testing.T) {
+	build := func(threshold int) *Cluster {
+		c := New()
+		c.AddNode(&Node{Name: "w", Capacity: 100, BaseLoad: 40})
+		c.AddDeployment(&Deployment{App: "web", Replicas: 1, RequestCPU: 15, UsageCPU: 15})
+		c.AddController(&DeploymentController{Every: 1})
+		c.AddController(&Scheduler{Every: 1})
+		c.AddController(&Descheduler{Every: 1, Threshold: threshold})
+		return c
+	}
+
+	// Utilization is exactly 55 (base 40 + usage 15): threshold 55
+	// must never evict.
+	at := build(55)
+	at.Run(5)
+	if ev := countEvents(at, "evict", -1); len(ev) != 0 {
+		t.Fatalf("threshold == utilization: %d eviction(s), want 0\n%v", len(ev), ev)
+	}
+	if pods := at.PodsOn("w"); len(pods) != 1 {
+		t.Fatalf("pod not stably bound at the boundary: %d pod(s) on w", len(pods))
+	}
+
+	// One percent lower and the same cluster churns.
+	below := build(54)
+	below.Run(5)
+	ev := countEvents(below, "evict", -1)
+	if len(ev) == 0 {
+		t.Fatal("threshold one below utilization: no evictions, want churn")
+	}
+	if !strings.Contains(ev[0].Detail, "util 55% > 54%") {
+		t.Fatalf("eviction reason %q does not cite the boundary arithmetic", ev[0].Detail)
+	}
+}
+
+// TestThresholdAndDuplicatesSweepEvictOnce: when LowNodeUtilization
+// clears a node, the RemoveDuplicates sweep running in the same tick
+// must not evict the already-unbound pods a second time.
+func TestThresholdAndDuplicatesSweepEvictOnce(t *testing.T) {
+	c := New()
+	c.AddNode(&Node{Name: "w", Capacity: 200, BaseLoad: 0})
+	dep := &Deployment{App: "web", Replicas: 2, RequestCPU: 40, UsageCPU: 40}
+	c.AddDeployment(dep)
+	c.AddController(&DeploymentController{Every: 1})
+	c.AddController(&Scheduler{Every: 1})
+	c.AddController(&Descheduler{Every: 1, Threshold: 50, RemoveDuplicates: true})
+
+	c.Step()
+	// Both replicas land on the only node (util 80 > 50): the
+	// threshold sweep evicts both; RemoveDuplicates finds the node
+	// empty. Exactly one eviction per pod.
+	evicts := countEvents(c, "evict", 1)
+	if len(evicts) != 2 {
+		t.Fatalf("tick 1: %d evictions, want exactly 2 (one per pod)\n%v", len(evicts), c.Events)
+	}
+	seen := map[string]int{}
+	for _, e := range evicts {
+		seen[e.Pod]++
+	}
+	for pod, n := range seen {
+		if n != 1 {
+			t.Fatalf("pod %s evicted %d times in one tick", pod, n)
+		}
+	}
+}

@@ -1,0 +1,464 @@
+// Package extract turns declarative cluster configuration — the JSON
+// objects a config-change stream carries — into the parametric
+// transition-system models verdict already knows how to check.
+//
+// This is the bridge the Kivi direction (PAPERS.md) needs: the
+// controllers internal/sim executes (scheduler, descheduler,
+// deployment controller, taint manager, HPA, rolling update) have
+// formal counterparts in internal/models/k8s, and each counterpart is
+// parameterized by exactly the fields a declarative spec carries —
+// eviction thresholds, replica counts, CPU requests, surge allowances,
+// taints and tolerations. Extract instantiates those models from the
+// live configuration and renders each one to canonical .vsmv text
+// (one LTLSPEC per model), so a watcher can content-address them:
+// a config change is "dirty" for a property exactly when the
+// property's rendered source changes.
+//
+// The event vocabulary deliberately includes kinds the extraction
+// ignores (telemetry ticks, annotations): a continuous verifier's
+// steady-state traffic is dominated by events that cannot change any
+// verified model, and those must diff to clean.
+package extract
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"verdict/internal/incidents"
+	"verdict/internal/ltl"
+	"verdict/internal/models/k8s"
+	"verdict/internal/smvlang"
+	"verdict/internal/ts"
+)
+
+// NodeSpec is a worker machine's declarative state.
+type NodeSpec struct {
+	// Capacity is the node's CPU capacity in percent (default 100).
+	Capacity int `json:"capacity,omitempty"`
+	// BaseLoad is the resident system load in percent.
+	BaseLoad int `json:"base_load,omitempty"`
+	// Taints lists the node's taint keys.
+	Taints []string `json:"taints,omitempty"`
+}
+
+// DeploymentSpec is a replica spec.
+type DeploymentSpec struct {
+	Replicas   int `json:"replicas"`
+	RequestCPU int `json:"request_cpu"`
+	// MaxSurge is the rolling-update surge allowance (default 1).
+	MaxSurge int `json:"max_surge,omitempty"`
+	// Tolerations lists taint keys the deployment's pods tolerate.
+	Tolerations []string `json:"tolerations,omitempty"`
+}
+
+// HPASpec is a horizontal pod autoscaler bound to a deployment of the
+// same name (or App when set).
+type HPASpec struct {
+	App         string `json:"app,omitempty"`
+	MaxReplicas int64  `json:"max_replicas"`
+	// ReportsExpectedAsCurrent enables the issue #90461 defect: the
+	// autoscaler adopts the surge-inflated observed pod count as the
+	// new expected count.
+	ReportsExpectedAsCurrent bool `json:"reports_expected_as_current,omitempty"`
+}
+
+// DeschedulerSpec is the cluster-wide descheduler policy.
+type DeschedulerSpec struct {
+	// Threshold is the LowNodeUtilization eviction threshold in
+	// percent; negative disables the strategy.
+	Threshold int `json:"threshold"`
+	// RemoveDuplicates evicts surplus same-app pods sharing a node.
+	RemoveDuplicates bool `json:"remove_duplicates,omitempty"`
+}
+
+// SchedulerSpec is the scheduler's configuration.
+type SchedulerSpec struct {
+	// RespectTaints, when false, lets the scheduler bind pods to nodes
+	// whose taints they do not tolerate (the misconfiguration behind
+	// issue #75913). Unset means true.
+	RespectTaints *bool `json:"respect_taints,omitempty"`
+}
+
+// ClusterConfig is the declarative cluster state a watch session
+// maintains by folding config-change events.
+type ClusterConfig struct {
+	Nodes       map[string]*NodeSpec       `json:"nodes,omitempty"`
+	Deployments map[string]*DeploymentSpec `json:"deployments,omitempty"`
+	HPAs        map[string]*HPASpec        `json:"hpas,omitempty"`
+	Descheduler *DeschedulerSpec           `json:"descheduler,omitempty"`
+	Scheduler   *SchedulerSpec             `json:"scheduler,omitempty"`
+}
+
+// NewConfig returns an empty configuration.
+func NewConfig() *ClusterConfig {
+	return &ClusterConfig{
+		Nodes:       map[string]*NodeSpec{},
+		Deployments: map[string]*DeploymentSpec{},
+		HPAs:        map[string]*HPASpec{},
+	}
+}
+
+// Clone deep-copies the configuration (via its JSON form, which is
+// the configuration's full state by construction).
+func (c *ClusterConfig) Clone() *ClusterConfig {
+	raw, err := json.Marshal(c)
+	if err != nil {
+		panic(fmt.Sprintf("extract: config does not marshal: %v", err))
+	}
+	out := NewConfig()
+	if err := json.Unmarshal(raw, out); err != nil {
+		panic(fmt.Sprintf("extract: config does not round-trip: %v", err))
+	}
+	if out.Nodes == nil {
+		out.Nodes = map[string]*NodeSpec{}
+	}
+	if out.Deployments == nil {
+		out.Deployments = map[string]*DeploymentSpec{}
+	}
+	if out.HPAs == nil {
+		out.HPAs = map[string]*HPASpec{}
+	}
+	return out
+}
+
+// Event kinds. Config kinds mutate the extracted models; telemetry
+// and annotation events are observability traffic that can never
+// dirty a property.
+const (
+	KindNode        = "node"
+	KindDeployment  = "deployment"
+	KindHPA         = "hpa"
+	KindDescheduler = "descheduler"
+	KindScheduler   = "scheduler"
+	KindTelemetry   = "telemetry"
+	KindAnnotation  = "annotation"
+)
+
+// Event is one config-change (or telemetry) record from the stream:
+// one JSON object per line. Exactly the field matching Kind is read;
+// Op "delete" removes the named object instead.
+type Event struct {
+	Kind string `json:"kind"`
+	// Name identifies the object for node/deployment/hpa kinds.
+	Name string `json:"name,omitempty"`
+	// Op is "apply" (default) or "delete".
+	Op string `json:"op,omitempty"`
+
+	Node        *NodeSpec        `json:"node,omitempty"`
+	Deployment  *DeploymentSpec  `json:"deployment,omitempty"`
+	HPA         *HPASpec         `json:"hpa,omitempty"`
+	Descheduler *DeschedulerSpec `json:"descheduler,omitempty"`
+	Scheduler   *SchedulerSpec   `json:"scheduler,omitempty"`
+	// Telemetry carries observed metrics (pod CPU usage, request
+	// rates). The extractor ignores it: observed load is the
+	// simulator's input, not part of any declarative model.
+	Telemetry json.RawMessage `json:"telemetry,omitempty"`
+	// Note is free-form context carried through to logs.
+	Note string `json:"note,omitempty"`
+}
+
+// Apply folds one event into the configuration. Telemetry and
+// annotation events apply trivially (and report no error) so a stream
+// can interleave them freely.
+func (c *ClusterConfig) Apply(ev Event) error {
+	del := ev.Op == "delete"
+	if !del && ev.Op != "" && ev.Op != "apply" {
+		return fmt.Errorf("extract: unknown op %q (want apply or delete)", ev.Op)
+	}
+	named := func() error {
+		if ev.Name == "" {
+			return fmt.Errorf("extract: %s event needs a name", ev.Kind)
+		}
+		return nil
+	}
+	switch ev.Kind {
+	case KindNode:
+		if err := named(); err != nil {
+			return err
+		}
+		if del {
+			delete(c.Nodes, ev.Name)
+			return nil
+		}
+		if ev.Node == nil {
+			return fmt.Errorf("extract: node event %q carries no node spec", ev.Name)
+		}
+		c.Nodes[ev.Name] = ev.Node
+	case KindDeployment:
+		if err := named(); err != nil {
+			return err
+		}
+		if del {
+			delete(c.Deployments, ev.Name)
+			return nil
+		}
+		if ev.Deployment == nil {
+			return fmt.Errorf("extract: deployment event %q carries no deployment spec", ev.Name)
+		}
+		if ev.Deployment.Replicas < 1 || ev.Deployment.RequestCPU < 0 {
+			return fmt.Errorf("extract: deployment %q needs replicas >= 1 and request_cpu >= 0", ev.Name)
+		}
+		c.Deployments[ev.Name] = ev.Deployment
+	case KindHPA:
+		if err := named(); err != nil {
+			return err
+		}
+		if del {
+			delete(c.HPAs, ev.Name)
+			return nil
+		}
+		if ev.HPA == nil {
+			return fmt.Errorf("extract: hpa event %q carries no hpa spec", ev.Name)
+		}
+		if ev.HPA.MaxReplicas < 1 {
+			return fmt.Errorf("extract: hpa %q needs max_replicas >= 1", ev.Name)
+		}
+		c.HPAs[ev.Name] = ev.HPA
+	case KindDescheduler:
+		if del {
+			c.Descheduler = nil
+			return nil
+		}
+		if ev.Descheduler == nil {
+			return fmt.Errorf("extract: descheduler event carries no descheduler spec")
+		}
+		c.Descheduler = ev.Descheduler
+	case KindScheduler:
+		if del {
+			c.Scheduler = nil
+			return nil
+		}
+		if ev.Scheduler == nil {
+			return fmt.Errorf("extract: scheduler event carries no scheduler spec")
+		}
+		c.Scheduler = ev.Scheduler
+	case KindTelemetry, KindAnnotation:
+		// Observability traffic: folded into nothing, dirties nothing.
+	case "":
+		return fmt.Errorf("extract: event has no kind")
+	default:
+		return fmt.Errorf("extract: unknown event kind %q", ev.Kind)
+	}
+	return nil
+}
+
+// Property is one verifiable invariant extracted from the
+// configuration: a self-contained canonical model (exactly one
+// LTLSPEC) whose bytes change iff a config change can change the
+// verdict.
+type Property struct {
+	// Name is stable across revisions ("descheduler/web") so a watcher
+	// can pair re-extractions with their previous verdicts.
+	Name string
+	// Detail describes the invariant and the config values it was
+	// instantiated from.
+	Detail string
+	// Source is the canonical .vsmv text including the property as its
+	// only LTLSPEC. Byte-equal sources are semantically equal checks.
+	Source string
+	// Characteristics tag the incident class (Table 1 vocabulary) a
+	// violation of this property represents.
+	Characteristics []incidents.Characteristic
+}
+
+// respectsTaints reads the scheduler config's taint predicate
+// (default: a correctly configured scheduler respects taints).
+func (c *ClusterConfig) respectsTaints() bool {
+	if c.Scheduler == nil || c.Scheduler.RespectTaints == nil {
+		return true
+	}
+	return *c.Scheduler.RespectTaints
+}
+
+// tolerates reports whether the deployment tolerates every taint on
+// the node.
+func tolerates(d *DeploymentSpec, n *NodeSpec) bool {
+	for _, t := range n.Taints {
+		found := false
+		for _, tol := range d.Tolerations {
+			if tol == t {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Extract instantiates every verifiable controller-interaction model
+// the configuration currently parameterizes. The result is sorted by
+// property name and deterministic: equal configurations extract to
+// byte-equal properties.
+func Extract(c *ClusterConfig) ([]Property, error) {
+	var props []Property
+	apps := make([]string, 0, len(c.Deployments))
+	for app := range c.Deployments {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+
+	for _, app := range apps {
+		dep := c.Deployments[app]
+
+		// Scheduler × descheduler (§3.3, Figure 2): with a
+		// LowNodeUtilization threshold below what a hosting worker's
+		// utilization will reach, every placement is immediately
+		// over-threshold and the pod bounces between workers forever.
+		// The hosting worker's utilization is the pod's request plus
+		// the worst base load among the nodes that can host it.
+		if c.Descheduler != nil && c.Descheduler.Threshold >= 0 {
+			baseLoad, hostable := worstHostableBaseLoad(c, dep)
+			if hostable {
+				m := k8s.BuildDescheduler(k8s.DeschedulerConfig{
+					RequestCPU: int64(dep.RequestCPU + baseLoad),
+					Threshold:  int64(c.Descheduler.Threshold),
+				})
+				src, err := canonical(m.Sys, m.Property)
+				if err != nil {
+					return nil, fmt.Errorf("extract: descheduler/%s: %w", app, err)
+				}
+				props = append(props, Property{
+					Name: "descheduler/" + app,
+					Detail: fmt.Sprintf("pods of %s settle on a worker: eviction threshold %d%% vs utilization %d%% (request %d%% + base load %d%%)",
+						app, c.Descheduler.Threshold, dep.RequestCPU+baseLoad, dep.RequestCPU, baseLoad),
+					Source: src,
+					Characteristics: []incidents.Characteristic{
+						incidents.DynamicControl, incidents.NontrivialInteraction, incidents.QuantitativeMetrics,
+					},
+				})
+			}
+		}
+
+		// Rolling update × HPA (issue #90461): a defective autoscaler
+		// that reads the surge-inflated pod count as current ratchets
+		// the expected count upward without any load change.
+		if hpa := hpaFor(c, app); hpa != nil {
+			maxSurge := dep.MaxSurge
+			if maxSurge <= 0 {
+				maxSurge = 1
+			}
+			maxReplicas := hpa.MaxReplicas
+			if maxReplicas < int64(dep.Replicas) {
+				// An HPA capped below the spec cannot ratchet; model the
+				// effective ceiling the deployment already occupies.
+				maxReplicas = int64(dep.Replicas)
+			}
+			m, err := k8s.BuildHPASurge(k8s.HPASurgeConfig{
+				MaxReplicas:    maxReplicas,
+				InitialDesired: int64(dep.Replicas),
+				MaxSurge:       int64(maxSurge),
+				HPABug:         hpa.ReportsExpectedAsCurrent,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("extract: hpa-surge/%s: %w", app, err)
+			}
+			src, err := canonical(m.Sys, m.Property)
+			if err != nil {
+				return nil, fmt.Errorf("extract: hpa-surge/%s: %w", app, err)
+			}
+			props = append(props, Property{
+				Name: "hpa-surge/" + app,
+				Detail: fmt.Sprintf("rolling %s never ratchets the replica spec: %d replicas, maxSurge %d, HPA cap %d (reports expected as current: %v)",
+					app, dep.Replicas, maxSurge, maxReplicas, hpa.ReportsExpectedAsCurrent),
+				Source: src,
+				Characteristics: []incidents.Characteristic{
+					incidents.DynamicControl, incidents.NontrivialInteraction, incidents.QuantitativeMetrics,
+				},
+			})
+		}
+
+		// Deployment controller × taint manager (issue #75913): a
+		// scheduler that ignores taints keeps placing the recreated pod
+		// on the tainted node the taint manager keeps clearing.
+		if hasUntoleratedTaint(c, dep) {
+			m := k8s.BuildTaintLoop(k8s.TaintLoopConfig{RespectTaints: c.respectsTaints()})
+			src, err := canonical(m.Sys, m.Property)
+			if err != nil {
+				return nil, fmt.Errorf("extract: taint-loop/%s: %w", app, err)
+			}
+			props = append(props, Property{
+				Name: "taint-loop/" + app,
+				Detail: fmt.Sprintf("recreated pods of %s settle on an untainted node (scheduler respects taints: %v)",
+					app, c.respectsTaints()),
+				Source: src,
+				Characteristics: []incidents.Characteristic{
+					incidents.DynamicControl, incidents.NontrivialInteraction,
+				},
+			})
+		}
+	}
+	return props, nil
+}
+
+// worstHostableBaseLoad returns the highest base load among nodes the
+// deployment's pods can be bound to, and whether any such node exists.
+func worstHostableBaseLoad(c *ClusterConfig, dep *DeploymentSpec) (int, bool) {
+	worst, found := 0, false
+	for _, name := range sortedNodeNames(c) {
+		n := c.Nodes[name]
+		if !c.respectsTaints() || tolerates(dep, n) {
+			found = true
+			if n.BaseLoad > worst {
+				worst = n.BaseLoad
+			}
+		}
+	}
+	return worst, found
+}
+
+// hasUntoleratedTaint reports whether some node carries a taint the
+// deployment does not tolerate — the precondition for the taint-loop
+// interaction to exist at all.
+func hasUntoleratedTaint(c *ClusterConfig, dep *DeploymentSpec) bool {
+	for _, n := range c.Nodes {
+		if len(n.Taints) > 0 && !tolerates(dep, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// hpaFor resolves the HPA targeting an app: an HPA names its target
+// via App, defaulting to the HPA's own name.
+func hpaFor(c *ClusterConfig, app string) *HPASpec {
+	for _, name := range sortedHPANames(c) {
+		h := c.HPAs[name]
+		target := h.App
+		if target == "" {
+			target = name
+		}
+		if target == app {
+			return h
+		}
+	}
+	return nil
+}
+
+func sortedNodeNames(c *ClusterConfig) []string {
+	names := make([]string, 0, len(c.Nodes))
+	for n := range c.Nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedHPANames(c *ClusterConfig) []string {
+	names := make([]string, 0, len(c.HPAs))
+	for n := range c.HPAs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// canonical renders a built system plus its property to the canonical
+// textual form — the same normalization verdictd content-addresses
+// by, so byte-equal sources collapse onto one cache entry fleet-wide.
+func canonical(sys *ts.System, phi *ltl.Formula) (string, error) {
+	return smvlang.Canonical(&smvlang.Program{Sys: sys, LTLSpecs: []*ltl.Formula{phi}})
+}
