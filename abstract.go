@@ -1,0 +1,44 @@
+package verdict
+
+import (
+	"verdict/internal/abstract"
+	"verdict/internal/resilience"
+	"verdict/internal/topo"
+)
+
+// This file re-exports the symmetry-quotient abstraction layer
+// (internal/abstract): rollout instances are checked over a quotient
+// of the topology's equitable partition, with CEGAR refinement on
+// spurious counterexamples — orders of magnitude fewer state variables
+// on symmetric topologies, while Violated verdicts still carry a
+// concrete, replay-certified trace.
+
+// AbstractOptions configures an abstracted check; AbstractResult is
+// the verdict plus the refinement trajectory.
+type (
+	AbstractOptions = abstract.Options
+	AbstractResult  = abstract.Result
+)
+
+// ErrRefinementBudget is wrapped by CheckAbstract when the CEGAR loop
+// exhausts its refinement budget (DefaultRefinementBudget unless
+// AbstractOptions raises it).
+var ErrRefinementBudget = abstract.ErrRefinementBudget
+
+// DefaultRefinementBudget is the CEGAR split cap applied when
+// AbstractOptions.RefinementBudget is zero.
+const DefaultRefinementBudget = abstract.DefaultRefinementBudget
+
+// CheckAbstract verifies a rollout instance through the symmetry
+// quotient instead of the concrete state space. Holds is sound by the
+// equitable-partition argument (see DESIGN.md); Violated always
+// carries a concrete counterexample certified by independent witness
+// replay. Parameter synthesis (RolloutConfig.SynthP) is not supported.
+func CheckAbstract(cfg RolloutConfig, opts AbstractOptions) (res *AbstractResult, err error) {
+	defer resilience.RecoverTo("abstract", &err)
+	return abstract.Check(cfg, opts)
+}
+
+// TopologyByName resolves a built-in topology by generator name:
+// "test", "fattreeN" (N even), or "lb".
+func TopologyByName(name string) (*Topology, error) { return topo.ByName(name) }

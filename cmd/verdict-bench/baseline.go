@@ -3,9 +3,11 @@ package main
 // Committed benchmark trajectory for the fig6 sweep.
 //
 // `verdict-bench -baseline write` runs a reduced, CI-sized subset of
-// the Figure 6 sweep through the portfolio in both cooperative and
-// racing (-no-coop) modes and records the verdicts and timings in
-// BENCH_fig6.json, which is committed to the repository.
+// the Figure 6 sweep through the portfolio in cooperative, racing
+// (-no-coop), and legacy modes, and through the symmetry-quotient
+// abstraction (-abstract — which also covers fattree12 scale cells no
+// concrete mode can afford in CI), recording the verdicts and timings
+// in BENCH_fig6.json, which is committed to the repository.
 // `verdict-bench -baseline compare` re-runs the same subset and fails
 // (exit 1) when the trajectory regresses:
 //
@@ -44,7 +46,7 @@ import (
 )
 
 const (
-	baselineVersion = 1
+	baselineVersion = 2
 	// coopOverheadFactor bounds how much slower cooperative mode may
 	// be than racing mode within a single compare run.
 	coopOverheadFactor = 1.25
@@ -54,19 +56,26 @@ const (
 	baselineRuns  = 3 // best-of-N per cell
 )
 
-// baselineModes are the three portfolio configurations the trajectory
-// tracks: the cooperative+incremental default, the pure race
-// (-no-coop, still incremental), and the pre-incremental legacy
-// configuration (-no-coop -rebuild-bmc) kept as the "before" of the
-// speedup this file exists to defend.
-var baselineModes = []struct {
-	name    string
-	noCoop  bool
-	rebuild bool
-}{
-	{"coop", false, false},
-	{"racing", true, false},
-	{"legacy", true, true},
+// baselineMode is one tracked configuration of the sweep.
+type baselineMode struct {
+	name     string
+	noCoop   bool
+	rebuild  bool
+	abstract bool
+}
+
+// baselineModes are the four configurations the trajectory tracks:
+// the cooperative+incremental default, the pure race (-no-coop, still
+// incremental), the pre-incremental legacy configuration (-no-coop
+// -rebuild-bmc) kept as the "before" of the incremental speedup, and
+// the symmetry-quotient abstraction (-abstract), whose verdicts must
+// match the concrete modes cell for cell and which alone affords the
+// fattree12 scale cells.
+var baselineModes = []baselineMode{
+	{name: "coop"},
+	{name: "racing", noCoop: true},
+	{name: "legacy", noCoop: true, rebuild: true},
+	{name: "abstract", abstract: true},
 }
 
 type baselineEntry struct {
@@ -80,6 +89,9 @@ type baselineEntry struct {
 	BoundsShared        int64 `json:"bounds_shared,omitempty"`
 	InvariantsHandedOff int64 `json:"invariants_handed_off,omitempty"`
 	IncrementalReuses   int64 `json:"incremental_reuses,omitempty"`
+	// CEGAR trajectory for abstract-mode entries.
+	Refinements int `json:"refinements,omitempty"`
+	Spurious    int `json:"spurious,omitempty"`
 }
 
 type baselineFile struct {
@@ -99,6 +111,9 @@ type baselineCell struct {
 	topo *verdict.Topology
 	k    int
 	viol bool
+	// abstractOnly marks scale cells the concrete modes cannot afford
+	// in a CI budget; only the abstract mode measures them.
+	abstractOnly bool
 }
 
 func baselineCells() []baselineCell {
@@ -116,24 +131,36 @@ func baselineCells() []baselineCell {
 		// budget (its violation cell decides in seconds, not minutes).
 		{"fattree6", verdict.FatTree(6), 3},
 	} {
-		cells = append(cells, baselineCell{c.name + "/viol", c.topo, c.kViol, true})
+		cells = append(cells, baselineCell{name: c.name + "/viol", topo: c.topo, k: c.kViol, viol: true})
 		for k := 0; k <= 1; k++ {
-			cells = append(cells, baselineCell{fmt.Sprintf("%s/k=%d", c.name, k), c.topo, k, false})
+			cells = append(cells, baselineCell{name: fmt.Sprintf("%s/k=%d", c.name, k), topo: c.topo, k: k})
 		}
 	}
+	// The abstraction's reason to exist: fattree12 (180 switches, 864
+	// links — the paper's largest instance) decides in seconds over the
+	// quotient, where the concrete modes would blow the CI budget. The
+	// violation cell's trace is concretized and replay-certified, so
+	// these points carry the same evidential weight as the small cells.
+	ft12 := verdict.FatTree(12)
+	cells = append(cells,
+		baselineCell{name: "fattree12/viol", topo: ft12, k: 6, viol: true, abstractOnly: true},
+		baselineCell{name: "fattree12/k=1", topo: ft12, k: 1, abstractOnly: true},
+	)
 	return cells
 }
 
-// runBaselineCell checks one cell through the portfolio in the given
-// mode and returns its entry, timed best-of-baselineRuns.
-func runBaselineCell(cell baselineCell, mode struct {
-	name    string
-	noCoop  bool
-	rebuild bool
-}) (baselineEntry, error) {
-	m, err := verdict.BuildRollout(verdict.RolloutConfig{Topo: cell.topo, P: 1, K: cell.k, M: 1})
-	if err != nil {
-		return baselineEntry{}, err
+// runBaselineCell checks one cell in the given mode — through the
+// portfolio, or through the symmetry quotient for the abstract mode —
+// and returns its entry, timed best-of-baselineRuns.
+func runBaselineCell(cell baselineCell, mode baselineMode) (baselineEntry, error) {
+	cfg := verdict.RolloutConfig{Topo: cell.topo, P: 1, K: cell.k, M: 1}
+	var m *verdict.RolloutModel
+	if !mode.abstract {
+		var err error
+		m, err = verdict.BuildRollout(cfg)
+		if err != nil {
+			return baselineEntry{}, err
+		}
 	}
 	e := baselineEntry{Case: cell.name, Mode: mode.name}
 	// One untimed warmup so no mode pays first-run costs (heap growth,
@@ -142,9 +169,20 @@ func runBaselineCell(cell baselineCell, mode struct {
 		opts := verdict.Options{MaxDepth: 25, Timeout: 2 * time.Minute,
 			NoCooperation: mode.noCoop, RebuildBMC: mode.rebuild}
 		start := time.Now()
-		res, err := verdict.CheckPortfolio(m.Sys, m.Property, opts)
-		if err != nil {
-			return baselineEntry{}, fmt.Errorf("%s (%s): %w", cell.name, mode.name, err)
+		var res *verdict.Result
+		var refinements, spurious int
+		if mode.abstract {
+			ares, err := verdict.CheckAbstract(cfg, verdict.AbstractOptions{MC: opts})
+			if err != nil {
+				return baselineEntry{}, fmt.Errorf("%s (%s): %w", cell.name, mode.name, err)
+			}
+			res, refinements, spurious = ares.Result, ares.Refinements, ares.Spurious
+		} else {
+			var err error
+			res, err = verdict.CheckPortfolio(m.Sys, m.Property, opts)
+			if err != nil {
+				return baselineEntry{}, fmt.Errorf("%s (%s): %w", cell.name, mode.name, err)
+			}
 		}
 		el := time.Since(start)
 		want := verdict.Holds
@@ -160,9 +198,11 @@ func runBaselineCell(cell baselineCell, mode struct {
 		if run == 0 || el.Nanoseconds() < e.ElapsedNS {
 			e.ElapsedNS = el.Nanoseconds()
 			e.Engine = res.Engine
+			e.Refinements = refinements
+			e.Spurious = spurious
 		}
 		e.Status = res.Status.String()
-		if !mode.noCoop && res.Stats != nil {
+		if !mode.abstract && !mode.noCoop && res.Stats != nil {
 			e.BoundsShared = res.Stats.BoundsShared
 			e.InvariantsHandedOff = res.Stats.InvariantsHandedOff
 			e.IncrementalReuses = res.Stats.IncrementalReuses
@@ -176,7 +216,8 @@ func runBaselineSweep(tolerance float64) (*baselineFile, error) {
 	bf := &baselineFile{
 		Version: baselineVersion,
 		Note: fmt.Sprintf("fig6 reduced sweep via the portfolio in coop (default), racing (-no-coop), "+
-			"and legacy (-no-coop -rebuild-bmc, pre-incremental) modes; regenerate with "+
+			"legacy (-no-coop -rebuild-bmc, pre-incremental), and abstract (symmetry quotient + CEGAR, "+
+			"including the fattree12 scale cells only it can afford) modes; regenerate with "+
 			"`make bench-baseline`; compare tolerates %gx total-time drift (CI hardware varies) "+
 			"but zero verdict drift, and requires coop <= racing * %g and coop <= legacy within a run",
 			tolerance, coopOverheadFactor),
@@ -185,6 +226,9 @@ func runBaselineSweep(tolerance float64) (*baselineFile, error) {
 	}
 	for _, cell := range baselineCells() {
 		for _, mode := range baselineModes {
+			if cell.abstractOnly && !mode.abstract {
+				continue
+			}
 			e, err := runBaselineCell(cell, mode)
 			if err != nil {
 				return nil, err
@@ -224,10 +268,11 @@ func runBaseline(mode, path string, tolerance float64) {
 		if err := writeBaselineFile(path, bf); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("baseline written to %s: coop %v, racing %v, legacy %v\n", path,
+		fmt.Printf("baseline written to %s: coop %v, racing %v, legacy %v, abstract %v\n", path,
 			time.Duration(bf.Totals["coop"]).Round(time.Millisecond),
 			time.Duration(bf.Totals["racing"]).Round(time.Millisecond),
-			time.Duration(bf.Totals["legacy"]).Round(time.Millisecond))
+			time.Duration(bf.Totals["legacy"]).Round(time.Millisecond),
+			time.Duration(bf.Totals["abstract"]).Round(time.Millisecond))
 	case "compare":
 		data, err := os.ReadFile(path)
 		if err != nil {

@@ -50,6 +50,7 @@ func main() {
 		ckpt     = flag.String("checkpoint", "", "fig6: persist each completed sweep cell to this JSON file, so a killed run can be resumed")
 		resume   = flag.Bool("resume", false, "fig6: skip cells already recorded in the -checkpoint file, replaying their stored rows")
 		validate = flag.Bool("validate", false, "independently validate every counterexample and proof certificate (fig5, lbecmp, fig6); witness status joins the output, overhead joins the timings")
+		abstr    = flag.Bool("abstract", false, "fig6: verify every cell over the symmetry quotient with CEGAR refinement instead of the concrete state space — extends the sweep far past fattree12 (try -abstract -max-fattree 16); violations are concretized and certified by replay")
 		rebuild  = flag.Bool("rebuild-bmc", false, "force per-depth re-encoding in BMC instead of incremental solver reuse (reproduces the pre-incremental timings; for A/B measurement only)")
 		baseline = flag.String("baseline", "", "benchmark trajectory gate: 'write' records the reduced fig6 sweep (coop and racing portfolio) to -baseline-file, 'compare' re-runs it and exits 1 on verdict drift, total-time regression beyond -baseline-tolerance, or cooperative mode slower than racing")
 		baseFile = flag.String("baseline-file", "BENCH_fig6.json", "committed baseline path for -baseline")
@@ -81,7 +82,7 @@ func main() {
 		"fig5":   fig5,
 		"synth":  synth,
 		"lbecmp": lbecmp,
-		"fig6":   func() { fig6(ctx, *timeout, *maxK, *engine, *workers, *stats, *ckpt, *resume) },
+		"fig6":   func() { fig6(ctx, *timeout, *maxK, *engine, *workers, *stats, *ckpt, *resume, *abstr) },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"table1", "fig2", "fig5", "synth", "lbecmp", "fig6"} {
@@ -234,7 +235,13 @@ func lbecmp() {
 // killed mid-sweep restarts with -resume, which replays the recorded
 // rows verbatim and computes only the missing cells — the merged table
 // is identical to an uninterrupted run's.
-func fig6(ctx context.Context, budget time.Duration, maxFatTree int, engine string, workers int, stats bool, ckptPath string, resume bool) {
+// With -abstract every cell runs through the symmetry quotient
+// (verdict.CheckAbstract): the quotient is checked by the portfolio,
+// spurious counterexamples drive CEGAR splits, and violated cells
+// report a concrete replay-certified trace. Cell text gains the
+// refinement count (rN) so the table shows how much of the partition
+// survived.
+func fig6(ctx context.Context, budget time.Duration, maxFatTree int, engine string, workers int, stats bool, ckptPath string, resume bool, abstract bool) {
 	type tc struct {
 		name  string
 		topo  *verdict.Topology
@@ -287,6 +294,30 @@ func fig6(ctx context.Context, budget time.Duration, maxFatTree int, engine stri
 			return nil
 		}
 		opts := verdict.Options{Timeout: budget, Context: ctx, ValidateWitness: validateWitness, RebuildBMC: rebuildBMC}
+		if abstract {
+			kk := c.kViol
+			if slot > 0 {
+				kk = slot - 1
+			}
+			opts.MaxDepth = 30
+			start := time.Now()
+			ares, err := verdict.CheckAbstract(
+				verdict.RolloutConfig{Topo: c.topo, P: 1, K: kk, M: 1},
+				verdict.AbstractOptions{MC: opts})
+			if err != nil {
+				return err
+			}
+			el := time.Since(start).Round(time.Millisecond)
+			if ares.Status == verdict.Unknown {
+				return done(cellOut{fmt.Sprintf("k=%d timeout(>%v)", kk, budget), ares.Stats.String()})
+			}
+			prefix := fmt.Sprintf("k=%d %v", kk, el)
+			if slot == 0 {
+				prefix = fmt.Sprintf("%v k=%d", el, kk)
+			}
+			return done(cellOut{fmt.Sprintf("%s %s r%d%s", prefix, ares.Status, ares.Refinements, witnessSuffix(ares.Result)),
+				ares.Stats.String()})
+		}
 		if slot == 0 {
 			m, err := verdict.BuildRollout(verdict.RolloutConfig{Topo: c.topo, P: 1, K: c.kViol, M: 1})
 			if err != nil {

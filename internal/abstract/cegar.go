@@ -1,0 +1,175 @@
+package abstract
+
+import (
+	"errors"
+	"fmt"
+
+	"verdict/internal/ltl"
+	"verdict/internal/mc"
+	"verdict/internal/models/rollout"
+	"verdict/internal/ts"
+	"verdict/internal/witness"
+)
+
+// DefaultRefinementBudget bounds how many class splits Check will
+// apply before giving up. Refinement terminates at the all-singleton
+// partition (where no counterexample can be spurious), so the budget
+// exists to bound *time*, not to ensure termination: each split grows
+// the quotient, and a topology with no usable symmetry is better
+// checked concretely.
+const DefaultRefinementBudget = 64
+
+// ErrRefinementBudget is wrapped by Check when the spurious-trace
+// refinement loop exhausts Options.RefinementBudget.
+var ErrRefinementBudget = errors.New("abstract: refinement budget exhausted")
+
+// CheckFunc verifies one quotient instance; it exists so the
+// conformance harness (and verdictd's retry policy) can route quotient
+// checks through a specific engine instead of the default portfolio.
+type CheckFunc func(sys *ts.System, phi *ltl.Formula, opts mc.Options) (*mc.Result, error)
+
+// Options configures an abstracted check.
+type Options struct {
+	// MC is passed to every quotient verification and is the place to
+	// set timeouts, budgets, and witness validation.
+	MC mc.Options
+	// RefinementBudget caps CEGAR iterations (0 selects
+	// DefaultRefinementBudget).
+	RefinementBudget int
+	// Check verifies each quotient (nil selects mc.Portfolio).
+	Check CheckFunc
+	// Log, when non-nil, receives one line per CEGAR iteration.
+	Log func(format string, args ...any)
+}
+
+// Result is an abstracted verdict: the final engine result (with a
+// concrete, replay-certified trace when Violated) plus the CEGAR
+// trajectory that produced it.
+type Result struct {
+	*mc.Result
+	// Refinements is the number of class splits applied; Spurious the
+	// number of abstract counterexamples that failed concretization
+	// or replay (Spurious == Refinements unless the budget ran out).
+	Refinements int
+	Spurious    int
+	// Classes / LinkClasses describe the final partition.
+	Classes     int
+	LinkClasses int
+	// QuotientVars vs ConcreteVars is the state-compression headline.
+	QuotientVars int
+	ConcreteVars int
+	// CertifiedReplay is set when the verdict is Violated and the
+	// reported trace replayed against the concrete system through the
+	// independent witness validator.
+	CertifiedReplay bool
+}
+
+// Check verifies the rollout property over cfg.Topo through the
+// symmetry quotient, refining on spurious counterexamples. Holds and
+// Unknown verdicts are the quotient's own (Holds is sound by the
+// equitable-partition argument in DESIGN.md); Violated verdicts always
+// carry a concrete trace that passed independent witness replay.
+func Check(cfg rollout.Config, opts Options) (*Result, error) {
+	budget := opts.RefinementBudget
+	if budget == 0 {
+		budget = DefaultRefinementBudget
+	}
+	check := opts.Check
+	if check == nil {
+		check = mc.Portfolio
+	}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	// The concrete model is the replay referee for every candidate
+	// counterexample; build it once.
+	cm, err := rollout.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	part := NewPartition(cfg.Topo)
+	res := &Result{ConcreteVars: len(cm.Sys.Vars())}
+	for {
+		q, err := BuildQuotient(cfg, part)
+		if err != nil {
+			return nil, err
+		}
+		res.Classes = len(part.Classes)
+		res.LinkClasses = len(part.LinkClasses)
+		res.QuotientVars = len(q.Sys.Vars())
+		r, err := check(q.Sys, q.Property, opts.MC)
+		if err != nil {
+			return nil, fmt.Errorf("abstract: quotient check: %w", err)
+		}
+		res.Result = r
+		if r.Status != mc.Violated {
+			logf("abstract: %s on %d-class quotient (%d vars vs %d concrete) after %d refinements",
+				r.Status, res.Classes, res.QuotientVars, res.ConcreteVars, res.Refinements)
+			r.Note = join(r.Note, fmt.Sprintf("abstract: quotient of %d classes (%d vars vs %d concrete), %d refinements, %d spurious",
+				res.Classes, res.QuotientVars, res.ConcreteVars, res.Refinements, res.Spurious))
+			return res, nil
+		}
+
+		ct, hint, cerr := concretize(cfg, q, r.Trace)
+		if cerr != nil {
+			return nil, fmt.Errorf("abstract: concretization: %w", cerr)
+		}
+		if ct != nil {
+			if verr := witness.Validate(cm.Sys, cm.Property, ct); verr == nil {
+				logf("abstract: violation concretized (%d states) and replayed after %d refinements",
+					ct.Len(), res.Refinements)
+				r.Trace = ct
+				r.Witness = witness.Validated
+				r.Note = join(r.Note, fmt.Sprintf("abstract: counterexample concretized onto %s (%d states) and certified by concrete replay, %d refinements, %d spurious",
+					cfg.Topo.Name, ct.Len(), res.Refinements, res.Spurious))
+				res.CertifiedReplay = true
+				return res, nil
+			} else {
+				// The placement looked violating but the independent
+				// validator disagrees — treat exactly like a spurious
+				// trace and refine.
+				logf("abstract: concretized trace failed replay (%v), refining", verr)
+				hint = fallbackHint(part)
+				if hint == nil {
+					return nil, fmt.Errorf("abstract: replay failed on singleton partition: %v", verr)
+				}
+			}
+		}
+		res.Spurious++
+		if res.Refinements >= budget {
+			return res, fmt.Errorf("%w: %d refinements on %s (%d classes, %d spurious traces); raise the budget or check concretely",
+				ErrRefinementBudget, res.Refinements, cfg.Topo.Name, res.Classes, res.Spurious)
+		}
+		logf("abstract: spurious counterexample (%s), splitting %s",
+			hint.reason, cfg.Topo.Nodes[hint.victim].Name)
+		part = part.Split(hint.victim)
+		res.Refinements++
+	}
+}
+
+// fallbackHint splits the largest non-singleton class; nil when the
+// partition is all singletons.
+func fallbackHint(part *Partition) *refineHint {
+	best := -1
+	sz := 1
+	for _, c := range part.Classes {
+		if c.Size() > sz {
+			sz = c.Size()
+			best = c.Index
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return &refineHint{victim: part.Classes[best].Members[0], reason: "fallback split of largest class"}
+}
+
+func join(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "; " + b
+}

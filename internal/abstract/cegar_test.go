@@ -1,0 +1,135 @@
+package abstract
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"verdict/internal/mc"
+	"verdict/internal/models/rollout"
+	"verdict/internal/topo"
+	"verdict/internal/witness"
+)
+
+func testOpts() Options {
+	return Options{MC: mc.Options{
+		MaxDepth:        20,
+		Timeout:         60 * time.Second,
+		ValidateWitness: true,
+	}}
+}
+
+// The paper's Figure 5 workload through the quotient: on the test
+// topology with p=1, m=1 the property holds for k=1 and is violated
+// for k=2, and the abstracted checker must agree on both — with the
+// violation certified by concrete replay.
+func TestCheckTestTopology(t *testing.T) {
+	for _, tc := range []struct {
+		k    int
+		want mc.Status
+	}{
+		{1, mc.Holds},
+		{2, mc.Violated},
+	} {
+		cfg := rollout.Config{Topo: topo.Test(), P: 1, K: tc.k, M: 1}
+		res, err := Check(cfg, testOpts())
+		if err != nil {
+			t.Fatalf("k=%d: %v", tc.k, err)
+		}
+		if res.Status != tc.want {
+			t.Fatalf("k=%d: got %s, want %s (note: %s)", tc.k, res.Status, tc.want, res.Note)
+		}
+		if tc.want == mc.Violated {
+			if !res.CertifiedReplay {
+				t.Fatalf("k=%d: violation not certified by replay", tc.k)
+			}
+			cm, err := rollout.Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := witness.Validate(cm.Sys, cm.Property, res.Trace); err != nil {
+				t.Fatalf("k=%d: reported trace does not replay: %v", tc.k, err)
+			}
+		}
+		t.Logf("k=%d: %s after %d refinements (%d spurious), %d classes, %d vs %d vars",
+			tc.k, res.Status, res.Refinements, res.Spurious, res.Classes,
+			res.QuotientVars, res.ConcreteVars)
+	}
+}
+
+// fattree4 with p=1, m=1: concrete verdicts are holds for k=1 and
+// violated at the critical k=2 (the frontend has two uplinks).
+func TestCheckFatTree4(t *testing.T) {
+	for _, tc := range []struct {
+		k    int
+		want mc.Status
+	}{
+		{1, mc.Holds},
+		{2, mc.Violated},
+	} {
+		cfg := rollout.Config{Topo: topo.FatTree(4), P: 1, K: tc.k, M: 1}
+		res, err := Check(cfg, testOpts())
+		if err != nil {
+			t.Fatalf("k=%d: %v", tc.k, err)
+		}
+		if res.Status != tc.want {
+			t.Fatalf("k=%d: got %s, want %s (note: %s)", tc.k, res.Status, tc.want, res.Note)
+		}
+		if tc.want == mc.Violated && !res.CertifiedReplay {
+			t.Fatalf("k=%d: violation not certified by replay", tc.k)
+		}
+		t.Logf("k=%d: %s after %d refinements (%d spurious), %d classes",
+			tc.k, res.Status, res.Refinements, res.Spurious, res.Classes)
+	}
+}
+
+// The refinement budget must fail cleanly, identifying the budget and
+// partition state, when it is too small. The stub engine makes every
+// counterexample spurious so exhaustion does not depend on which trace
+// a real engine happens to find first.
+func TestRefinementBudgetExhausted(t *testing.T) {
+	cfg := rollout.Config{Topo: topo.FatTree(4), P: 1, K: 2, M: 1}
+	opts := testOpts()
+	opts.RefinementBudget = 1
+	opts.Check = alwaysSpurious
+	res, err := Check(cfg, opts)
+	if !errors.Is(err, ErrRefinementBudget) {
+		t.Fatalf("got err=%v res=%+v, want ErrRefinementBudget", err, res)
+	}
+}
+
+func TestPartitionFatTreeClasses(t *testing.T) {
+	// Every fat tree collapses to 6 classes: frontend, pod-0 services,
+	// other services, pod-0 aggs, other aggs, cores.
+	for _, k := range []int{4, 6, 8} {
+		p := NewPartition(topo.FatTree(k))
+		if len(p.Classes) != 6 {
+			t.Fatalf("fattree%d: got %d classes (%s), want 6", k, len(p.Classes), p)
+		}
+		if len(p.LinkClasses) != 5 {
+			t.Fatalf("fattree%d: got %d link classes (%s), want 5", k, len(p.LinkClasses), p)
+		}
+	}
+}
+
+func TestSplitRefinesDeterministically(t *testing.T) {
+	g := topo.FatTree(4)
+	p := NewPartition(g)
+	victim := -1
+	for _, c := range p.Classes {
+		if c.Role == "agg" && c.Size() > 1 {
+			victim = c.Members[0]
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no splittable agg class")
+	}
+	q1, q2 := p.Split(victim), p.Split(victim)
+	if q1.String() != q2.String() {
+		t.Fatalf("split not deterministic:\n%s\n%s", q1, q2)
+	}
+	if len(q1.Classes) <= len(p.Classes) {
+		t.Fatalf("split did not refine: %s -> %s", p, q1)
+	}
+}

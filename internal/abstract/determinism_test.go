@@ -1,0 +1,136 @@
+package abstract
+
+// Quotient construction must be a pure function of the topology's
+// *content*: repeated builds, and builds from graphs whose nodes and
+// links were inserted in a different order, must render byte-identical
+// SMV programs. verdictd's cache is content-addressed over the
+// canonical render, so any nondeterminism here (map iteration order,
+// insertion-order-dependent class names) would silently turn cache
+// hits into misses — or worse, collide distinct models.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"verdict/internal/models/rollout"
+	"verdict/internal/topo"
+)
+
+// shuffled rebuilds g with nodes and links inserted in a random order.
+// Node IDs change; names and adjacency do not.
+func shuffled(g *topo.Graph, r *rand.Rand) *topo.Graph {
+	out := topo.New(g.Name)
+	id := make(map[string]int, len(g.Nodes))
+	for _, i := range r.Perm(len(g.Nodes)) {
+		n := g.Nodes[i]
+		id[n.Name] = out.AddNode(n.Name, n.Role)
+	}
+	for _, i := range r.Perm(len(g.Links)) {
+		l := g.Links[i]
+		out.AddLink(id[g.Nodes[l.A].Name], id[g.Nodes[l.B].Name])
+	}
+	return out
+}
+
+func canonicalOf(t *testing.T, cfg rollout.Config, part *Partition) string {
+	t.Helper()
+	q, err := BuildQuotient(cfg, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q.Canonical()
+}
+
+func TestQuotientDeterministic(t *testing.T) {
+	topos := []*topo.Graph{topo.Test(), topo.FatTree(4), topo.FatTree(8), podsWithBackdoor(), crossedRelays()}
+	r := rand.New(rand.NewSource(7))
+	for _, g := range topos {
+		cfg := rollout.Config{Topo: g, P: 1, K: 2, M: 1}
+		ref := canonicalOf(t, cfg, NewPartition(g))
+		if ref == "" {
+			t.Fatalf("%s: empty canonical render", g.Name)
+		}
+
+		// Same graph, repeated builds: map iteration order must not leak.
+		for i := 0; i < 3; i++ {
+			if got := canonicalOf(t, cfg, NewPartition(g)); got != ref {
+				t.Fatalf("%s: rebuild %d changed the canonical render", g.Name, i)
+			}
+		}
+
+		// Same content, permuted insertion order: class names are the
+		// lexicographically smallest member, so node IDs must not leak.
+		for i := 0; i < 3; i++ {
+			sg := shuffled(g, r)
+			scfg := cfg
+			scfg.Topo = sg
+			if got := canonicalOf(t, scfg, NewPartition(sg)); got != ref {
+				t.Fatalf("%s: insertion-order permutation %d changed the canonical render", g.Name, i)
+			}
+		}
+	}
+}
+
+// Splits are part of the CEGAR loop, so refined quotients must be as
+// deterministic as initial ones: splitting the same-named node in two
+// differently-ordered copies of a graph must agree byte-for-byte.
+func TestRefinedQuotientDeterministic(t *testing.T) {
+	g := topo.FatTree(8)
+	r := rand.New(rand.NewSource(11))
+	cfg := rollout.Config{Topo: g, P: 1, K: 2, M: 1}
+
+	victim := ""
+	for _, c := range NewPartition(g).Classes {
+		if c.Size() > 1 {
+			victim = g.Nodes[c.Members[0]].Name
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no splittable class on fattree8")
+	}
+	split := func(g *topo.Graph) *Partition {
+		for id, n := range g.Nodes {
+			if n.Name == victim {
+				return NewPartition(g).Split(id)
+			}
+		}
+		t.Fatalf("node %s missing after shuffle", victim)
+		return nil
+	}
+
+	ref := canonicalOf(t, cfg, split(g))
+	for i := 0; i < 3; i++ {
+		sg := shuffled(g, r)
+		scfg := cfg
+		scfg.Topo = sg
+		if got := canonicalOf(t, scfg, split(sg)); got != ref {
+			t.Fatalf("refined render differs on insertion-order permutation %d", i)
+		}
+	}
+	if initial := canonicalOf(t, cfg, NewPartition(g)); initial == ref {
+		t.Fatal("split did not change the quotient — refinement test is vacuous")
+	}
+}
+
+// Distinct configurations must never collide: the canonical render is
+// the cache key, so it has to separate p/k/m and the topology.
+func TestCanonicalSeparatesConfigs(t *testing.T) {
+	seen := map[string]string{}
+	for _, g := range []*topo.Graph{topo.Test(), topo.FatTree(4)} {
+		for _, p := range []int{1, 2} {
+			for _, k := range []int{0, 2} {
+				for _, m := range []int{1, 2} {
+					cfg := rollout.Config{Topo: g, P: p, K: k, M: m}
+					key := canonicalOf(t, cfg, NewPartition(g))
+					what := fmt.Sprintf("%s p=%d k=%d m=%d", g.Name, p, k, m)
+					if prev, dup := seen[key]; dup {
+						t.Fatalf("canonical render collision: %s vs %s", prev, what)
+					}
+					seen[key] = what
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package abstract implements topology abstraction for the rollout
+// model: symmetric node groups (fat-tree pods, core banks, service
+// racks) are collapsed into equivalence classes by color refinement,
+// the rollout dynamics are re-expressed over per-class counters
+// ("counter abstraction"), and the resulting quotient system — orders
+// of magnitude smaller than the concrete one — is checked by the
+// ordinary engine portfolio. A CEGAR loop makes the answers trustable:
+// abstract counterexamples are concretized onto the real topology and
+// replayed through the independent witness validator; a trace that
+// fails replay is spurious and triggers a class split, a trace that
+// replays is a certified concrete counterexample.
+//
+// Soundness rests on the partition being *equitable*: every node of
+// class C has the same number of links into class D, for every pair
+// (C, D). Color refinement (1-WL) started from node roles computes the
+// coarsest such partition, and every refinement step re-stabilizes it,
+// so the per-class link-degree counts the quotient encoding relies on
+// are well defined throughout.
+package abstract
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"verdict/internal/topo"
+)
+
+// Class is one equivalence class of nodes. Its name — the
+// lexicographically smallest member name — is stable across runs and
+// insertion orders, and becomes part of quotient variable names, so
+// equal topologies always render byte-identical quotients.
+type Class struct {
+	Index   int
+	Name    string
+	Role    string
+	Members []int // node IDs, sorted by node name
+}
+
+// Size returns the number of member nodes.
+func (c *Class) Size() int { return len(c.Members) }
+
+// LinkClass groups all concrete links joining a fixed (unordered) pair
+// of node classes. DegAB is the number of class-B links each member of
+// class A has (well defined by equitability), and symmetrically DegBA.
+// For an intra-class bundle (A == B) DegAB == DegBA counts the
+// intra-class links per member.
+type LinkClass struct {
+	Index int
+	Name  string
+	A, B  int   // class indices, Classes[A].Name <= Classes[B].Name
+	Links []int // link IDs, sorted
+	DegAB int   // links into B per member of A
+	DegBA int   // links into A per member of B
+}
+
+// Intra reports whether the bundle joins a class to itself.
+func (lc *LinkClass) Intra() bool { return lc.A == lc.B }
+
+// Partition is an equitable partition of a topology, plus the split
+// seeds that CEGAR has applied so far. It is immutable once built;
+// Split returns a new Partition.
+type Partition struct {
+	G           *topo.Graph
+	Classes     []*Class
+	LinkClasses []*LinkClass
+
+	classOf     []int          // node ID -> class index
+	linkClassOf []int          // link ID -> link class index
+	seeds       map[int]string // node ID -> extra split marker ("" = none)
+	splits      int
+}
+
+// NewPartition computes the coarsest equitable partition of g,
+// starting from node roles (so the single frontend is always its own
+// class and classes never mix roles).
+func NewPartition(g *topo.Graph) *Partition {
+	p := &Partition{G: g, seeds: make(map[int]string)}
+	p.refine()
+	return p
+}
+
+// ClassOf returns the class index of a node.
+func (p *Partition) ClassOf(node int) int { return p.classOf[node] }
+
+// LinkClassOf returns the link-class index of a link.
+func (p *Partition) LinkClassOf(link int) int { return p.linkClassOf[link] }
+
+// Splits returns how many Split refinements produced this partition.
+func (p *Partition) Splits() int { return p.splits }
+
+// Singleton reports whether every class has exactly one member — the
+// point where the quotient is verdict-equivalent to the concrete
+// system and no counterexample can be spurious.
+func (p *Partition) Singleton() bool { return len(p.Classes) == len(p.G.Nodes) }
+
+// Split returns a refined partition in which the given node is forced
+// into its own class (and the whole partition is re-stabilized to
+// equitability). Splitting a node that is already a singleton returns
+// a partition with the same classes.
+func (p *Partition) Split(node int) *Partition {
+	q := &Partition{G: p.G, seeds: make(map[int]string, len(p.seeds)+1), splits: p.splits + 1}
+	for n, s := range p.seeds {
+		q.seeds[n] = s
+	}
+	q.seeds[node] = fmt.Sprintf("%s#split%d", q.seeds[node], q.splits)
+	q.refine()
+	return q
+}
+
+// refine runs color refinement to a fixpoint. Determinism: colors are
+// renumbered each round by sorting their string signatures, so the
+// result depends only on the graph structure, node names, and seeds —
+// never on map iteration or insertion order.
+func (p *Partition) refine() {
+	g := p.G
+	n := len(g.Nodes)
+	color := make([]int, n)
+	sig := make([]string, n)
+	for i, nd := range g.Nodes {
+		sig[i] = nd.Role + "\x00" + p.seeds[nd.ID]
+	}
+	classes := renumber(sig, color)
+	for {
+		for i := range g.Nodes {
+			counts := make(map[int]int)
+			for _, l := range g.LinksOf(i) {
+				counts[color[g.Other(l, i)]]++
+			}
+			keys := make([]int, 0, len(counts))
+			for c := range counts {
+				keys = append(keys, c)
+			}
+			sort.Ints(keys)
+			var b strings.Builder
+			fmt.Fprintf(&b, "%d", color[i])
+			for _, c := range keys {
+				fmt.Fprintf(&b, "|%d:%d", c, counts[c])
+			}
+			sig[i] = b.String()
+		}
+		next := renumber(sig, color)
+		if next == classes {
+			break
+		}
+		classes = next
+	}
+	p.build(color, classes)
+}
+
+// renumber canonically maps signatures to dense color indices (sorted
+// signature order) and writes them into color, returning the count.
+func renumber(sig []string, color []int) int {
+	uniq := make(map[string]int, len(sig))
+	for _, s := range sig {
+		uniq[s] = 0
+	}
+	keys := make([]string, 0, len(uniq))
+	for s := range uniq {
+		keys = append(keys, s)
+	}
+	sort.Strings(keys)
+	for i, s := range keys {
+		uniq[s] = i
+	}
+	for i, s := range sig {
+		color[i] = uniq[s]
+	}
+	return len(keys)
+}
+
+// build materializes Classes and LinkClasses from a stable coloring,
+// ordering classes by minimum member name and link classes by name.
+func (p *Partition) build(color []int, nColors int) {
+	g := p.G
+	members := make([][]int, nColors)
+	for _, nd := range g.Nodes {
+		members[color[nd.ID]] = append(members[color[nd.ID]], nd.ID)
+	}
+	classes := make([]*Class, 0, nColors)
+	for _, m := range members {
+		sort.Slice(m, func(i, j int) bool { return g.Nodes[m[i]].Name < g.Nodes[m[j]].Name })
+		classes = append(classes, &Class{
+			Name:    g.Nodes[m[0]].Name,
+			Role:    g.Nodes[m[0]].Role,
+			Members: m,
+		})
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i].Name < classes[j].Name })
+	p.Classes = classes
+	p.classOf = make([]int, len(g.Nodes))
+	for i, c := range classes {
+		c.Index = i
+		for _, m := range c.Members {
+			p.classOf[m] = i
+		}
+	}
+
+	byPair := make(map[[2]int]*LinkClass)
+	for _, l := range g.Links {
+		a, b := p.classOf[l.A], p.classOf[l.B]
+		if classes[b].Name < classes[a].Name {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		lc := byPair[key]
+		if lc == nil {
+			lc = &LinkClass{
+				Name: classes[a].Name + "__" + classes[b].Name,
+				A:    a, B: b,
+			}
+			byPair[key] = lc
+		}
+		lc.Links = append(lc.Links, l.ID)
+	}
+	lcs := make([]*LinkClass, 0, len(byPair))
+	for _, lc := range byPair {
+		sort.Ints(lc.Links)
+		lcs = append(lcs, lc)
+	}
+	sort.Slice(lcs, func(i, j int) bool { return lcs[i].Name < lcs[j].Name })
+	p.LinkClasses = lcs
+	p.linkClassOf = make([]int, len(g.Links))
+	for i, lc := range lcs {
+		lc.Index = i
+		for _, l := range lc.Links {
+			p.linkClassOf[l] = i
+		}
+		// Equitability guarantees these divide evenly; a remainder
+		// would mean the refinement fixpoint is broken, which voids
+		// the quotient's soundness, so fail loudly.
+		if lc.Intra() {
+			sz := classes[lc.A].Size()
+			if (2*len(lc.Links))%sz != 0 {
+				panic(fmt.Sprintf("abstract: partition not equitable at %s", lc.Name))
+			}
+			lc.DegAB = 2 * len(lc.Links) / sz
+			lc.DegBA = lc.DegAB
+			continue
+		}
+		szA, szB := classes[lc.A].Size(), classes[lc.B].Size()
+		if len(lc.Links)%szA != 0 || len(lc.Links)%szB != 0 {
+			panic(fmt.Sprintf("abstract: partition not equitable at %s", lc.Name))
+		}
+		lc.DegAB = len(lc.Links) / szA
+		lc.DegBA = len(lc.Links) / szB
+	}
+}
+
+// Neighbors returns, for class c, the (neighbor class, link class)
+// pairs of every inter-class bundle incident to c, in link-class
+// order. Intra-class bundles are excluded: the connectivity encoding
+// propagates reachability only between distinct classes.
+func (p *Partition) Neighbors(c int) []struct {
+	Class     int
+	LinkClass *LinkClass
+	Deg       int // links into the neighbor per member of c
+} {
+	var out []struct {
+		Class     int
+		LinkClass *LinkClass
+		Deg       int
+	}
+	for _, lc := range p.LinkClasses {
+		if lc.Intra() {
+			continue
+		}
+		switch c {
+		case lc.A:
+			out = append(out, struct {
+				Class     int
+				LinkClass *LinkClass
+				Deg       int
+			}{lc.B, lc, lc.DegAB})
+		case lc.B:
+			out = append(out, struct {
+				Class     int
+				LinkClass *LinkClass
+				Deg       int
+			}{lc.A, lc, lc.DegBA})
+		}
+	}
+	return out
+}
+
+// String renders a compact summary like
+// "6 classes: fe(1) agg0_0(8) ... / 5 link classes".
+func (p *Partition) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d classes:", len(p.Classes))
+	for _, c := range p.Classes {
+		fmt.Fprintf(&b, " %s(%d)", c.Name, c.Size())
+	}
+	fmt.Fprintf(&b, " / %d link classes", len(p.LinkClasses))
+	return b.String()
+}

@@ -1,0 +1,226 @@
+package abstract
+
+import (
+	"fmt"
+
+	"verdict/internal/expr"
+	"verdict/internal/ltl"
+	"verdict/internal/models/rollout"
+	"verdict/internal/smvlang"
+	"verdict/internal/ts"
+)
+
+// Quotient is the counter-abstracted rollout system over an equitable
+// partition. Instead of per-node phases, per-link failure bits, and
+// per-node distances, it tracks per-class counters:
+//
+//   - nUpd_C / nDone_C — how many members of service class C are
+//     updating / done (pending is the derived remainder), with the
+//     controller's rate limit Σ next(nUpd) <= p and the phase order
+//     preserved as count monotonicity;
+//   - nFail_L — how many links of bundle L have failed, with the
+//     cardinality constraint Σ next(nFail) <= k ("up to k failures")
+//     replacing 2^|links| failure bits;
+//   - lvl_C — a rank certificate for class-level reachability. INVAR
+//     constraints force lvl to encode exactly the least fixpoint of
+//     "class C is connected to the frontend through link bundles with
+//     spare capacity and classes with no member updating": a class is
+//     connected (lvl < sentinel) iff it has a strictly-lower-ranked
+//     connected neighbor reachable over a bundle with fewer failures
+//     than each member's per-bundle degree; it is disconnected
+//     (lvl = sentinel) only if no neighbor offers such support. The
+//     strict rank descent rules out self-supporting cycles, so the
+//     connectivity relation is forced, not chosen.
+//
+// The quotient property drops the concrete model's `converged` guard:
+// quotient states stand for converged snapshots, and every concrete
+// step's count projection is an admissible quotient step, so
+// G(qavail >= m) on the quotient implies G(converged -> available >= m)
+// on the concrete system (the class-connectivity encoding
+// under-approximates per-node reachability — see DESIGN.md). The
+// converse direction is not guaranteed: quotient counterexamples may
+// be spurious, which is what the CEGAR loop in Check repairs.
+type Quotient struct {
+	Part     *Partition
+	Sys      *ts.System
+	Property *ltl.Formula
+	// QAvail is the DEFINE counting members of connected service
+	// classes that are not updating.
+	QAvail *expr.Expr
+
+	NUpd  map[int]*expr.Var // service class index -> updating counter
+	NDone map[int]*expr.Var // service class index -> done counter
+	NFail map[int]*expr.Var // link class index -> failure counter
+	Lvl   map[int]*expr.Var // class index -> connectivity rank
+
+	Frontend int   // frontend class index
+	L        int64 // disconnected rank sentinel (= number of classes)
+	M        int
+}
+
+// BuildQuotient constructs the quotient transition system for cfg over
+// the given partition. The topology constraints mirror rollout.Build:
+// exactly one frontend, at least one service node; parameter synthesis
+// (SynthP) is not supported through the abstraction.
+func BuildQuotient(cfg rollout.Config, part *Partition) (*Quotient, error) {
+	g := cfg.Topo
+	if g == nil || part == nil || part.G != g {
+		return nil, fmt.Errorf("abstract: partition/topology mismatch")
+	}
+	if cfg.SynthP {
+		return nil, fmt.Errorf("abstract: parameter synthesis is not supported over the quotient")
+	}
+	if n := len(g.NodesByRole("frontend")); n != 1 {
+		return nil, fmt.Errorf("abstract: topology needs exactly one frontend, has %d", n)
+	}
+	if len(g.NodesByRole("service")) == 0 {
+		return nil, fmt.Errorf("abstract: topology has no service nodes")
+	}
+
+	q := &Quotient{
+		Part:     part,
+		Sys:      ts.New(fmt.Sprintf("abstract/%s/c%d", g.Name, len(part.Classes))),
+		NUpd:     make(map[int]*expr.Var),
+		NDone:    make(map[int]*expr.Var),
+		NFail:    make(map[int]*expr.Var),
+		Lvl:      make(map[int]*expr.Var),
+		Frontend: -1,
+		L:        int64(len(part.Classes)),
+		M:        cfg.M,
+	}
+	sys := q.Sys
+
+	// Variables, in deterministic class / link-class order.
+	for _, c := range part.Classes {
+		if c.Role == "frontend" {
+			q.Frontend = c.Index
+		}
+		if c.Role == "service" {
+			up := int64(cfg.P)
+			if up < 0 {
+				up = 0
+			}
+			if s := int64(c.Size()); s < up {
+				up = s
+			}
+			q.NUpd[c.Index] = sys.Int("nUpd_"+c.Name, 0, up)
+			q.NDone[c.Index] = sys.Int("nDone_"+c.Name, 0, int64(c.Size()))
+		}
+		q.Lvl[c.Index] = sys.Int("lvl_"+c.Name, 0, q.L)
+	}
+	for _, lc := range part.LinkClasses {
+		cap := int64(cfg.K)
+		if cap < 0 {
+			cap = 0
+		}
+		if n := int64(len(lc.Links)); n < cap {
+			cap = n
+		}
+		q.NFail[lc.Index] = sys.Int("nFail_"+lc.Name, 0, cap)
+	}
+	if q.Frontend < 0 {
+		return nil, fmt.Errorf("abstract: no frontend class")
+	}
+
+	// INIT: nothing updating or done, no failures. Ranks are not
+	// initialized — the INVAR pins them in every state.
+	for _, c := range part.Classes {
+		if c.Role != "service" {
+			continue
+		}
+		sys.Init(q.NUpd[c.Index], expr.IntConst(0))
+		sys.Init(q.NDone[c.Index], expr.IntConst(0))
+	}
+	for _, lc := range part.LinkClasses {
+		sys.Init(q.NFail[lc.Index], expr.IntConst(0))
+	}
+
+	// INVAR: counter sanity and the rank encoding of connectivity.
+	sentinel := expr.IntConst(q.L)
+	passable := func(i int) *expr.Expr {
+		if part.Classes[i].Role == "service" {
+			return expr.Eq(q.NUpd[i].Ref(), expr.IntConst(0))
+		}
+		return expr.True()
+	}
+	for _, c := range part.Classes {
+		if c.Role == "service" {
+			sys.AddInvar(expr.Le(
+				expr.Add(q.NUpd[c.Index].Ref(), q.NDone[c.Index].Ref()),
+				expr.IntConst(int64(c.Size())),
+			))
+		}
+		lvl := q.Lvl[c.Index]
+		if c.Index == q.Frontend {
+			sys.AddInvar(expr.Eq(lvl.Ref(), expr.IntConst(0)))
+			continue
+		}
+		var support, blocked []*expr.Expr
+		for _, nb := range part.Neighbors(c.Index) {
+			usable := expr.Lt(q.NFail[nb.LinkClass.Index].Ref(), expr.IntConst(int64(nb.Deg)))
+			nbLvl := q.Lvl[nb.Class]
+			support = append(support, expr.And(
+				expr.Lt(nbLvl.Ref(), lvl.Ref()), usable, passable(nb.Class)))
+			blocked = append(blocked, expr.Not(expr.And(
+				expr.Lt(nbLvl.Ref(), sentinel), usable, passable(nb.Class))))
+		}
+		sys.AddInvar(expr.Implies(expr.Lt(lvl.Ref(), sentinel), expr.Or(support...)))
+		sys.AddInvar(expr.Implies(expr.Eq(lvl.Ref(), sentinel), expr.And(blocked...)))
+	}
+
+	// TRANS: phase-count dynamics and permanent failures, with the
+	// concrete model's global rate and failure budgets.
+	var updNext, failNext []*expr.Expr
+	for _, c := range part.Classes {
+		if c.Role != "service" {
+			continue
+		}
+		nUpd, nDone := q.NUpd[c.Index], q.NDone[c.Index]
+		// done only grows, and only nodes that were updating finish.
+		sys.AddTrans(expr.Ge(nDone.Next(), nDone.Ref()))
+		sys.AddTrans(expr.Le(expr.Sub(nDone.Next(), nDone.Ref()), nUpd.Ref()))
+		// pending only shrinks: upd+done is monotone.
+		sys.AddTrans(expr.Ge(
+			expr.Add(nUpd.Next(), nDone.Next()),
+			expr.Add(nUpd.Ref(), nDone.Ref()),
+		))
+		updNext = append(updNext, nUpd.Next())
+	}
+	sys.AddTrans(expr.Le(expr.Add(updNext...), expr.IntConst(int64(cfg.P))))
+	for _, lc := range part.LinkClasses {
+		f := q.NFail[lc.Index]
+		sys.AddTrans(expr.Ge(f.Next(), f.Ref()))
+		failNext = append(failNext, f.Next())
+	}
+	if len(failNext) > 0 {
+		sys.AddTrans(expr.Le(expr.Add(failNext...), expr.IntConst(int64(cfg.K))))
+	}
+
+	// DEFINE qavail: members of connected service classes that are not
+	// updating. Connected-class members are all reachable (the rank
+	// encoding under-approximates), so qavail <= concrete available on
+	// every count projection of a converged concrete state.
+	var avail []*expr.Expr
+	for _, c := range part.Classes {
+		if c.Role != "service" {
+			continue
+		}
+		avail = append(avail, expr.Ite(
+			expr.Lt(q.Lvl[c.Index].Ref(), sentinel),
+			expr.Sub(expr.IntConst(int64(c.Size())), q.NUpd[c.Index].Ref()),
+			expr.IntConst(0),
+		))
+	}
+	q.QAvail = sys.Define("qavail", expr.Add(avail...))
+	q.Property = ltl.G(ltl.Atom(expr.Ge(q.QAvail, expr.IntConst(int64(cfg.M)))))
+	return q, nil
+}
+
+// Canonical returns the byte-deterministic textual render of the
+// quotient system and its property — the content-addressed cache key
+// basis, exactly as verdictd computes it for submitted models. The
+// LTLSPEC is included so configurations differing only in the
+// availability floor m do not collide.
+func (q *Quotient) Canonical() string {
+	return smvlang.Render(&smvlang.Program{Sys: q.Sys, LTLSpecs: []*ltl.Formula{q.Property}})
+}

@@ -1,0 +1,52 @@
+package abstract
+
+import (
+	"testing"
+	"time"
+
+	"verdict/internal/mc"
+	"verdict/internal/models/rollout"
+	"verdict/internal/topo"
+)
+
+// TestFattree12AbstractVsConcrete is the CI-scale face of the
+// conformance harness: one fat-tree instance big enough that the
+// quotient matters (fattree12 — 180 nodes, 864 links, 1115 concrete
+// state variables vs ~23 quotient variables) but where the concrete
+// reference is still affordable (k-induction proves the k=1 cell at
+// depth 0 in a few seconds, even instrumented). The abstracted
+// verdict must equal the concrete one. ci.yml runs this under -race
+// as a dedicated step; -short skips it there so the main race suite
+// does not pay for it twice.
+func TestFattree12AbstractVsConcrete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fattree12 concrete reference is seconds-scale; run without -short")
+	}
+	cfg := rollout.Config{Topo: topo.FatTree(12), P: 1, K: 1, M: 1}
+	opts := mc.Options{MaxDepth: 30, Timeout: 3 * time.Minute, ValidateWitness: true}
+
+	cm, err := rollout.Build(cfg)
+	if err != nil {
+		t.Fatalf("concrete build: %v", err)
+	}
+	concrete, err := mc.Portfolio(cm.Sys, cm.Property, opts)
+	if err != nil {
+		t.Fatalf("concrete check: %v", err)
+	}
+	if concrete.Status != mc.Holds {
+		t.Fatalf("concrete fattree12 k=1 verdict: %v, want holds", concrete.Status)
+	}
+
+	abs, err := Check(cfg, Options{MC: opts})
+	if err != nil {
+		t.Fatalf("abstract check: %v", err)
+	}
+	if abs.Status != concrete.Status {
+		t.Fatalf("abstraction changed the verdict: abstract=%s concrete=%s (refinements=%d spurious=%d)",
+			abs.Status, concrete.Status, abs.Refinements, abs.Spurious)
+	}
+	if abs.QuotientVars >= abs.ConcreteVars {
+		t.Fatalf("quotient did not shrink the state space: %d vars vs %d concrete",
+			abs.QuotientVars, abs.ConcreteVars)
+	}
+}

@@ -723,7 +723,10 @@ func (s *Server) stealOnce() {
 	if snapErr != nil {
 		snap = storedJob{Status: StatusFailed, Error: fmt.Sprintf("stolen job does not compile: %v", snapErr)}
 	} else {
-		res, err := s.cfg.Check(cr.sys, cr.phi, cr.opts, cr.pol)
+		// runCheck keeps stolen abstracted scenarios on the CEGAR
+		// pipeline — running the quotient straight through the portfolio
+		// would return an unrefined (possibly spurious) verdict.
+		res, err := s.runCheck(cr.sys, cr.phi, cr.opts, cr.pol, cr.abs)
 		snap, _ = buildSnapshot(res, err)
 	}
 	body, err := json.Marshal(clusterReplicateMsg{ID: msg.ID, Status: snap.Status, Error: snap.Error, Result: snap.Result})
@@ -823,7 +826,7 @@ func (s *Server) promoteShadow(id string, sh shadowJob) bool {
 		return false
 	}
 	j := &job{id: id, key: cr.key, owner: s.cluster.c.Self(), sys: cr.sys, phi: cr.phi,
-		opts: cr.opts, pol: cr.pol, reqJSON: sh.Request, status: StatusQueued, done: make(chan struct{})}
+		opts: cr.opts, pol: cr.pol, abs: cr.abs, reqJSON: sh.Request, status: StatusQueued, done: make(chan struct{})}
 	s.mu.Lock()
 	if _, dup := s.inflight[id]; dup {
 		s.mu.Unlock()

@@ -392,7 +392,7 @@ func (s *Server) reenqueue(id string, reqJSON json.RawMessage, owner string) boo
 		s.cfg.Log.Printf("durability: journaled job %s recompiles to %s; keeping the journaled id", id, cr.id)
 	}
 	j := &job{id: id, key: cr.key, owner: owner, sys: cr.sys, phi: cr.phi, opts: cr.opts, pol: cr.pol,
-		reqJSON: reqJSON, status: StatusQueued, done: make(chan struct{})}
+		abs: cr.abs, reqJSON: reqJSON, status: StatusQueued, done: make(chan struct{})}
 	s.mu.Lock()
 	if _, dup := s.inflight[j.id]; dup {
 		s.mu.Unlock()

@@ -46,10 +46,12 @@ import (
 	"sync"
 	"time"
 
+	"verdict/internal/abstract"
 	"verdict/internal/cache"
 	"verdict/internal/ltl"
 	"verdict/internal/mc"
 	"verdict/internal/metrics"
+	"verdict/internal/models/rollout"
 	"verdict/internal/resilience"
 	"verdict/internal/ts"
 	"verdict/internal/watch"
@@ -177,6 +179,9 @@ type job struct {
 	phi  *ltl.Formula
 	opts mc.Options
 	pol  resilience.RetryPolicy
+	// abs, when non-nil, runs this job through the symmetry-quotient
+	// CEGAR pipeline on this rollout instance instead of cfg.Check.
+	abs *rollout.Config
 	// reqJSON is the original submission body, kept while the job is
 	// unsettled so the journal can re-accept it after a crash and the
 	// compactor can rewrite it; dropped at settlement.
@@ -240,6 +245,8 @@ type Server struct {
 	mBudgetExh    *metrics.Counter
 	mWitnessBad   *metrics.Counter
 	mEvictions    *metrics.Counter
+	mAbsRefines   *metrics.Counter
+	mAbsSpurious  *metrics.Counter
 	mForwards     *metrics.Counter
 	mReplications *metrics.Counter
 	mSteals       *metrics.Counter
@@ -297,6 +304,8 @@ func New(cfg Config) *Server {
 	s.mBudgetExh = s.reg.Counter("verdictd_budget_exhaustions_total", "Checks that degraded to unknown because a resource budget ran out.")
 	s.mWitnessBad = s.reg.Counter("verdict_witness_failures_total", "Engine verdicts rejected by independent witness validation: counterexamples that did not replay or certificates that did not check.")
 	s.mEvictions = s.reg.Counter("verdict_cache_evictions_total", "Finished jobs displaced from the in-memory result cache by capacity pressure (disk-backed entries stay retrievable).")
+	s.mAbsRefines = s.reg.Counter("verdict_abstract_refinements_total", "CEGAR equivalence-class splits applied while checking abstracted (symmetry-quotient) scenario submissions.")
+	s.mAbsSpurious = s.reg.Counter("verdict_abstract_spurious_traces_total", "Abstract counterexamples rejected by concretization or concrete replay, each triggering a refinement.")
 	s.finished.OnEvict(func(string, any) { s.mEvictions.Inc() })
 	s.gQueueDepth = s.reg.Gauge("verdictd_queue_depth", "Jobs admitted but not yet started.")
 	s.gInflight = s.reg.Gauge("verdictd_inflight_checks", "Checks currently executing.")
@@ -437,7 +446,7 @@ func (s *Server) runJob(j *job) {
 	s.mu.Unlock()
 	s.gInflight.Add(1)
 	start := time.Now()
-	res, err := s.cfg.Check(j.sys, j.phi, j.opts, j.pol)
+	res, err := s.runCheck(j.sys, j.phi, j.opts, j.pol, j.abs)
 	elapsed := time.Since(start)
 	s.gInflight.Add(-1)
 
@@ -494,6 +503,38 @@ func (s *Server) runJob(j *job) {
 	}
 }
 
+// checkAbstract runs the symmetry-quotient CEGAR pipeline behind the
+// same panic guard as the portfolio path.
+func (s *Server) checkAbstract(cfg rollout.Config, opts mc.Options) (res *abstract.Result, err error) {
+	defer resilience.RecoverTo("verdictd-abstract", &err)
+	return abstract.Check(cfg, abstract.Options{MC: opts})
+}
+
+// runCheck dispatches a compiled check: the portfolio for concrete
+// jobs, the quotient + CEGAR pipeline for abstracted scenarios. It is
+// the single execution point for local runs, replayed journal jobs,
+// and stolen cluster jobs, so the verdict_abstract_* metrics count
+// refinement work wherever it happens — including runs whose
+// refinement budget errors out partway (the partial trajectory is
+// real work).
+func (s *Server) runCheck(sys *ts.System, phi *ltl.Formula, opts mc.Options, pol resilience.RetryPolicy, abs *rollout.Config) (*mc.Result, error) {
+	if abs == nil {
+		return s.cfg.Check(sys, phi, opts, pol)
+	}
+	ares, err := s.checkAbstract(*abs, opts)
+	if ares != nil {
+		s.mAbsRefines.Add(float64(ares.Refinements))
+		s.mAbsSpurious.Add(float64(ares.Spurious))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ares == nil {
+		return nil, nil
+	}
+	return ares.Result, nil
+}
+
 // buildSnapshot turns a check outcome into the durable wire snapshot.
 // The returned result is non-nil only for a done snapshot, and is
 // exactly what the snapshot's Result bytes decode to.
@@ -531,7 +572,7 @@ func (s *Server) publish(j *job, snap storedJob, res *mc.Result) {
 	// Settled jobs only serve status/error/result, so drop the parsed
 	// system, formula, and request before caching — CacheSize entries
 	// of large models would otherwise stay pinned in memory.
-	j.sys, j.phi, j.reqJSON = nil, nil, nil
+	j.sys, j.phi, j.reqJSON, j.abs = nil, nil, nil, nil
 	j.opts, j.pol = mc.Options{}, resilience.RetryPolicy{}
 	s.finished.Add(j.id, j)
 	s.mu.Unlock()
@@ -622,7 +663,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := &job{id: cr.id, key: cr.key, owner: owner, sys: cr.sys, phi: cr.phi,
-		opts: cr.opts, pol: cr.pol, reqJSON: reqJSON, status: StatusQueued, done: make(chan struct{})}
+		opts: cr.opts, pol: cr.pol, abs: cr.abs, reqJSON: reqJSON, status: StatusQueued, done: make(chan struct{})}
 	select {
 	case s.queue <- j:
 	default:

@@ -4,11 +4,14 @@ import (
 	"fmt"
 	"time"
 
+	"verdict/internal/abstract"
 	"verdict/internal/cache"
 	"verdict/internal/ltl"
 	"verdict/internal/mc"
+	"verdict/internal/models/rollout"
 	"verdict/internal/resilience"
 	"verdict/internal/smvlang"
+	"verdict/internal/topo"
 	"verdict/internal/ts"
 )
 
@@ -23,8 +26,33 @@ type CheckRequest struct {
 	// Spec selects an LTLSPEC of the model by index (default 0) when
 	// Property is empty.
 	Spec int `json:"spec,omitempty"`
+	// Scenario, when set, selects a built-in generated model instead of
+	// textual source (Model must be empty).
+	Scenario *ScenarioRequest `json:"scenario,omitempty"`
 	// Options tunes the check.
 	Options OptionsRequest `json:"options,omitempty"`
+}
+
+// ScenarioRequest names a built-in scenario and its parameters, so
+// clients can submit large generated instances (a fat-tree rollout)
+// without shipping megabytes of rendered model text.
+type ScenarioRequest struct {
+	// Name is the scenario; only "rollout" is served.
+	Name string `json:"name"`
+	// Topo is a built-in topology name: "test" or "fattreeN" (N even).
+	Topo string `json:"topo"`
+	// P, K, M are the rollout parameters (defaults 1, 0, 1): update
+	// concurrency, link-failure budget, availability floor.
+	P int `json:"p,omitempty"`
+	K int `json:"k,omitempty"`
+	M int `json:"m,omitempty"`
+	// Abstract routes the check through the symmetry quotient with
+	// CEGAR refinement. The cache key is the canonical render of the
+	// *initial* quotient — deterministic for a given topology content —
+	// so identical abstracted submissions collapse onto one job and one
+	// cache entry. Violated verdicts carry a concrete, replay-certified
+	// trace, exactly like concrete checks.
+	Abstract bool `json:"abstract,omitempty"`
 }
 
 // OptionsRequest is the JSON form of the check options a client may
@@ -73,6 +101,10 @@ type compiled struct {
 	phi     *ltl.Formula
 	opts    mc.Options
 	pol     resilience.RetryPolicy
+	// abs, when non-nil, switches the job to the symmetry-quotient
+	// CEGAR pipeline over this rollout instance; sys/phi then hold the
+	// initial quotient (the content address), not the checked system.
+	abs *rollout.Config
 }
 
 // compile parses the model, resolves the property, normalizes the
@@ -80,6 +112,12 @@ type compiled struct {
 // the inputs that determine the verdict: canonical model text,
 // property text, and normalized options — not, e.g., worker counts.
 func (s *Server) compile(req CheckRequest) (*compiled, error) {
+	if req.Scenario != nil {
+		if req.Model != "" {
+			return nil, fmt.Errorf("request has both a model and a scenario; submit one")
+		}
+		return s.compileScenario(req)
+	}
 	if req.Model == "" {
 		return nil, fmt.Errorf("request has no model")
 	}
@@ -132,6 +170,55 @@ func (s *Server) compile(req CheckRequest) (*compiled, error) {
 		opts: opts,
 		pol:  pol,
 	}, nil
+}
+
+// compileScenario builds a scenario submission: the rollout model is
+// generated from the named topology, and with Abstract set the content
+// address is derived from the initial quotient's canonical render —
+// byte-deterministic for a given topology content (the determinism
+// property tests in internal/abstract pin this), so abstracted
+// re-submissions are cache hits.
+func (s *Server) compileScenario(req CheckRequest) (*compiled, error) {
+	sc := req.Scenario
+	if sc.Name != "rollout" {
+		return nil, fmt.Errorf("unknown scenario %q (the daemon serves \"rollout\")", sc.Name)
+	}
+	g, err := topo.ByName(sc.Topo)
+	if err != nil {
+		return nil, err
+	}
+	cfg := rollout.Config{Topo: g, P: sc.P, K: sc.K, M: sc.M}
+	if cfg.P <= 0 {
+		cfg.P = 1
+	}
+	if cfg.M <= 0 {
+		cfg.M = 1
+	}
+	if cfg.K < 0 {
+		return nil, fmt.Errorf("scenario k must be >= 0, got %d", cfg.K)
+	}
+	opts, pol, normalized := s.normalizeOptions(req.Options)
+	if sc.Abstract {
+		q, err := abstract.BuildQuotient(cfg, abstract.NewPartition(g))
+		if err != nil {
+			return nil, fmt.Errorf("scenario does not abstract: %w", err)
+		}
+		// Canonical() covers the quotient system and its LTLSPEC; the
+		// "abstract" marker keeps an abstracted submission from ever
+		// colliding with a concrete model a client might render to the
+		// same text.
+		key := cache.Key(q.Canonical(), q.Property.String(), normalized+" abstract=1")
+		return &compiled{id: key[:32], key: key, sys: q.Sys, phi: q.Property,
+			opts: opts, pol: pol, abs: &cfg}, nil
+	}
+	cm, err := rollout.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	canonical := smvlang.Render(&smvlang.Program{Sys: cm.Sys})
+	key := cache.Key(canonical, cm.Property.String(), normalized)
+	return &compiled{id: key[:32], key: key, sys: cm.Sys, phi: cm.Property,
+		opts: opts, pol: pol}, nil
 }
 
 // normalizeOptions applies defaults and ceilings, returning both the

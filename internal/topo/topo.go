@@ -5,7 +5,11 @@
 // of Figure 3.
 package topo
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Node is a vertex in a topology.
 type Node struct {
@@ -152,7 +156,7 @@ func Test() *Graph {
 // [j·k/2, (j+1)·k/2). Hosts are not modeled — the paper's Figure 6
 // counts switches only (fattree4 = 20 nodes / 32 links, fattree12 =
 // 180 nodes / 864 links; the paper's "265" links for fattree8 is a
-// typo for 256).
+// digit-swap typo for 256 — see "Reproduction notes" in README.md).
 //
 // One edge switch (pod 0, index 0) is the front-end; all other edge
 // switches are service nodes, matching the paper's setup.
@@ -191,6 +195,25 @@ func FatTree(k int) *Graph {
 		}
 	}
 	return g
+}
+
+// ByName resolves a topology by its generator name — "test",
+// "fattreeN" (N even, 2..64), or "lb" — so CLIs and the daemon can
+// accept topology selections on the wire without shipping graphs.
+func ByName(name string) (*Graph, error) {
+	switch {
+	case name == "test":
+		return Test(), nil
+	case name == "lb":
+		return LBFigure3(), nil
+	case strings.HasPrefix(name, "fattree"):
+		k, err := strconv.Atoi(name[len("fattree"):])
+		if err != nil || k < 2 || k%2 != 0 || k > 64 {
+			return nil, fmt.Errorf("topo: bad fat-tree name %q (want fattreeN, N even in 2..64)", name)
+		}
+		return FatTree(k), nil
+	}
+	return nil, fmt.Errorf("topo: unknown topology %q (want test, fattreeN, or lb)", name)
 }
 
 // LBFigure3 builds the load-balancer topology of Figure 3: a load

@@ -4,7 +4,8 @@ import "testing"
 
 func TestFatTreeSizesMatchPaper(t *testing.T) {
 	// Figure 6 lists nodes, links, service nodes per topology. The
-	// paper's fattree8 link count (265) is a digit-swap typo for 256.
+	// paper's fattree8 link count (265) is a digit-swap typo for 256 —
+	// see "Reproduction notes" in README.md.
 	cases := []struct {
 		k, nodes, links, service int
 	}{
@@ -100,5 +101,22 @@ func TestOther(t *testing.T) {
 	l := g.AddLink(a, b)
 	if g.Other(l, a) != b || g.Other(l, b) != a {
 		t.Error("Other broken")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, nodes := range map[string]int{"test": 7, "fattree4": 20, "fattree12": 180, "lb": 8} {
+		g, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(g.Nodes) != nodes {
+			t.Errorf("%s: %d nodes, want %d", name, len(g.Nodes), nodes)
+		}
+	}
+	for _, bad := range []string{"", "fattree3", "fattree", "fattree0", "fattree66", "fattreeX", "mesh"} {
+		if _, err := ByName(bad); err == nil {
+			t.Errorf("ByName(%q) accepted", bad)
+		}
 	}
 }
