@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -38,7 +39,12 @@ import (
 // never sleeping past the -wait deadline — and because check ids are
 // content addresses, a submission interrupted mid-flight can be
 // retried or resumed with -id across a daemon restart without ever
-// running the check twice.
+// running the check twice. One 429 is different: a per-tenant quota
+// rejection (marked by X-Verdict-Quota-* headers) is terminal — the
+// same quota holds on every node, so the client reports it and exits 2
+// instead of burning the retry budget. -token authenticates against a
+// multi-tenant daemon; -class bulk demotes the submission behind
+// interactive traffic.
 //
 // -server accepts a comma-separated list of cluster nodes. The client
 // builds the same consistent-hash ring the fleet uses (node identity
@@ -71,13 +77,18 @@ func runRemote(args []string) int {
 		wait      = fs.Duration("wait", 5*time.Minute, "how long to wait for the verdict before giving up")
 		retries   = fs.Int("retries", 4, "transient-failure retries per HTTP call (transport errors, 5xx, 429)")
 		retryBase = fs.Duration("retry-base", 100*time.Millisecond, "first backoff step (doubles per attempt with full jitter, capped at 5s)")
+		token     = fs.String("token", "", "tenant bearer token for a multi-tenant daemon (Authorization: Bearer)")
+		class     = fs.String("class", "", "traffic class for this submission: \"bulk\" demotes below interactive (cannot promote)")
 	)
 	fs.Parse(args[1:])
 	if *modelPath == "" && *checkID == "" {
 		fs.Usage()
 		return 2
 	}
-	cl := newNodeClient(*serverURL, newRetryClient(*retries, *retryBase))
+	rc := newRetryClient(*retries, *retryBase)
+	rc.token = *token
+	rc.class = *class
+	cl := newNodeClient(*serverURL, rc)
 	// One deadline governs the whole run — submit, polls, and the trace
 	// fetch — and is propagated into every request's context, so a
 	// wedged daemon cannot hold the client past -wait.
@@ -213,7 +224,10 @@ func submitRemote(ctx context.Context, cl *nodeClient, req server.CheckRequest) 
 		status, raw, err := cl.rc.do(ctx, http.MethodPost, base+"/v1/checks", body)
 		if err != nil {
 			lastErr = err
-			if ctx.Err() != nil {
+			var qe *quotaError
+			if errors.As(err, &qe) || ctx.Err() != nil {
+				// Quota exhaustion is cluster-wide: every node enforces
+				// the same tenant limits, so failover is pointless.
 				break
 			}
 			continue
@@ -249,6 +263,10 @@ func awaitRemote(ctx context.Context, cl *nodeClient, id string, wait time.Durat
 		for _, base := range nodes {
 			status, raw, err := cl.rc.do(ctx, http.MethodGet, base+"/v1/checks/"+id+"?wait=1", nil)
 			if err != nil {
+				var qe *quotaError
+				if errors.As(err, &qe) {
+					return cr, err
+				}
 				if ctx.Err() != nil {
 					if cr.Status != "" {
 						return cr, fmt.Errorf("no verdict after %v (job %s still %s)", wait, id, cr.Status)
@@ -300,6 +318,31 @@ type retryClient struct {
 	max     time.Duration // backoff ceiling
 	rng     *rand.Rand
 	logf    func(string, ...any)
+	token   string // tenant bearer token; "" = unauthenticated
+	class   string // traffic class header; "" = tenant default
+}
+
+// quotaError is a per-tenant 429: the daemon named this tenant's rate
+// or queued-job limit in X-Verdict-Quota-* headers. Unlike queue-full
+// or brownout pushback it is terminal — every node enforces the same
+// quota, so neither retrying nor failing over can help; the tenant has
+// to drain its own in-flight work first.
+type quotaError struct {
+	reason string // "rate" or "queued"
+	tenant string
+	limit  string
+	body   string
+}
+
+func (e *quotaError) Error() string {
+	msg := fmt.Sprintf("tenant %q over its %q quota", e.tenant, e.reason)
+	if e.limit != "" {
+		msg += " (limit " + e.limit + ")"
+	}
+	if e.body != "" {
+		msg += ": " + e.body
+	}
+	return msg + "; not retrying — drain in-flight work or raise the tenant's limits"
 }
 
 func newRetryClient(retries int, base time.Duration) *retryClient {
@@ -337,6 +380,20 @@ func (rc *retryClient) do(ctx context.Context, method, url string, body []byte) 
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		if rc.token != "" {
+			req.Header.Set("Authorization", "Bearer "+rc.token)
+		}
+		if rc.class != "" {
+			req.Header.Set(server.HeaderClass, rc.class)
+		}
+		// Propagate the remaining -wait budget so the daemon (and any
+		// node it forwards to) can cancel rather than run a check whose
+		// client has already given up.
+		if dl, ok := ctx.Deadline(); ok {
+			if ms := time.Until(dl).Milliseconds(); ms > 0 {
+				req.Header.Set(server.HeaderDeadline, strconv.FormatInt(ms, 10))
+			}
+		}
 		retryAfter := ""
 		resp, err := rc.hc.Do(req)
 		if err == nil {
@@ -345,6 +402,14 @@ func (rc *retryClient) do(ctx context.Context, method, url string, body []byte) 
 			switch {
 			case rerr != nil:
 				err = rerr
+			case resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get(server.HeaderQuotaReason) != "":
+				// Per-tenant quota 429: terminal, no retry, no failover.
+				return 0, nil, &quotaError{
+					reason: resp.Header.Get(server.HeaderQuotaReason),
+					tenant: resp.Header.Get(server.HeaderQuotaTenant),
+					limit:  resp.Header.Get(server.HeaderQuotaLimit),
+					body:   strings.TrimSpace(string(raw)),
+				}
 			case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
 				retryAfter = resp.Header.Get("Retry-After")
 				err = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))

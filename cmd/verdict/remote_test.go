@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -195,6 +196,102 @@ func TestRemoteCheckWaitDeadline(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("client took %v to give up on a 300ms wait", elapsed)
+	}
+}
+
+// TestRemoteCheckQuota429Terminal: a per-tenant quota 429 (marked by
+// X-Verdict-Quota-* headers) is terminal — no retries, no failover to
+// other nodes — and exits 2 with the quota named, while a queue-full
+// 429 (no quota headers) keeps the retry ladder.
+func TestRemoteCheckQuota429Terminal(t *testing.T) {
+	var hitsA, hitsB atomic.Int64
+	quota := func(hits *atomic.Int64) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			hits.Add(1)
+			w.Header().Set(server.HeaderQuotaReason, "rate")
+			w.Header().Set(server.HeaderQuotaTenant, "ci")
+			w.Header().Set(server.HeaderQuotaLimit, "5/s")
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `tenant "ci" rate limit exceeded`, http.StatusTooManyRequests)
+		}
+	}
+	nodeA := httptest.NewServer(quota(&hitsA))
+	defer nodeA.Close()
+	nodeB := httptest.NewServer(quota(&hitsB))
+	defer nodeB.Close()
+
+	model := filepath.Join(t.TempDir(), "m.vsmv")
+	if err := os.WriteFile(model, []byte(remoteTestModel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	args := []string{"check", "-server", nodeA.URL + "," + nodeB.URL, "-model", model, "-retries", "4", "-retry-base", "100ms"}
+	if got := runRemote(args); got != 2 {
+		t.Fatalf("runRemote(%v) = %d, want 2 (quota exhaustion is terminal)", args, got)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("quota 429 burned %v in backoff; must fail immediately", elapsed)
+	}
+	if total := hitsA.Load() + hitsB.Load(); total != 1 {
+		t.Fatalf("quota 429 reached the fleet %d time(s), want exactly 1 (no retry, no failover)", total)
+	}
+}
+
+// TestRemoteCheckTenantAuth: -token authenticates against a
+// multi-tenant daemon end to end; a missing token is a terminal 401.
+func TestRemoteCheckTenantAuth(t *testing.T) {
+	s := server.New(server.Config{Workers: 2, Tenants: []server.TenantConfig{{Name: "ci", Token: "tok-ci"}}})
+	ht := httptest.NewServer(s.Handler())
+	defer func() {
+		ht.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+		s.Close()
+	}()
+	model := filepath.Join(t.TempDir(), "m.vsmv")
+	if err := os.WriteFile(model, []byte(remoteTestModel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"check", "-server", ht.URL, "-model", model, "-token", "tok-ci"}
+	if got := runRemote(args); got != 1 {
+		t.Fatalf("runRemote(%v) = %d, want 1 (violated, authenticated)", args, got)
+	}
+	args = []string{"check", "-server", ht.URL, "-model", model, "-retries", "0"}
+	if got := runRemote(args); got != 2 {
+		t.Fatalf("unauthenticated runRemote = %d, want 2 (401 is terminal)", got)
+	}
+}
+
+// TestRemoteCheckPropagatesAdmissionHeaders: every request carries the
+// bearer token, the class demotion, and the remaining -wait budget in
+// X-Verdict-Deadline-Ms.
+func TestRemoteCheckPropagatesAdmissionHeaders(t *testing.T) {
+	var gotAuth, gotClass, gotDeadline atomic.Value
+	capture := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotAuth.Store(r.Header.Get("Authorization"))
+		gotClass.Store(r.Header.Get(server.HeaderClass))
+		gotDeadline.Store(r.Header.Get(server.HeaderDeadline))
+		http.Error(w, "bad model", http.StatusBadRequest) // terminal: one request is enough
+	}))
+	defer capture.Close()
+	model := filepath.Join(t.TempDir(), "m.vsmv")
+	if err := os.WriteFile(model, []byte(remoteTestModel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"check", "-server", capture.URL, "-model", model, "-token", "tok-x", "-class", "bulk", "-wait", "90s"}
+	if got := runRemote(args); got != 2 {
+		t.Fatalf("runRemote(%v) = %d, want 2", args, got)
+	}
+	if got := gotAuth.Load(); got != "Bearer tok-x" {
+		t.Errorf("Authorization = %q, want Bearer tok-x", got)
+	}
+	if got := gotClass.Load(); got != "bulk" {
+		t.Errorf("%s = %q, want bulk", server.HeaderClass, got)
+	}
+	ms, err := strconv.ParseInt(gotDeadline.Load().(string), 10, 64)
+	if err != nil || ms <= 0 || ms > 90_000 {
+		t.Errorf("%s = %q, want remaining budget in (0, 90000] ms", server.HeaderDeadline, gotDeadline.Load())
 	}
 }
 

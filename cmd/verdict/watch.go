@@ -62,8 +62,14 @@ func runWatch(args []string) int {
 		wait       = fs.Duration("wait", 5*time.Minute, "how long to wait for the final verify pass after the stream ends")
 		retries    = fs.Int("retries", 4, "transient-failure retries per HTTP call (remote mode)")
 		retryBase  = fs.Duration("retry-base", 100*time.Millisecond, "first backoff step for HTTP retries (remote mode)")
+		token      = fs.String("token", "", "tenant bearer token for a multi-tenant daemon (remote mode)")
+		logBound   = fs.Int("incident-log", 0, fmt.Sprintf("incident-log window: most recent incidents kept per session (0 = default %d)", watch.DefaultMaxIncidentLog))
 	)
 	fs.Parse(args)
+	if *logBound < 0 {
+		log.Print("-incident-log must be >= 0")
+		return 2
+	}
 
 	src, closeSrc, err := openEvents(*eventsPath)
 	if err != nil {
@@ -79,9 +85,9 @@ func runWatch(args []string) int {
 	defer stop()
 
 	if *serverURL != "" {
-		return watchRemote(ctx, src, doFollow, *serverURL, *session, *debounce, *wait, *retries, *retryBase, *fullTrace)
+		return watchRemote(ctx, src, doFollow, *serverURL, *session, *token, *debounce, *wait, *retries, *retryBase, *logBound, *fullTrace)
 	}
-	return watchLocal(ctx, src, doFollow, *debounce, *depth, *timeout, *wait, *fullTrace)
+	return watchLocal(ctx, src, doFollow, *debounce, *depth, *timeout, *wait, *logBound, *fullTrace)
 }
 
 func openEvents(path string) (io.Reader, func(), error) {
@@ -176,12 +182,13 @@ func localWatchVerify(depth int, budget time.Duration) watch.VerifyFunc {
 	}
 }
 
-func watchLocal(ctx context.Context, src io.Reader, follow bool, debounce time.Duration, depth int, timeout, wait time.Duration, fullTrace bool) int {
+func watchLocal(ctx context.Context, src io.Reader, follow bool, debounce time.Duration, depth int, timeout, wait time.Duration, logBound int, fullTrace bool) int {
 	var broke atomic.Int64
 	sess := watch.New(watch.Config{
-		ID:       "local",
-		Verify:   localWatchVerify(depth, timeout),
-		Debounce: debounce,
+		ID:             "local",
+		Verify:         localWatchVerify(depth, timeout),
+		Debounce:       debounce,
+		MaxIncidentLog: logBound,
 		Hooks: watch.Hooks{
 			Incident: func(rep incidents.Report) {
 				broke.Add(1)
@@ -223,11 +230,12 @@ func watchLocal(ctx context.Context, src io.Reader, follow bool, debounce time.D
 	return 0
 }
 
-func watchRemote(ctx context.Context, src io.Reader, follow bool, serverURL, session string, debounce, wait time.Duration, retries int, retryBase time.Duration, fullTrace bool) int {
+func watchRemote(ctx context.Context, src io.Reader, follow bool, serverURL, session, token string, debounce, wait time.Duration, retries int, retryBase time.Duration, logBound int, fullTrace bool) int {
 	base := cluster.Normalize(serverURL)
 	rc := newRetryClient(retries, retryBase)
+	rc.token = token
 
-	id, attached, err := openRemoteSession(ctx, rc, base, session, debounce)
+	id, attached, err := openRemoteSession(ctx, rc, base, session, debounce, logBound)
 	if err != nil {
 		log.Print(err)
 		return 2
@@ -327,8 +335,8 @@ func watchRemote(ctx context.Context, src io.Reader, follow bool, serverURL, ses
 // caller named one that already exists (journal recovery keeps
 // sessions across daemon restarts, so re-running the same pipeline
 // resumes instead of starting over).
-func openRemoteSession(ctx context.Context, rc *retryClient, base, session string, debounce time.Duration) (id string, attached bool, err error) {
-	raw, _ := json.Marshal(server.WatchCreateRequest{ID: session, DebounceMS: debounce.Milliseconds()})
+func openRemoteSession(ctx context.Context, rc *retryClient, base, session string, debounce time.Duration, logBound int) (id string, attached bool, err error) {
+	raw, _ := json.Marshal(server.WatchCreateRequest{ID: session, DebounceMS: debounce.Milliseconds(), IncidentLogMax: logBound})
 	status, body, err := rc.do(ctx, http.MethodPost, base+"/v1/watch", raw)
 	if err != nil {
 		return "", false, err

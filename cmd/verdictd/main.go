@@ -53,6 +53,9 @@ func main() {
 		advertise    = flag.String("advertise", "", "this node's base URL as peers reach it (required with -peers)")
 		replication  = flag.Int("replication", 2, "nodes holding each accepted job and settled verdict, this one included")
 		probeEvery   = flag.Duration("probe-interval", 500*time.Millisecond, "peer health-probe period in cluster mode")
+		tenantsFile  = flag.String("tenants", "", "JSON file of tenant configs [{name,token,class,weight,rate,burst,max_queued}]; set, it requires Authorization: Bearer on submissions (empty = open single-tenant daemon)")
+		brownoutAt   = flag.Duration("brownout-threshold", 0, "smoothed queue-wait that engages overload shedding (0 = check-timeout/4, negative = disabled)")
+		brownoutHold = flag.Duration("brownout-hold", 2*time.Second, "sustained-calm period required per brownout de-escalation step")
 		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -72,6 +75,15 @@ func main() {
 		}
 	}
 
+	var tenants []server.TenantConfig
+	if *tenantsFile != "" {
+		var err error
+		if tenants, err = server.LoadTenantsFile(*tenantsFile); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("multi-tenant admission: %d tenant(s) loaded from %s", len(tenants), *tenantsFile)
+	}
+
 	s := server.New(server.Config{
 		QueueDepth:           *queueDepth,
 		Workers:              *workers,
@@ -86,6 +98,9 @@ func main() {
 		ClusterPeers:         peerList,
 		Replication:          *replication,
 		ClusterProbeInterval: *probeEvery,
+		Tenants:              tenants,
+		BrownoutThreshold:    *brownoutAt,
+		BrownoutHold:         *brownoutHold,
 		Log:                  log.Default(),
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}

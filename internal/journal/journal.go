@@ -76,6 +76,12 @@ type Record struct {
 	// instead of re-enqueueing them locally. Empty on single-node
 	// journals.
 	Owner string `json:"owner,omitempty"`
+	// Tenant, on accepted records, names the tenant the job was
+	// admitted under, so replay restores the fair-queue state — a
+	// re-enqueued job rejoins its tenant's queue instead of jumping to
+	// the front of everyone's. Absent on journals written before
+	// multi-tenancy existed; replay maps those to the default tenant.
+	Tenant string `json:"tenant,omitempty"`
 	// Status, Error, and Result mirror the job's settled wire state
 	// (settled records): status "done"/"failed", the failure message,
 	// and the result JSON exactly as the daemon serves it.

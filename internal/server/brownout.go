@@ -1,0 +1,146 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Brownout ladder: graceful degradation under sustained queue
+// pressure, instead of the cliff where every request waits out the
+// full queue and then times out together.
+//
+// The input signal is queue wait — the time between a job's 202 and
+// its worker pickup — smoothed by an EWMA, combined with the age of
+// the oldest still-queued job (so a wedged worker pool registers as
+// pressure even though no pickups are happening to feed the EWMA).
+//
+// Levels, against a threshold T:
+//
+//	level 0  signal < T    normal service
+//	level 1  signal ≥ T    shed bulk-class admissions (429)
+//	level 2  signal ≥ 2T   cache-only: misses are shed, hits (and
+//	                       disk-store restores) still served — those
+//	                       cost no worker time and stay sound
+//	level 3  signal ≥ 4T   shed everything (429)
+//
+// Escalation is immediate; de-escalation is hysteretic — one level at
+// a time, only after the signal has stayed below half that level's
+// engage threshold for a hold period — so a loaded server does not
+// flap between shedding and re-admitting the same burst.
+
+type brownout struct {
+	mu        sync.Mutex
+	threshold time.Duration // engage level 1 at this smoothed wait; <=0 disabled
+	hold      time.Duration // sustained-calm period required per de-escalation step
+
+	level      int
+	ewma       time.Duration
+	lastObs    time.Time // last Observe, for idle decay
+	calmSince  time.Time // zero while the signal is above the disengage bar
+	oldestWait func(time.Time) time.Duration
+	now        func() time.Time // injectable for tests
+}
+
+func newBrownout(threshold, hold time.Duration, oldestWait func(time.Time) time.Duration) *brownout {
+	if hold <= 0 {
+		hold = 2 * time.Second
+	}
+	return &brownout{
+		threshold:  threshold,
+		hold:       hold,
+		oldestWait: oldestWait,
+		now:        time.Now,
+	}
+}
+
+// engageAt is the signal level at which the ladder escalates to
+// `level`: T, 2T, 4T.
+func (b *brownout) engageAt(level int) time.Duration {
+	return b.threshold << uint(level-1)
+}
+
+// Observe feeds one measured queue wait (worker pickup) into the
+// smoothed signal and reassesses the level.
+func (b *brownout) Observe(wait time.Duration) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.decayLocked(now)
+	b.ewma = (3*b.ewma + wait) / 4
+	b.lastObs = now
+	b.assessLocked(now)
+}
+
+// Level reassesses and returns the current ladder level. Called on
+// every admission decision and at metrics scrape, so de-escalation
+// does not need traffic to make progress.
+func (b *brownout) Level() int {
+	if b == nil || b.threshold <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.decayLocked(now)
+	b.assessLocked(now)
+	return b.level
+}
+
+// decayLocked halves the EWMA for every hold period since the last
+// observation: with no pickups the smoothed wait is stale evidence,
+// and letting it fade is what allows an idle server to disengage.
+func (b *brownout) decayLocked(now time.Time) {
+	if b.lastObs.IsZero() || b.ewma == 0 {
+		return
+	}
+	elapsed := now.Sub(b.lastObs)
+	if elapsed <= 0 {
+		return
+	}
+	b.ewma = time.Duration(float64(b.ewma) * math.Pow(0.5, float64(elapsed)/float64(b.hold)))
+	b.lastObs = now
+}
+
+func (b *brownout) assessLocked(now time.Time) {
+	signal := b.ewma
+	if b.oldestWait != nil {
+		if age := b.oldestWait(now); age > signal {
+			signal = age
+		}
+	}
+
+	// Escalate immediately to whatever level the signal justifies.
+	target := 0
+	for lvl := 3; lvl >= 1; lvl-- {
+		if signal >= b.engageAt(lvl) {
+			target = lvl
+			break
+		}
+	}
+	if target > b.level {
+		b.level = target
+		b.calmSince = time.Time{}
+		return
+	}
+	if b.level == 0 {
+		return
+	}
+
+	// De-escalate hysteretically: one level per sustained-calm hold.
+	if signal >= b.engageAt(b.level)/2 {
+		b.calmSince = time.Time{}
+		return
+	}
+	if b.calmSince.IsZero() {
+		b.calmSince = now
+		return
+	}
+	if now.Sub(b.calmSince) >= b.hold {
+		b.level--
+		b.calmSince = time.Time{}
+	}
+}

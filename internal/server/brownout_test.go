@@ -1,0 +1,152 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClockBrownout builds a brownout on a manual clock.
+func fakeClockBrownout(threshold, hold time.Duration, oldest func(time.Time) time.Duration) (*brownout, *time.Time) {
+	b := newBrownout(threshold, hold, oldest)
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+// TestBrownoutDisabled: a non-positive threshold turns the ladder off.
+func TestBrownoutDisabled(t *testing.T) {
+	b, _ := fakeClockBrownout(-1, time.Second, nil)
+	b.Observe(time.Hour)
+	if got := b.Level(); got != 0 {
+		t.Errorf("disabled ladder level: %d, want 0", got)
+	}
+	var nilB *brownout
+	nilB.Observe(time.Hour) // must not panic
+	if nilB.Level() != 0 {
+		t.Error("nil brownout must report level 0")
+	}
+}
+
+// TestBrownoutEscalatesImmediately: one catastrophic queue wait jumps
+// straight to the highest justified level.
+func TestBrownoutEscalatesImmediately(t *testing.T) {
+	b, _ := fakeClockBrownout(100*time.Millisecond, time.Second, nil)
+	if b.Level() != 0 {
+		t.Fatal("fresh ladder not at level 0")
+	}
+	// One 2s wait → EWMA 500ms ≥ 4T (400ms) → level 3, no ramp.
+	b.Observe(2 * time.Second)
+	if got := b.Level(); got != 3 {
+		t.Fatalf("level after a 2s wait: %d, want 3", got)
+	}
+}
+
+// TestBrownoutLadderThresholds: the engage bars are T, 2T, 4T.
+func TestBrownoutLadderThresholds(t *testing.T) {
+	for _, tc := range []struct {
+		wait time.Duration
+		want int
+	}{
+		// Observe folds the wait into an EWMA at 1/4 gain from zero, so
+		// the first observation's signal is wait/4.
+		{200 * time.Millisecond, 0},  // ewma 50ms < T
+		{400 * time.Millisecond, 1},  // ewma 100ms = T
+		{800 * time.Millisecond, 2},  // ewma 200ms = 2T
+		{1600 * time.Millisecond, 3}, // ewma 400ms = 4T
+	} {
+		b, _ := fakeClockBrownout(100*time.Millisecond, time.Second, nil)
+		b.Observe(tc.wait)
+		if got := b.Level(); got != tc.want {
+			t.Errorf("first observation %v: level %d, want %d", tc.wait, got, tc.want)
+		}
+	}
+}
+
+// TestBrownoutHystereticRecovery: de-escalation is one level per
+// sustained-calm hold, never a cliff back to full admission.
+func TestBrownoutHystereticRecovery(t *testing.T) {
+	hold := time.Second
+	b, now := fakeClockBrownout(100*time.Millisecond, hold, nil)
+	b.Observe(2 * time.Second)
+	if b.Level() != 3 {
+		t.Fatal("setup: not at level 3")
+	}
+	// Step the clock with no further pickups: the EWMA decays (halving
+	// per hold) and the ladder walks down one level at a time.
+	last := 3
+	var stepDowns []time.Time
+	for i := 0; i < 40; i++ {
+		*now = now.Add(250 * time.Millisecond)
+		lvl := b.Level()
+		if lvl > last {
+			t.Fatalf("ladder escalated during recovery: %d -> %d", last, lvl)
+		}
+		if lvl < last-1 {
+			t.Fatalf("ladder skipped a level: %d -> %d", last, lvl)
+		}
+		if lvl != last {
+			stepDowns = append(stepDowns, *now)
+			last = lvl
+		}
+	}
+	if last != 0 {
+		t.Fatalf("ladder stuck at level %d after 10s of calm", last)
+	}
+	if len(stepDowns) != 3 {
+		t.Fatalf("recovery step-downs: %d, want 3", len(stepDowns))
+	}
+	// Each step-down needed at least a full hold of calm after the
+	// previous one.
+	for i := 1; i < len(stepDowns); i++ {
+		if gap := stepDowns[i].Sub(stepDowns[i-1]); gap < hold {
+			t.Errorf("step-down %d came %v after the previous, want >= %v", i, gap, hold)
+		}
+	}
+}
+
+// TestBrownoutFlapResistance: a signal hovering just under the engage
+// bar does not disengage — calm means clearly below the bar (half),
+// sustained.
+func TestBrownoutFlapResistance(t *testing.T) {
+	b, now := fakeClockBrownout(100*time.Millisecond, time.Second, nil)
+	b.Observe(400 * time.Millisecond) // ewma 100ms → level 1
+	if b.Level() != 1 {
+		t.Fatal("setup: not at level 1")
+	}
+	// Keep feeding waits that hold the EWMA in [T/2, T): under the
+	// engage bar but not calm. The ladder must hold level 1.
+	for i := 0; i < 20; i++ {
+		*now = now.Add(100 * time.Millisecond)
+		b.Observe(90 * time.Millisecond)
+		if got := b.Level(); got != 1 {
+			t.Fatalf("iteration %d: level %d, want a held level 1 (no flapping)", i, got)
+		}
+	}
+}
+
+// TestBrownoutWedgedWorkers: with no pickups feeding the EWMA, the
+// age of the oldest queued job still registers as pressure.
+func TestBrownoutWedgedWorkers(t *testing.T) {
+	age := time.Duration(0)
+	b, now := fakeClockBrownout(100*time.Millisecond, time.Second, func(time.Time) time.Duration { return age })
+	if b.Level() != 0 {
+		t.Fatal("fresh ladder not at 0")
+	}
+	age = 250 * time.Millisecond
+	if got := b.Level(); got != 2 {
+		t.Errorf("level with a 250ms-old queue head and no pickups: %d, want 2", got)
+	}
+	age = time.Second
+	if got := b.Level(); got != 3 {
+		t.Errorf("level with a 1s-old queue head: %d, want 3", got)
+	}
+	// The head gets picked up: pressure gone, and after sustained calm
+	// the ladder fully disengages.
+	age = 0
+	for i := 0; b.Level() > 0; i++ {
+		if i > 100 {
+			t.Fatal("ladder never disengaged after the queue emptied")
+		}
+		*now = now.Add(250 * time.Millisecond)
+	}
+}

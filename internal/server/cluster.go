@@ -54,9 +54,11 @@ const stealInterval = 250 * time.Millisecond
 
 // shadowJob is a peer-owned acceptance held by a replica: enough to
 // re-journal it at compaction and to promote it if the owner dies.
+// Tenant rides along so a promoted job lands in the right fair queue.
 type shadowJob struct {
 	Request json.RawMessage
 	Owner   string
+	Tenant  string
 }
 
 // clusterState bundles the routing brain with the server-side pieces:
@@ -77,11 +79,15 @@ type clusterState struct {
 	rngMu     sync.Mutex
 }
 
-// Wire messages for the /v1/cluster/* internal endpoints.
+// Wire messages for the /v1/cluster/* internal endpoints. Deadlines
+// travel as remaining milliseconds, not wall-clock instants, so nodes
+// need no clock agreement; older nodes ignore the extra fields.
 type clusterAcceptMsg struct {
-	ID      string          `json:"id"`
-	Owner   string          `json:"owner"`
-	Request json.RawMessage `json:"request"`
+	ID         string          `json:"id"`
+	Owner      string          `json:"owner"`
+	Request    json.RawMessage `json:"request"`
+	Tenant     string          `json:"tenant,omitempty"`
+	DeadlineMS int64           `json:"deadline_ms,omitempty"`
 }
 
 type clusterReplicateMsg struct {
@@ -92,8 +98,26 @@ type clusterReplicateMsg struct {
 }
 
 type clusterStealMsg struct {
-	ID      string          `json:"id"`
-	Request json.RawMessage `json:"request"`
+	ID         string          `json:"id"`
+	Request    json.RawMessage `json:"request"`
+	Tenant     string          `json:"tenant,omitempty"`
+	Class      string          `json:"class,omitempty"`
+	DeadlineMS int64           `json:"deadline_ms,omitempty"`
+}
+
+// remainingMS renders a job deadline as the budget left on the wire;
+// 0 means no deadline. Expired deadlines clamp to 1ms — the receiver
+// should learn the deadline exists and cancel, not treat it as
+// absent.
+func remainingMS(deadline time.Time) int64 {
+	if deadline.IsZero() {
+		return 0
+	}
+	ms := time.Until(deadline).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
 }
 
 // initCluster builds the cluster state from the config. A bad
@@ -230,14 +254,14 @@ func (s *Server) kickRebalance() {
 
 // addShadow records a peer-owned acceptance unless the id is already
 // settled here (then the verdict, not the promise, is what we hold).
-func (s *Server) addShadow(id string, req json.RawMessage, owner string) {
+func (s *Server) addShadow(id string, req json.RawMessage, owner, tenant string) {
 	cs := s.cluster
 	if cs == nil || s.isSettledLocally(id) {
 		return
 	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	cs.shadows[id] = shadowJob{Request: req, Owner: owner}
+	cs.shadows[id] = shadowJob{Request: req, Owner: owner, Tenant: tenant}
 }
 
 func (s *Server) removeShadow(id string) {
@@ -261,7 +285,7 @@ func (s *Server) shadowRecords() []journal.Record {
 	defer cs.mu.Unlock()
 	recs := make([]journal.Record, 0, len(cs.shadows))
 	for id, sh := range cs.shadows {
-		recs = append(recs, journal.Record{Type: journal.TypeAccepted, ID: id, Request: sh.Request, Owner: sh.Owner})
+		recs = append(recs, journal.Record{Type: journal.TypeAccepted, ID: id, Request: sh.Request, Owner: sh.Owner, Tenant: sh.Tenant})
 	}
 	return recs
 }
@@ -305,6 +329,14 @@ func (s *Server) maybeForwardSubmit(w http.ResponseWriter, r *http.Request, id s
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(forwardHeader, cs.c.Self())
+	// The owner re-runs admission policy (auth, class, quota, brownout,
+	// deadline) under its own state, so the tenant headers must survive
+	// the hop.
+	for _, h := range []string{"Authorization", HeaderClass, HeaderDeadline} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
 	resp, err := cs.proxy.Do(req)
 	if err != nil {
 		s.cfg.Log.Printf("cluster: forwarding %s to owner %s failed (%v); handling locally", id, owner, err)
@@ -363,6 +395,14 @@ func copyResponse(w http.ResponseWriter, resp *http.Response) {
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		w.Header().Set("Retry-After", ra)
 	}
+	// The owner's admission verdict — which KIND of 429 this is — must
+	// reach the client intact, or a terminal quota rejection looks like
+	// a retryable queue-full.
+	for _, h := range []string{HeaderBrownout, HeaderQuotaReason, HeaderQuotaTenant, HeaderQuotaLimit} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
 }
@@ -375,16 +415,17 @@ func copyResponse(w http.ResponseWriter, resp *http.Response) {
 // node can die without losing it. Unreachable replicas are tolerated
 // (they are probably dead, which is exactly when blocking acceptance
 // would turn a node failure into an outage).
-func (s *Server) replicateAccept(id string, reqJSON json.RawMessage) {
+func (s *Server) replicateAccept(j *job) {
 	cs := s.cluster
 	if cs == nil {
 		return
 	}
-	body, err := json.Marshal(clusterAcceptMsg{ID: id, Owner: cs.c.Self(), Request: reqJSON})
+	body, err := json.Marshal(clusterAcceptMsg{ID: j.id, Owner: cs.c.Self(), Request: j.reqJSON,
+		Tenant: j.tenant, DeadlineMS: remainingMS(j.deadline)})
 	if err != nil {
 		return
 	}
-	s.pushToReplicas(id, "/v1/cluster/accept", body)
+	s.pushToReplicas(j.id, "/v1/cluster/accept", body, j.deadline)
 }
 
 // replicateSettled pushes a settled snapshot to the rest of the
@@ -455,8 +496,10 @@ func (s *Server) replicateSettled(id string, snap storedJob) (storedJob, bool) {
 }
 
 // pushToReplicas POSTs body to every non-self member of id's replica
-// set, in parallel, two attempts each.
-func (s *Server) pushToReplicas(id, path string, body []byte) {
+// set, in parallel, two attempts each. A non-zero deadline stops the
+// retry: past the client's budget nobody is waiting for the 202, so
+// burning another RPC on it only deepens the overload.
+func (s *Server) pushToReplicas(id, path string, body []byte, deadline time.Time) {
 	cs := s.cluster
 	var wg sync.WaitGroup
 	for _, node := range cs.c.Replicas(id) {
@@ -468,6 +511,9 @@ func (s *Server) pushToReplicas(id, path string, body []byte) {
 			defer wg.Done()
 			var err error
 			for attempt := 0; attempt < 2; attempt++ {
+				if attempt > 0 && !deadline.IsZero() && time.Now().After(deadline) {
+					break
+				}
 				if err = cs.post(node+path, body); err == nil {
 					s.mReplications.Inc("ok")
 					return
@@ -526,8 +572,8 @@ func (s *Server) handleClusterAccept(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad accept message")
 		return
 	}
-	s.persistAccepted(msg.ID, msg.Request, msg.Owner)
-	s.addShadow(msg.ID, msg.Request, msg.Owner)
+	s.persistAccepted(msg.ID, msg.Request, msg.Owner, msg.Tenant)
+	s.addShadow(msg.ID, msg.Request, msg.Owner, msg.Tenant)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -614,14 +660,10 @@ func (s *Server) handleClusterSteal(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	var j *job
-	select {
-	case jj, ok := <-s.queue:
-		if ok {
-			j = jj
-		}
-	default:
-	}
+	// Steal hands over bulk work first (class priority): extra fleet
+	// capacity goes to the backlog, while latency-sensitive work stays
+	// next in line for the local workers.
+	j := s.sched.Steal()
 	if j == nil || j.sealed || len(j.reqJSON) == 0 {
 		// Nothing stealable; a drained-but-sealed job goes back to no
 		// one (it is already settled).
@@ -629,34 +671,30 @@ func (s *Server) handleClusterSteal(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	id, req := j.id, j.reqJSON
+	msg := clusterStealMsg{ID: j.id, Request: j.reqJSON, Tenant: j.tenant,
+		Class: classLabel(j.class), DeadlineMS: remainingMS(j.deadline)}
 	s.mu.Unlock()
 
 	// The thief gets 2x the per-check ceiling to come home before the
 	// job is re-enqueued locally.
 	time.AfterFunc(2*s.cfg.DefaultTimeout+5*time.Second, func() { s.requeueStolen(j) })
 	s.mSteals.Inc("victim")
-	writeJSON(w, http.StatusOK, clusterStealMsg{ID: id, Request: req})
+	writeJSON(w, http.StatusOK, msg)
 }
 
-// requeueStolen puts a stolen-but-never-settled job back on the local
-// queue. Retries while the queue is full; gives up on drain (the
-// journal re-enqueues it next boot).
+// requeueStolen puts a stolen-but-never-settled job back in its fair
+// queue. Force, not Push: the job is already promised to a client, so
+// admission caps do not apply. Gives up on drain (the journal
+// re-enqueues it next boot).
 func (s *Server) requeueStolen(j *job) {
 	s.mu.Lock()
 	if j.sealed || s.draining {
 		s.mu.Unlock()
 		return
 	}
-	select {
-	case s.queue <- j:
-		s.mu.Unlock()
-		s.cfg.Log.Printf("cluster: stolen job %s never came home; re-enqueued locally", j.id)
-		return
-	default:
-	}
+	s.sched.Force(j, 0)
 	s.mu.Unlock()
-	time.AfterFunc(time.Second, func() { s.requeueStolen(j) })
+	s.cfg.Log.Printf("cluster: stolen job %s never came home; re-enqueued locally", j.id)
 }
 
 // --- background loops ---
@@ -673,7 +711,7 @@ func (s *Server) stealLoop() {
 		case <-ticker.C:
 		}
 		s.mu.Lock()
-		idle := !s.draining && len(s.queue) == 0
+		idle := !s.draining && s.sched.Len() == 0
 		s.mu.Unlock()
 		if idle {
 			s.stealOnce()
@@ -713,6 +751,13 @@ func (s *Server) stealOnce() {
 		return
 	}
 
+	// The stolen job's remaining budget travels with it: an already
+	// expired deadline settles as cancelled without burning a worker,
+	// and a live one clamps the check's wall clock.
+	var deadline time.Time
+	if msg.DeadlineMS > 0 {
+		deadline = time.Now().Add(time.Duration(msg.DeadlineMS) * time.Millisecond)
+	}
 	var req CheckRequest
 	snapErr := json.Unmarshal(msg.Request, &req)
 	var cr *compiled
@@ -720,9 +765,17 @@ func (s *Server) stealOnce() {
 		cr, snapErr = s.compile(req)
 	}
 	var snap storedJob
-	if snapErr != nil {
+	switch {
+	case snapErr != nil:
 		snap = storedJob{Status: StatusFailed, Error: fmt.Sprintf("stolen job does not compile: %v", snapErr)}
-	} else {
+	case !deadline.IsZero() && time.Now().After(deadline):
+		snap = storedJob{Status: StatusFailed, Error: "deadline expired before the check started; cancelled at worker pickup"}
+	default:
+		if !deadline.IsZero() {
+			if rem := time.Until(deadline); rem > 0 && rem < cr.opts.Timeout {
+				cr.opts.Timeout = rem
+			}
+		}
 		// runCheck keeps stolen abstracted scenarios on the CEGAR
 		// pipeline — running the quotient straight through the portfolio
 		// would return an unrefined (possibly spurious) verdict.
@@ -825,7 +878,9 @@ func (s *Server) promoteShadow(id string, sh shadowJob) bool {
 		s.cfg.Log.Printf("cluster: shadowed job %s does not compile (%v); leaving it journaled", id, err)
 		return false
 	}
-	j := &job{id: id, key: cr.key, owner: s.cluster.c.Self(), sys: cr.sys, phi: cr.phi,
+	ten := s.tenants.lookup(sh.Tenant)
+	j := &job{id: id, key: cr.key, owner: s.cluster.c.Self(), tenant: ten.name, class: ten.class,
+		acceptedAt: time.Now(), sys: cr.sys, phi: cr.phi,
 		opts: cr.opts, pol: cr.pol, abs: cr.abs, reqJSON: sh.Request, status: StatusQueued, done: make(chan struct{})}
 	s.mu.Lock()
 	if _, dup := s.inflight[id]; dup {
@@ -837,17 +892,14 @@ func (s *Server) promoteShadow(id string, sh shadowJob) bool {
 		return false
 	}
 	s.inflight[id] = j
+	// Force: a promoted shadow is a promise the dead owner's client
+	// already holds — admission caps apply to new traffic only.
+	s.sched.Force(j, ten.weight)
 	s.mu.Unlock()
 	s.removeShadow(id)
 	// Re-journal under this node's ownership so a restart re-enqueues
 	// it directly instead of re-shadowing it.
-	s.persistAccepted(id, sh.Request, s.cluster.c.Self())
-	go func() {
-		select {
-		case s.queue <- j:
-		case <-s.baseCtx.Done():
-		}
-	}()
+	s.persistAccepted(id, sh.Request, s.cluster.c.Self(), ten.name)
 	return true
 }
 

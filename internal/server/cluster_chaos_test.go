@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -76,10 +77,28 @@ func buildVerdictd(t *testing.T) string {
 	return bin
 }
 
+// chaosTenantsFile writes the -tenants config the chaos fleet runs
+// under: the whole cluster enforces auth, quotas, and fair queuing
+// while the faults land. The chaos tenant itself is uncapped — the
+// harness is testing fault-tolerance, not admission control — but the
+// multi-tenant admission path is live on every request.
+func chaosTenantsFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	cfg := `[
+		{"name": "chaos", "token": "tok-chaos", "max_queued": -1},
+		{"name": "bulk-sweep", "token": "tok-bulk", "class": "bulk", "max_queued": 8}
+	]`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
 // startClusterNode launches one member and waits for it to serve
 // /healthz. The listen address is fixed (not :0) because its peers
 // were already told where to find it.
-func startClusterNode(t *testing.T, bin string, ports []int, i int, dataDir string) *clusterChaosNode {
+func startClusterNode(t *testing.T, bin string, ports []int, i int, dataDir string, extra ...string) *clusterChaosNode {
 	t.Helper()
 	var peers []string
 	for k, p := range ports {
@@ -88,16 +107,17 @@ func startClusterNode(t *testing.T, bin string, ports []int, i int, dataDir stri
 		}
 	}
 	addr := fmt.Sprintf("127.0.0.1:%d", ports[i])
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", addr,
-		"-advertise", "http://"+addr,
+		"-advertise", "http://" + addr,
 		"-peers", strings.Join(peers, ","),
 		"-replication", "2",
 		"-probe-interval", "100ms",
 		"-data-dir", dataDir,
 		"-workers", "2",
 		"-queue", "64",
-	)
+	}
+	cmd := exec.Command(bin, append(args, extra...)...)
 	// Drain stderr so the process can never block on a full pipe.
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -172,14 +192,24 @@ func awaitPeersHealthy(t *testing.T, base string, want int) {
 
 // clusterSubmit posts one model with a bounded client (a partitioned
 // peer must not hang the harness); only an acknowledgement creates a
-// durability promise.
+// durability promise. Submissions authenticate as the chaos tenant
+// and carry a generous propagated deadline — the harness asserts that
+// quotas and deadline propagation do not interfere with the
+// no-acked-job-lost contract.
 func clusterSubmit(base, model string) (string, bool) {
 	body, err := json.Marshal(CheckRequest{Model: model})
 	if err != nil {
 		return "", false
 	}
 	client := &http.Client{Timeout: 5 * time.Second}
-	resp, err := client.Post(base+"/v1/checks", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/checks", bytes.NewReader(body))
+	if err != nil {
+		return "", false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer tok-chaos")
+	req.Header.Set(HeaderDeadline, "120000")
+	resp, err := client.Do(req)
 	if err != nil {
 		return "", false
 	}
@@ -255,10 +285,11 @@ func clusterVerify(t *testing.T, base string, accepted map[string]*chaosPromise)
 // the restarted node must rejoin and serve them too.
 func TestClusterChaosKillOneNode(t *testing.T) {
 	bin := buildVerdictd(t)
+	tenants := chaosTenantsFile(t)
 	ports := pickPorts(t, 3)
 	nodes := make([]*clusterChaosNode, 3)
 	for i := range nodes {
-		nodes[i] = startClusterNode(t, bin, ports, i, filepath.Join(t.TempDir(), "data"))
+		nodes[i] = startClusterNode(t, bin, ports, i, filepath.Join(t.TempDir(), "data"), "-tenants", tenants)
 		defer nodes[i].kill()
 	}
 	for _, n := range nodes {
@@ -345,7 +376,7 @@ func TestClusterChaosKillOneNode(t *testing.T) {
 	}
 
 	// The killed node restarts on its own data dir and rejoins.
-	restarted := startClusterNode(t, bin, ports, victim, nodes[victim].dataDir)
+	restarted := startClusterNode(t, bin, ports, victim, nodes[victim].dataDir, "-tenants", tenants)
 	defer restarted.kill()
 	awaitPeersHealthy(t, restarted.base, 2)
 	clusterVerify(t, restarted.base, accepted)
@@ -358,10 +389,11 @@ func TestClusterChaosKillOneNode(t *testing.T) {
 // in serving identical bytes.
 func TestClusterChaosPartition(t *testing.T) {
 	bin := buildVerdictd(t)
+	tenants := chaosTenantsFile(t)
 	ports := pickPorts(t, 3)
 	nodes := make([]*clusterChaosNode, 3)
 	for i := range nodes {
-		nodes[i] = startClusterNode(t, bin, ports, i, filepath.Join(t.TempDir(), "data"))
+		nodes[i] = startClusterNode(t, bin, ports, i, filepath.Join(t.TempDir(), "data"), "-tenants", tenants)
 		defer nodes[i].kill()
 	}
 	for _, n := range nodes {

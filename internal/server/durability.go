@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"verdict/internal/cache"
 	"verdict/internal/journal"
@@ -104,8 +105,10 @@ func (d *durability) fail(log interface{ Printf(string, ...any) }, op string, er
 // under s.mu) before this append runs. owner is the cluster node that
 // promised the job to the client (empty single-node); a replica
 // journaling a peer's acceptance records the peer's URL so replay
-// shadows the job instead of re-enqueueing it.
-func (s *Server) persistAccepted(id string, reqJSON json.RawMessage, owner string) {
+// shadows the job instead of re-enqueueing it. tenant names the
+// admitting tenant so replay restores the fair-queue state (empty on
+// records from peers or pre-multi-tenancy versions → default tenant).
+func (s *Server) persistAccepted(id string, reqJSON json.RawMessage, owner, tenant string) {
 	d := s.durable
 	if d == nil || d.failed.Load() {
 		return
@@ -116,7 +119,7 @@ func (s *Server) persistAccepted(id string, reqJSON json.RawMessage, owner strin
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.j.Append(journal.Record{Type: journal.TypeAccepted, ID: id, Request: reqJSON, Owner: owner}); err != nil {
+	if err := d.j.Append(journal.Record{Type: journal.TypeAccepted, ID: id, Request: reqJSON, Owner: owner, Tenant: tenant}); err != nil {
 		d.fail(s.cfg.Log, "journal append", err)
 	}
 }
@@ -168,7 +171,7 @@ func (s *Server) maybeCompact() {
 	s.mu.Lock()
 	live := make([]journal.Record, 0, len(s.inflight))
 	for _, j := range s.inflight {
-		live = append(live, journal.Record{Type: journal.TypeAccepted, ID: j.id, Request: j.reqJSON, Owner: j.owner})
+		live = append(live, journal.Record{Type: journal.TypeAccepted, ID: j.id, Request: j.reqJSON, Owner: j.owner, Tenant: j.tenant})
 	}
 	s.mu.Unlock()
 	// Shadowed peer acceptances are live too: compacting them away
@@ -259,6 +262,7 @@ func (s *Server) replayJournal() {
 	type entry struct {
 		request json.RawMessage
 		owner   string
+		tenant  string
 		settled *storedJob
 	}
 	order := make([]string, 0, 64)
@@ -268,7 +272,7 @@ func (s *Server) replayJournal() {
 		switch rec.Type {
 		case journal.TypeAccepted:
 			if _, dup := jobs[rec.ID]; !dup {
-				jobs[rec.ID] = &entry{request: rec.Request, owner: rec.Owner}
+				jobs[rec.ID] = &entry{request: rec.Request, owner: rec.Owner, tenant: rec.Tenant}
 				order = append(order, rec.ID)
 			}
 		case journal.TypeWatch:
@@ -326,15 +330,15 @@ func (s *Server) replayJournal() {
 				// A peer's promise journaled here for replication: shadow
 				// it — run it only if the owner is declared dead — rather
 				// than re-enqueueing a job the owner is probably running.
-				s.addShadow(id, e.request, e.owner)
-				live = append(live, journal.Record{Type: journal.TypeAccepted, ID: id, Request: e.request, Owner: e.owner})
+				s.addShadow(id, e.request, e.owner, e.tenant)
+				live = append(live, journal.Record{Type: journal.TypeAccepted, ID: id, Request: e.request, Owner: e.owner, Tenant: e.tenant})
 				continue
 			}
-			if s.reenqueue(id, e.request, e.owner) {
+			if s.reenqueue(id, e.request, e.owner, e.tenant) {
 				// Record the live entry from the replayed bytes, not the
 				// job: a worker may already be settling it (and clearing
 				// its request) the moment reenqueue returns.
-				live = append(live, journal.Record{Type: journal.TypeAccepted, ID: id, Request: e.request, Owner: e.owner})
+				live = append(live, journal.Record{Type: journal.TypeAccepted, ID: id, Request: e.request, Owner: e.owner, Tenant: e.tenant})
 				d.replayed.Add(1)
 			}
 		}
@@ -367,8 +371,10 @@ func (s *Server) replayJournal() {
 
 // reenqueue recompiles a journaled request and admits it under its
 // original id. A request that no longer compiles (version skew,
-// damaged payload) settles as failed so its id still answers.
-func (s *Server) reenqueue(id string, reqJSON json.RawMessage, owner string) bool {
+// damaged payload) settles as failed so its id still answers. tenant
+// places the job back in its fair queue; records written before
+// multi-tenancy existed have none and map to the default tenant.
+func (s *Server) reenqueue(id string, reqJSON json.RawMessage, owner, tenant string) bool {
 	var req CheckRequest
 	err := json.Unmarshal(reqJSON, &req)
 	var cr *compiled
@@ -391,7 +397,9 @@ func (s *Server) reenqueue(id string, reqJSON json.RawMessage, owner string) boo
 		// the journaled id — it is the one the client holds.
 		s.cfg.Log.Printf("durability: journaled job %s recompiles to %s; keeping the journaled id", id, cr.id)
 	}
-	j := &job{id: id, key: cr.key, owner: owner, sys: cr.sys, phi: cr.phi, opts: cr.opts, pol: cr.pol,
+	ten := s.tenants.lookup(tenant)
+	j := &job{id: id, key: cr.key, owner: owner, tenant: ten.name, class: ten.class,
+		acceptedAt: time.Now(), sys: cr.sys, phi: cr.phi, opts: cr.opts, pol: cr.pol,
 		abs: cr.abs, reqJSON: reqJSON, status: StatusQueued, done: make(chan struct{})}
 	s.mu.Lock()
 	if _, dup := s.inflight[j.id]; dup {
@@ -400,10 +408,12 @@ func (s *Server) reenqueue(id string, reqJSON json.RawMessage, owner string) boo
 	}
 	s.inflight[j.id] = j
 	s.mu.Unlock()
-	// Blocking send: replay may enqueue more than QueueDepth jobs; the
-	// already-running workers drain it. Admission control applies to
-	// new traffic, not to work the daemon already promised.
-	s.queue <- j
+	// Force, not Push: replay may enqueue more than QueueDepth jobs.
+	// Admission control applies to new traffic, not to work the daemon
+	// already promised — but the job still lands in its tenant's fair
+	// queue, so a restart does not let one tenant's backlog jump ahead
+	// of everyone else's.
+	s.sched.Force(j, ten.weight)
 	return true
 }
 

@@ -1,0 +1,257 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// This file is verdictd's tenant-aware admission queue: the
+// replacement for the single bounded FIFO that let one bulk sweep
+// starve every interactive check behind it.
+//
+// Two traffic classes with strict priority: interactive work is
+// always dispatched before bulk work — a latency-sensitive check
+// never waits behind a parameter sweep, however deep the bulk backlog
+// is. Within a class, tenants are served by weighted round-robin
+// (each turn at the head of the ring grants a tenant `weight`
+// dispatches), so no tenant can monopolize its class and paid/heavier
+// tenants drain proportionally faster.
+//
+// Admission is bounded twice: a global depth cap (the old QueueDepth
+// contract — a full queue is 429 queue-full) and a per-tenant queued
+// cap (429 quota-exhausted, distinguishable on the wire). Work the
+// daemon already promised — journal replay, stolen jobs coming home,
+// promoted shadows — re-enters through Force, which bypasses both
+// caps but still lands in the owning tenant's queue so fairness
+// survives a restart.
+
+// Traffic classes. Interactive is dispatched strictly before bulk.
+const (
+	classInteractive = iota
+	classBulk
+	numClasses
+)
+
+// classLabel renders a class for metrics and headers.
+func classLabel(class int) string {
+	if class == classBulk {
+		return "bulk"
+	}
+	return "interactive"
+}
+
+// parseClass resolves a wire class name; unknown names (and "") keep
+// the fallback.
+func parseClass(name string, fallback int) int {
+	switch name {
+	case "interactive":
+		return classInteractive
+	case "bulk":
+		return classBulk
+	}
+	return fallback
+}
+
+// Admission errors, mapped to the two distinct 429 shapes.
+var (
+	errQueueFull   = errors.New("job queue full")
+	errTenantQuota = errors.New("tenant queued-job quota exhausted")
+)
+
+// schedTenant is one tenant's queues inside the scheduler.
+type schedTenant struct {
+	name    string
+	weight  int
+	queues  [numClasses][]*job
+	queued  int // across classes
+	credit  int // remaining dispatches in the current WRR turn
+	ringing [numClasses]bool
+}
+
+// sched is the weighted-fair, class-prioritized job queue.
+type sched struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+
+	maxDepth int
+	depth    int
+
+	tenants map[string]*schedTenant
+	ring    [numClasses][]*schedTenant // WRR ring per class
+}
+
+func newSched(maxDepth int) *sched {
+	q := &sched{maxDepth: maxDepth, tenants: make(map[string]*schedTenant)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *sched) tenantLocked(name string, weight int) *schedTenant {
+	tq, ok := q.tenants[name]
+	if !ok {
+		if weight <= 0 {
+			weight = 1
+		}
+		tq = &schedTenant{name: name, weight: weight}
+		q.tenants[name] = tq
+	}
+	return tq
+}
+
+// Push admits a job under both caps. maxQueued <= 0 means the tenant
+// has no cap of its own (only the global depth applies).
+func (q *sched) Push(j *job, weight, maxQueued int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.depth >= q.maxDepth {
+		return errQueueFull
+	}
+	tq := q.tenantLocked(j.tenant, weight)
+	if maxQueued > 0 && tq.queued >= maxQueued {
+		return errTenantQuota
+	}
+	q.enqueueLocked(tq, j)
+	return nil
+}
+
+// Force enqueues work the daemon already promised (replay, stolen
+// jobs coming home, promoted shadows), bypassing both admission caps.
+func (q *sched) Force(j *job, weight int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.enqueueLocked(q.tenantLocked(j.tenant, weight), j)
+}
+
+func (q *sched) enqueueLocked(tq *schedTenant, j *job) {
+	class := j.class
+	if class < 0 || class >= numClasses {
+		class = classInteractive
+	}
+	tq.queues[class] = append(tq.queues[class], j)
+	tq.queued++
+	if !tq.ringing[class] {
+		tq.ringing[class] = true
+		q.ring[class] = append(q.ring[class], tq)
+	}
+	q.depth++
+	q.cond.Signal()
+}
+
+// Pop blocks until a job is available, dequeued fairly; ok is false
+// once the scheduler is closed and empty (worker shutdown).
+func (q *sched) Pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.depth == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.depth == 0 {
+		return nil, false
+	}
+	return q.dequeueLocked(classInteractive, classBulk), true
+}
+
+// Steal hands one queued job to an idle peer, bulk class first: bulk
+// work benefits most from extra capacity elsewhere, while interactive
+// work is served next by the local strict-priority dispatch anyway —
+// shipping it across the network would add a hop to exactly the
+// traffic that is latency-sensitive.
+func (q *sched) Steal() *job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.depth == 0 {
+		return nil
+	}
+	return q.dequeueLocked(classBulk, classInteractive)
+}
+
+// dequeueLocked serves the classes in the given preference order,
+// weighted round-robin among the tenants inside each.
+func (q *sched) dequeueLocked(classes ...int) *job {
+	for _, class := range classes {
+		for len(q.ring[class]) > 0 {
+			tq := q.ring[class][0]
+			if len(tq.queues[class]) == 0 {
+				// Drained during its turn: leave the ring.
+				tq.ringing[class] = false
+				tq.credit = 0
+				q.ring[class] = q.ring[class][1:]
+				continue
+			}
+			if tq.credit <= 0 {
+				tq.credit = tq.weight
+			}
+			j := tq.queues[class][0]
+			tq.queues[class][0] = nil
+			tq.queues[class] = tq.queues[class][1:]
+			tq.queued--
+			tq.credit--
+			q.depth--
+			if tq.credit == 0 || len(tq.queues[class]) == 0 {
+				// Turn over: rotate to the ring's tail (or leave it, if
+				// the tenant has nothing further queued in this class).
+				tq.credit = 0
+				q.ring[class] = q.ring[class][1:]
+				if len(tq.queues[class]) > 0 {
+					q.ring[class] = append(q.ring[class], tq)
+				} else {
+					tq.ringing[class] = false
+				}
+			}
+			return j
+		}
+	}
+	return nil
+}
+
+// Close stops admission-side blocking: Pop drains what is queued and
+// then reports done. Safe to call more than once.
+func (q *sched) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Len is the number of queued (admitted, unstarted) jobs.
+func (q *sched) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth
+}
+
+// QueuedFor reports one tenant's queued-job count (quota accounting
+// and tests).
+func (q *sched) QueuedFor(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if tq, ok := q.tenants[tenant]; ok {
+		return tq.queued
+	}
+	return 0
+}
+
+// OldestWait is the age of the oldest queued job — the brownout
+// ladder's admission-time signal: when the workers are wedged and no
+// pickups happen, measured queue waits stop arriving, but the head of
+// the queue keeps aging.
+func (q *sched) OldestWait(now time.Time) time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var oldest time.Duration
+	for _, tq := range q.tenants {
+		for class := 0; class < numClasses; class++ {
+			if len(tq.queues[class]) == 0 {
+				continue
+			}
+			if j := tq.queues[class][0]; !j.acceptedAt.IsZero() {
+				if age := now.Sub(j.acceptedAt); age > oldest {
+					oldest = age
+				}
+			}
+		}
+	}
+	return oldest
+}

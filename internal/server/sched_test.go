@@ -1,0 +1,160 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func schedJob(tenant string, class int) *job {
+	return &job{id: fmt.Sprintf("%s-%d-%p", tenant, class, &tenant), tenant: tenant, class: class}
+}
+
+// TestSchedClassPriority: interactive work is dispatched strictly
+// before bulk, however deep the bulk backlog is.
+func TestSchedClassPriority(t *testing.T) {
+	q := newSched(64)
+	for i := 0; i < 5; i++ {
+		q.Force(schedJob("bulk-tenant", classBulk), 1)
+	}
+	q.Force(schedJob("vip", classInteractive), 1)
+	j, ok := q.Pop()
+	if !ok || j.class != classInteractive {
+		t.Fatalf("first pop: %+v, want the interactive job ahead of 5 queued bulk jobs", j)
+	}
+	for i := 0; i < 5; i++ {
+		if j, ok := q.Pop(); !ok || j.class != classBulk {
+			t.Fatalf("pop %d: %+v, want bulk", i, j)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("len after drain: %d", q.Len())
+	}
+}
+
+// TestSchedWeightedFairness: within a class, tenants drain in
+// proportion to their weights — a weight-3 tenant gets 3 dispatches
+// per ring turn to a weight-1 tenant's 1.
+func TestSchedWeightedFairness(t *testing.T) {
+	q := newSched(256)
+	for i := 0; i < 20; i++ {
+		q.Force(schedJob("heavy", classInteractive), 3)
+		q.Force(schedJob("light", classInteractive), 1)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 16; i++ {
+		j, ok := q.Pop()
+		if !ok {
+			t.Fatal("pop came up empty with jobs queued")
+		}
+		counts[j.tenant]++
+	}
+	// 16 dispatches = 4 full ring turns of (3 heavy + 1 light).
+	if counts["heavy"] != 12 || counts["light"] != 4 {
+		t.Errorf("dispatch split after 16 pops: %v, want heavy=12 light=4", counts)
+	}
+	// The light tenant is never starved outright: it appears in every
+	// 4-dispatch window.
+	q2 := newSched(256)
+	for i := 0; i < 8; i++ {
+		q2.Force(schedJob("heavy", classInteractive), 3)
+		q2.Force(schedJob("light", classInteractive), 1)
+	}
+	sinceLight := 0
+	for q2.Len() > 0 {
+		j, _ := q2.Pop()
+		if j.tenant == "light" {
+			sinceLight = 0
+			continue
+		}
+		if sinceLight++; sinceLight > 3 {
+			t.Fatal("light tenant starved for more than one full WRR turn")
+		}
+	}
+}
+
+// TestSchedQuotaVsQueueFull: the per-tenant cap and the global cap
+// surface as distinct errors, and Force bypasses both.
+func TestSchedQuotaVsQueueFull(t *testing.T) {
+	q := newSched(3)
+	if err := q.Push(schedJob("a", classInteractive), 1, 1); err != nil {
+		t.Fatalf("first push: %v", err)
+	}
+	if err := q.Push(schedJob("a", classInteractive), 1, 1); err != errTenantQuota {
+		t.Fatalf("over-quota push: %v, want errTenantQuota", err)
+	}
+	// Another tenant is unaffected by a's quota.
+	if err := q.Push(schedJob("b", classInteractive), 1, 0); err != nil {
+		t.Fatalf("tenant b push: %v", err)
+	}
+	if err := q.Push(schedJob("b", classInteractive), 1, 0); err != nil {
+		t.Fatalf("tenant b push 2: %v", err)
+	}
+	// Global depth (3) is now exhausted: even an under-quota tenant is
+	// shed, with the queue-full shape.
+	if err := q.Push(schedJob("c", classInteractive), 1, 0); err != errQueueFull {
+		t.Fatalf("push past global depth: %v, want errQueueFull", err)
+	}
+	// Promised work (replay, stolen jobs) still lands.
+	q.Force(schedJob("a", classInteractive), 1)
+	if q.Len() != 4 {
+		t.Errorf("len after Force past the cap: %d, want 4", q.Len())
+	}
+	if got := q.QueuedFor("a"); got != 2 {
+		t.Errorf("QueuedFor(a) = %d, want 2", got)
+	}
+}
+
+// TestSchedStealPrefersBulk: work-stealing hands out bulk work first —
+// local strict-priority dispatch serves interactive next anyway.
+func TestSchedStealPrefersBulk(t *testing.T) {
+	q := newSched(16)
+	q.Force(schedJob("t", classInteractive), 1)
+	q.Force(schedJob("t", classBulk), 1)
+	if j := q.Steal(); j == nil || j.class != classBulk {
+		t.Fatalf("steal: %+v, want the bulk job", j)
+	}
+	if j, ok := q.Pop(); !ok || j.class != classInteractive {
+		t.Fatalf("pop after steal: %+v, want the interactive job", j)
+	}
+	if j := q.Steal(); j != nil {
+		t.Fatalf("steal from empty queue: %+v, want nil", j)
+	}
+}
+
+// TestSchedCloseDrains: Close stops blocking but queued work still
+// pops until empty, then Pop reports done.
+func TestSchedCloseDrains(t *testing.T) {
+	q := newSched(16)
+	q.Force(schedJob("t", classInteractive), 1)
+	q.Force(schedJob("t", classBulk), 1)
+	q.Close()
+	for i := 0; i < 2; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatalf("pop %d after close: queue reported empty with jobs left", i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on a closed empty queue returned a job")
+	}
+	q.Close() // idempotent
+}
+
+// TestSchedOldestWait: the brownout signal sees the age of the oldest
+// queued job across tenants and classes.
+func TestSchedOldestWait(t *testing.T) {
+	q := newSched(16)
+	now := time.Now()
+	if got := q.OldestWait(now); got != 0 {
+		t.Fatalf("empty queue OldestWait: %v", got)
+	}
+	young := schedJob("a", classInteractive)
+	young.acceptedAt = now.Add(-time.Second)
+	old := schedJob("b", classBulk)
+	old.acceptedAt = now.Add(-5 * time.Second)
+	q.Force(young, 1)
+	q.Force(old, 1)
+	if got := q.OldestWait(now); got != 5*time.Second {
+		t.Errorf("OldestWait: %v, want 5s", got)
+	}
+}

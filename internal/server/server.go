@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -111,6 +112,20 @@ type Config struct {
 	// ClusterProbeInterval is the peer health-probe period (default
 	// 500ms).
 	ClusterProbeInterval time.Duration
+	// Tenants, when non-empty, switches on multi-tenant admission:
+	// POST /v1/checks and the watch endpoints require a configured
+	// bearer token, and each tenant gets its own traffic class,
+	// weighted-fair share, rate limit, and queued-job quota. Empty
+	// keeps the historical single-tenant open daemon.
+	Tenants []TenantConfig
+	// BrownoutThreshold is the smoothed queue-wait at which the
+	// degradation ladder engages (shed bulk at T, cache-only at 2T,
+	// shed everything at 4T). 0 defaults to DefaultTimeout/4; negative
+	// disables the ladder.
+	BrownoutThreshold time.Duration
+	// BrownoutHold is how long the pressure signal must stay calm for
+	// each hysteretic de-escalation step (default 2s).
+	BrownoutHold time.Duration
 	// Check overrides the verification function (tests).
 	Check CheckFunc
 	// Log receives operational messages (default log.Default()).
@@ -135,6 +150,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRetryAttempts <= 0 {
 		c.MaxRetryAttempts = 3
+	}
+	if c.BrownoutThreshold == 0 {
+		c.BrownoutThreshold = c.DefaultTimeout / 4
 	}
 	if c.Check == nil {
 		c.Check = defaultCheck
@@ -174,6 +192,18 @@ type job struct {
 	// owner is the advertised URL of the cluster node that promised
 	// this job to a client; empty in single-node mode.
 	owner string
+	// tenant and class place the job in the fair scheduler; journaled
+	// with the acceptance so replay restores the fair-queue state.
+	tenant string
+	class  int
+	// acceptedAt stamps admission, feeding the queue-wait histogram
+	// and the brownout signal at worker pickup. Zero for watch-session
+	// verify passes, which never queue.
+	acceptedAt time.Time
+	// deadline is the client's propagated budget; zero means none. An
+	// expired job is cancelled at pickup instead of run, and a running
+	// job's check timeout is clamped to the remaining budget.
+	deadline time.Time
 
 	sys  *ts.System
 	phi  *ltl.Formula
@@ -208,8 +238,14 @@ type Server struct {
 	finished *cache.LRU      // id → *job with result (content-addressed result cache)
 	draining bool
 
-	queue chan *job
-	wg    sync.WaitGroup
+	// sched is the tenant-aware fair admission queue (sched.go); brown
+	// is the overload-degradation ladder it feeds; tenants indexes the
+	// configured auth tokens/quotas. Lock ordering: s.mu before
+	// sched.mu — the scheduler never calls back into the server.
+	sched   *sched
+	brown   *brownout
+	tenants *tenantSet
+	wg      sync.WaitGroup
 
 	// durable is the crash-safety layer (journal + disk-backed result
 	// store); nil when Config.DataDir is unset or the disk failed at
@@ -250,10 +286,15 @@ type Server struct {
 	mForwards     *metrics.Counter
 	mReplications *metrics.Counter
 	mSteals       *metrics.Counter
+	mTenantSub    *metrics.Counter
+	mTenantRej    *metrics.Counter
+	mShed         *metrics.Counter
+	mExpired      *metrics.Counter
 	gQueueDepth   *metrics.Gauge
 	gInflight     *metrics.Gauge
 	gCacheSize    *metrics.Gauge
 	hLatency      *metrics.Histogram
+	hQueueWait    *metrics.Histogram
 
 	mWatchEvents    *metrics.Counter
 	mWatchRechecks  *metrics.Counter
@@ -273,9 +314,11 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		inflight: make(map[string]*job),
 		finished: cache.NewLRU(cfg.CacheSize),
-		queue:    make(chan *job, cfg.QueueDepth),
+		sched:    newSched(cfg.QueueDepth),
+		tenants:  newTenantSet(cfg.Tenants, cfg.QueueDepth),
 		reg:      metrics.NewRegistry(),
 	}
+	s.brown = newBrownout(cfg.BrownoutThreshold, cfg.BrownoutHold, s.sched.OldestWait)
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 
 	if cfg.DataDir != "" {
@@ -312,6 +355,14 @@ func New(cfg Config) *Server {
 	s.gCacheSize = s.reg.Gauge("verdictd_cache_entries", "Finished jobs held in the result cache.")
 	s.hLatency = s.reg.Histogram("verdictd_check_duration_seconds", "Wall-clock time of finished checks, by deciding engine.",
 		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}, "engine")
+	s.hQueueWait = s.reg.Histogram("verdictd_queue_wait_seconds", "Time between a job's acceptance (202) and its worker pickup, by traffic class — the brownout ladder's input signal and the queueing half of end-to-end latency.",
+		[]float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30}, "class")
+	s.mTenantSub = s.reg.Counter("verdictd_tenant_submissions_total", "Authenticated check submissions, by tenant and effective traffic class.", "tenant", "class")
+	s.mTenantRej = s.reg.Counter("verdictd_tenant_rejections_total", "Submissions rejected per tenant, by reason (auth/rate/quota/brownout/queue_full).", "tenant", "reason")
+	s.mShed = s.reg.Counter("verdictd_brownout_shed_total", "Submissions shed by the brownout ladder, by traffic class.", "class")
+	s.mExpired = s.reg.Counter("verdictd_deadline_cancellations_total", "Jobs whose propagated deadline expired before worker pickup; cancelled instead of run.")
+	s.reg.GaugeFunc("verdictd_brownout_level", "Current overload-degradation level: 0 normal, 1 shedding bulk, 2 cache-only, 3 shedding everything.",
+		func() float64 { return float64(s.brown.Level()) })
 	s.reg.CounterFunc("verdictd_journal_corrupt_records_total", "Damaged journal records (bad CRC, torn tail, garbage) detected and skipped during startup replay.",
 		func() float64 { return s.durableStat(func(d *durability) int64 { return d.corrupt.Load() }) })
 	s.reg.CounterFunc("verdictd_journal_replayed_jobs_total", "Accepted-but-unsettled jobs re-enqueued from the journal at startup.",
@@ -396,7 +447,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.sched.Close()
 	}
 	s.mu.Unlock()
 	idle := make(chan struct{})
@@ -429,12 +480,60 @@ func (s *Server) Close() {
 
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.sched.Pop()
+		if !ok {
+			return
+		}
 		s.runJob(j)
 	}
 }
 
+// cancelExpired settles a job whose propagated deadline passed while
+// it sat in the queue: running it now would burn a worker on an
+// answer nobody is waiting for. The cancellation is a real settlement
+// — replicated, journaled, published — so the 202 the client holds
+// still resolves (to a failure naming the deadline), and a restart
+// does not resurrect the job.
+func (s *Server) cancelExpired(j *job) {
+	s.mu.Lock()
+	if j.sealed {
+		s.mu.Unlock()
+		return
+	}
+	j.sealed = true
+	s.mu.Unlock()
+	snap := storedJob{Status: StatusFailed, Error: "deadline expired before the check started; cancelled at worker pickup"}
+	if remote, conflict := s.replicateSettled(j.id, snap); conflict {
+		if _, ok := decodeStored(j.id, mustMarshal(remote)); ok {
+			snap = remote
+		}
+	}
+	s.persistSettled(j, snap)
+	var res *mc.Result
+	if snap.Status == StatusDone {
+		if dec, ok := decodeStored(j.id, mustMarshal(snap)); ok {
+			res = dec.result
+		}
+	}
+	s.publish(j, snap, res)
+	s.mExpired.Inc()
+	s.mChecks.Inc("expired")
+}
+
 func (s *Server) runJob(j *job) {
+	// Queue wait (acceptance → pickup) is the overload signal: it feeds
+	// the histogram and the brownout ladder before the job runs. Watch
+	// verify passes call runJob directly with a zero acceptedAt.
+	if !j.acceptedAt.IsZero() {
+		wait := time.Since(j.acceptedAt)
+		s.hQueueWait.Observe(wait.Seconds(), classLabel(j.class))
+		s.brown.Observe(wait)
+	}
+	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+		s.cancelExpired(j)
+		return
+	}
 	s.mu.Lock()
 	if j.sealed {
 		// A peer settled this job while it sat in the queue (a stolen
@@ -443,6 +542,13 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	j.status = StatusRunning
+	// Clamp the check's wall clock to the remaining budget: a job
+	// cannot outlive the deadline its client stopped waiting at.
+	if !j.deadline.IsZero() {
+		if rem := time.Until(j.deadline); rem > 0 && rem < j.opts.Timeout {
+			j.opts.Timeout = rem
+		}
+	}
 	s.mu.Unlock()
 	s.gInflight.Add(1)
 	start := time.Now()
@@ -611,7 +717,42 @@ func (w *codeWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// authorize resolves the request's tenant, answering 401 itself when
+// tenants are configured and the bearer token is missing or unknown.
+func (s *Server) authorize(w http.ResponseWriter, r *http.Request) (*tenantState, bool) {
+	st, err := s.tenants.authenticate(r)
+	if err != nil {
+		s.mTenantRej.Inc("unknown", "auth")
+		w.Header().Set("WWW-Authenticate", `Bearer realm="verdictd"`)
+		writeError(w, http.StatusUnauthorized, "unauthorized: "+err.Error())
+		return nil, false
+	}
+	return st, true
+}
+
+// parseDeadline resolves the client's propagated budget from the
+// X-Verdict-Deadline-Ms header (remaining milliseconds — a duration,
+// not a wall-clock instant, so nodes need no clock agreement). Zero
+// means no deadline.
+func parseDeadline(r *http.Request) time.Time {
+	raw := r.Header.Get(HeaderDeadline)
+	if raw == "" {
+		return time.Time{}
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || ms <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(time.Duration(ms) * time.Millisecond)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.authorize(w, r)
+	if !ok {
+		return
+	}
+	class := requestClass(r, st)
+	deadline := parseDeadline(r)
 	var req CheckRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
@@ -629,6 +770,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "request does not re-serialize: "+err.Error())
 		return
 	}
+	s.mTenantSub.Inc(st.name, classLabel(class))
+	// One brownout assessment per admission decision. Level 3 sheds
+	// before even the cache is consulted; below that, cached answers
+	// are always served — they cost no worker time and stay sound.
+	level := s.brown.Level()
+	if level >= 3 {
+		s.shed(w, st, class, level, "shedding all submissions")
+		return
+	}
 	// Warm the LRU from the disk-backed store first, so results that
 	// outlived the LRU (or a restart) are cache hits, not re-runs.
 	s.restoreFromStore(cr.id)
@@ -638,8 +788,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Route the job to its ring owner, so identical submissions landing
 	// anywhere in the fleet collapse onto the owner's singleflight and
 	// result cache. Local state was checked first: what this node
-	// already holds it serves without a hop.
+	// already holds it serves without a hop. The owner re-runs
+	// admission policy under its own tenant config and brownout state;
+	// the forward carries the auth, class, and deadline headers.
 	if s.maybeForwardSubmit(w, r, cr.id, reqJSON) {
+		return
+	}
+	// Past the cache: this submission needs a worker. Level 2 is
+	// cache-only service; level 1 sheds the bulk class.
+	if level >= 2 {
+		s.shed(w, st, class, level, "serving cached answers only")
+		return
+	}
+	if level >= 1 && class == classBulk {
+		s.shed(w, st, class, level, "shedding bulk-class submissions")
+		return
+	}
+	// Token-bucket rate limit — a per-tenant 429 distinct from queue
+	// pressure, so a well-behaved tenant's client backs off while an
+	// abusive one is contained.
+	if !st.allow(time.Now()) {
+		s.mTenantRej.Inc(st.name, "rate")
+		w.Header().Set(HeaderQuotaReason, "rate")
+		w.Header().Set(HeaderQuotaTenant, st.name)
+		w.Header().Set(HeaderQuotaLimit, fmt.Sprintf("%g/s", st.rate))
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, fmt.Sprintf("tenant %q rate limit exceeded", st.name))
 		return
 	}
 	var owner string
@@ -662,13 +836,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new checks")
 		return
 	}
-	j := &job{id: cr.id, key: cr.key, owner: owner, sys: cr.sys, phi: cr.phi,
+	j := &job{id: cr.id, key: cr.key, owner: owner, tenant: st.name, class: class,
+		acceptedAt: time.Now(), deadline: deadline, sys: cr.sys, phi: cr.phi,
 		opts: cr.opts, pol: cr.pol, abs: cr.abs, reqJSON: reqJSON, status: StatusQueued, done: make(chan struct{})}
-	select {
-	case s.queue <- j:
-	default:
+	switch err := s.sched.Push(j, st.weight, st.maxQueued); err {
+	case nil:
+	case errTenantQuota:
+		s.mu.Unlock()
+		s.mTenantRej.Inc(st.name, "quota")
+		w.Header().Set(HeaderQuotaReason, "queued")
+		w.Header().Set(HeaderQuotaTenant, st.name)
+		w.Header().Set(HeaderQuotaLimit, fmt.Sprintf("%d", st.maxQueued))
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, fmt.Sprintf("tenant %q queued-job quota (%d) exhausted", st.name, st.maxQueued))
+		return
+	default: // errQueueFull — the historical shape, no quota headers
 		s.mu.Unlock()
 		s.mRejections.Inc()
+		s.mTenantRej.Inc(st.name, "queue_full")
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "job queue full")
 		return
@@ -678,10 +863,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Journal the acceptance (fsync'd) and push it to the replica set
 	// before acknowledging: once the client holds this id, neither a
 	// crash nor the death of this node can lose the job.
-	s.persistAccepted(j.id, reqJSON, owner)
-	s.replicateAccept(j.id, reqJSON)
+	s.persistAccepted(j.id, reqJSON, owner, j.tenant)
+	s.replicateAccept(j)
 	s.mCacheMiss.Inc()
 	s.writeJob(w, http.StatusAccepted, j, false)
+}
+
+// shed rejects a submission under the brownout ladder: a 429 carrying
+// the level so clients can tell overload-shedding from quota or
+// queue-full rejections.
+func (s *Server) shed(w http.ResponseWriter, st *tenantState, class, level int, why string) {
+	s.mShed.Inc(classLabel(class))
+	s.mTenantRej.Inc(st.name, "brownout")
+	w.Header().Set(HeaderBrownout, strconv.Itoa(level))
+	w.Header().Set("Retry-After", "2")
+	writeError(w, http.StatusTooManyRequests, fmt.Sprintf("brownout level %d: %s", level, why))
 }
 
 // answerFromCache serves a submission from the in-flight table (the
@@ -798,6 +994,12 @@ type HealthzResponse struct {
 		Status   string `json:"status"`
 		Sessions int    `json:"sessions"`
 	} `json:"watch"`
+	// Brownout reports the overload-degradation ladder: level 0 is
+	// normal service, 1 sheds bulk, 2 serves cached answers only, 3
+	// sheds everything.
+	Brownout struct {
+		Level int `json:"level"`
+	} `json:"brownout"`
 	// PeersHealthy mirrors Cluster.PeersHealthy at the top level for
 	// clients of the pre-structured body (cluster mode only).
 	PeersHealthy *int `json:"peers_healthy,omitempty"`
@@ -835,6 +1037,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	body.Watch.Status = "ok"
 	body.Watch.Sessions = s.watchSessionCount()
+	body.Brownout.Level = s.brown.Level()
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -849,7 +1052,7 @@ func (s *Server) degraded() bool {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Pull-model gauges: sampled at scrape time.
-	s.gQueueDepth.Set(float64(len(s.queue)))
+	s.gQueueDepth.Set(float64(s.sched.Len()))
 	s.gCacheSize.Set(float64(s.finished.Len()))
 	s.reg.ServeHTTP(w, r)
 }

@@ -1,0 +1,254 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Multi-tenant admission: static token authentication, per-tenant
+// traffic class / weight / rate limit / queued-job quota.
+//
+// Tenants come from a JSON file (verdictd -tenants). With no file
+// configured the daemon keeps its historical single-tenant behavior:
+// no auth required, every request admitted under the implicit
+// "default" tenant at interactive class with the full queue as its
+// quota. With a file configured, POST /v1/checks and the watch
+// endpoints require `Authorization: Bearer <token>`.
+
+// Admission wire headers. Deadline and class propagate across cluster
+// forwards; the quota/brownout headers let clients tell the three 429
+// shapes apart (quota-exhausted: terminal for the tenant; brownout:
+// back off longer; queue-full: retry as before).
+const (
+	// HeaderClass demotes a request's traffic class ("bulk"); it can
+	// never promote past the tenant's configured class.
+	HeaderClass = "X-Verdict-Class"
+	// HeaderDeadline carries the client's remaining budget in
+	// milliseconds; the job is cancelled rather than run once it
+	// expires.
+	HeaderDeadline = "X-Verdict-Deadline-Ms"
+	// HeaderBrownout marks an overload-shedding 429 with the ladder
+	// level that shed it.
+	HeaderBrownout = "X-Verdict-Brownout"
+	// HeaderQuotaReason marks a per-tenant 429 ("rate" or "queued") —
+	// terminal for the tenant, unlike a queue-full 429.
+	HeaderQuotaReason = "X-Verdict-Quota-Reason"
+	// HeaderQuotaTenant and HeaderQuotaLimit name the tenant and the
+	// limit that was hit.
+	HeaderQuotaTenant = "X-Verdict-Quota-Tenant"
+	HeaderQuotaLimit  = "X-Verdict-Quota-Limit"
+)
+
+// TenantConfig is one entry in the -tenants file.
+type TenantConfig struct {
+	// Name labels the tenant in metrics, journal records, and quota
+	// headers. Required, unique.
+	Name string `json:"name"`
+	// Token is the static bearer token. Required, unique.
+	Token string `json:"token"`
+	// Class is the default traffic class: "interactive" (default) or
+	// "bulk". A request may demote itself with X-Verdict-Class, never
+	// promote.
+	Class string `json:"class,omitempty"`
+	// Weight is the tenant's weighted-round-robin share within its
+	// class (default 1).
+	Weight int `json:"weight,omitempty"`
+	// Rate is a sustained submissions-per-second token-bucket limit
+	// (0 = unlimited).
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the bucket depth when Rate is set (default: ceil(Rate),
+	// minimum 1).
+	Burst int `json:"burst,omitempty"`
+	// MaxQueued caps the tenant's jobs queued at once. 0 means the
+	// fair share max(1, QueueDepth/numTenants); negative means
+	// uncapped (global queue depth only).
+	MaxQueued int `json:"max_queued,omitempty"`
+}
+
+// LoadTenantsFile parses and validates a -tenants JSON array.
+func LoadTenantsFile(path string) ([]TenantConfig, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfgs []TenantConfig
+	if err := json.Unmarshal(raw, &cfgs); err != nil {
+		return nil, fmt.Errorf("tenants file %s: %w", path, err)
+	}
+	names := make(map[string]bool, len(cfgs))
+	tokens := make(map[string]bool, len(cfgs))
+	for i, c := range cfgs {
+		if c.Name == "" {
+			return nil, fmt.Errorf("tenants file %s: entry %d: missing name", path, i)
+		}
+		if c.Token == "" {
+			return nil, fmt.Errorf("tenants file %s: tenant %q: missing token", path, c.Name)
+		}
+		if names[c.Name] {
+			return nil, fmt.Errorf("tenants file %s: duplicate tenant name %q", path, c.Name)
+		}
+		if tokens[c.Token] {
+			return nil, fmt.Errorf("tenants file %s: tenant %q: duplicate token", path, c.Name)
+		}
+		switch c.Class {
+		case "", "interactive", "bulk":
+		default:
+			return nil, fmt.Errorf("tenants file %s: tenant %q: unknown class %q", path, c.Name, c.Class)
+		}
+		if c.Rate < 0 {
+			return nil, fmt.Errorf("tenants file %s: tenant %q: negative rate", path, c.Name)
+		}
+		names[c.Name] = true
+		tokens[c.Token] = true
+	}
+	return cfgs, nil
+}
+
+// tenantState is one tenant's runtime admission state.
+type tenantState struct {
+	name      string
+	class     int
+	weight    int
+	maxQueued int // <=0: uncapped
+
+	mu         sync.Mutex
+	rate       float64 // tokens/sec; 0 = unlimited
+	burst      float64
+	tokens     float64
+	lastRefill time.Time
+}
+
+// allow spends one rate token, refilling by elapsed time first.
+func (t *tenantState) allow(now time.Time) bool {
+	if t.rate <= 0 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.lastRefill.IsZero() {
+		t.tokens += now.Sub(t.lastRefill).Seconds() * t.rate
+		if t.tokens > t.burst {
+			t.tokens = t.burst
+		}
+	} else {
+		t.tokens = t.burst
+	}
+	t.lastRefill = now
+	if t.tokens < 1 {
+		return false
+	}
+	t.tokens--
+	return true
+}
+
+// tenantSet indexes the configured tenants. A nil/empty set means
+// single-tenant mode: authenticate() always returns the default
+// tenant and never rejects.
+type tenantSet struct {
+	byToken map[string]*tenantState
+	byName  map[string]*tenantState
+	def     *tenantState
+}
+
+// defaultTenantName labels requests admitted without tenant config
+// (single-tenant mode) and journal records that predate multi-tenancy.
+const defaultTenantName = "default"
+
+func newTenantSet(cfgs []TenantConfig, queueDepth int) *tenantSet {
+	ts := &tenantSet{
+		byToken: make(map[string]*tenantState, len(cfgs)),
+		byName:  make(map[string]*tenantState, len(cfgs)+1),
+	}
+	fairShare := 0
+	if len(cfgs) > 0 {
+		fairShare = queueDepth / len(cfgs)
+		if fairShare < 1 {
+			fairShare = 1
+		}
+	}
+	for _, c := range cfgs {
+		st := &tenantState{
+			name:      c.Name,
+			class:     parseClass(c.Class, classInteractive),
+			weight:    c.Weight,
+			maxQueued: c.MaxQueued,
+			rate:      c.Rate,
+		}
+		if st.weight <= 0 {
+			st.weight = 1
+		}
+		if st.maxQueued == 0 {
+			st.maxQueued = fairShare
+		} else if st.maxQueued < 0 {
+			st.maxQueued = 0 // uncapped
+		}
+		if st.rate > 0 {
+			st.burst = float64(c.Burst)
+			if st.burst < 1 {
+				st.burst = float64(int(st.rate + 0.999))
+				if st.burst < 1 {
+					st.burst = 1
+				}
+			}
+		}
+		ts.byToken[c.Token] = st
+		ts.byName[c.Name] = st
+	}
+	// The default tenant admits replayed pre-multi-tenancy journal
+	// records (and, in single-tenant mode, all traffic). Uncapped: in
+	// multi-tenant mode nothing is admitted under it from the network.
+	ts.def = &tenantState{name: defaultTenantName, class: classInteractive, weight: 1}
+	ts.byName[defaultTenantName] = ts.def
+	return ts
+}
+
+// authRequired reports whether requests must carry a bearer token.
+func (ts *tenantSet) authRequired() bool {
+	return ts != nil && len(ts.byToken) > 0
+}
+
+// authenticate resolves the request's tenant. In single-tenant mode
+// every request maps to the default tenant.
+func (ts *tenantSet) authenticate(r *http.Request) (*tenantState, error) {
+	if !ts.authRequired() {
+		return ts.def, nil
+	}
+	auth := r.Header.Get("Authorization")
+	token, ok := strings.CutPrefix(auth, "Bearer ")
+	if !ok || token == "" {
+		return nil, fmt.Errorf("missing bearer token")
+	}
+	st, ok := ts.byToken[token]
+	if !ok {
+		return nil, fmt.Errorf("unknown bearer token")
+	}
+	return st, nil
+}
+
+// lookup resolves a tenant by name (journal replay, stolen jobs),
+// falling back to the default tenant for unknown or empty names.
+func (ts *tenantSet) lookup(name string) *tenantState {
+	if ts == nil {
+		return nil
+	}
+	if st, ok := ts.byName[name]; ok && name != "" {
+		return st
+	}
+	return ts.def
+}
+
+// requestClass resolves the effective class for a request: the
+// tenant's configured class, demotable (never promotable) via the
+// X-Verdict-Class header.
+func requestClass(r *http.Request, st *tenantState) int {
+	class := parseClass(r.Header.Get(HeaderClass), st.class)
+	if class < st.class {
+		class = st.class
+	}
+	return class
+}

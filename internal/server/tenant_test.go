@@ -1,0 +1,595 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"verdict/internal/journal"
+	"verdict/internal/ltl"
+	"verdict/internal/mc"
+	"verdict/internal/resilience"
+	"verdict/internal/ts"
+)
+
+// submitAs posts a check with tenant credentials and returns the full
+// response (body closed, decoded into CheckResponse when possible).
+func submitAs(t *testing.T, base, token string, req CheckRequest, hdr map[string]string) (*http.Response, CheckResponse, string) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	hreq, err := http.NewRequest(http.MethodPost, base+"/v1/checks", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		hreq.Header.Set("Authorization", "Bearer "+token)
+	}
+	for k, v := range hdr {
+		hreq.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw := readBody(t, resp)
+	var cr CheckResponse
+	json.Unmarshal([]byte(raw), &cr)
+	return resp, cr, raw
+}
+
+// distinctModel generates structurally distinct models so each
+// submission is its own content address.
+func distinctModel(i int) string {
+	return fmt.Sprintf("MODULE m\nVAR x : 0..%d;\nINIT x = 0;\nTRANS next(x) = x;\nLTLSPEC G (x >= 0);\n", i+1)
+}
+
+func TestLoadTenantsFile(t *testing.T) {
+	dir := t.TempDir()
+	write := func(body string) string {
+		t.Helper()
+		path := filepath.Join(dir, "tenants.json")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := `[
+		{"name": "ci", "token": "tok-ci", "class": "bulk", "weight": 2, "rate": 10, "max_queued": 4},
+		{"name": "oncall", "token": "tok-oncall"}
+	]`
+	cfgs, err := LoadTenantsFile(write(good))
+	if err != nil {
+		t.Fatalf("valid file: %v", err)
+	}
+	if len(cfgs) != 2 || cfgs[0].Name != "ci" || cfgs[0].Class != "bulk" || cfgs[1].Name != "oncall" {
+		t.Fatalf("parsed: %+v", cfgs)
+	}
+	for _, bad := range []struct{ name, body string }{
+		{"garbage", `{not json`},
+		{"missing name", `[{"token": "t"}]`},
+		{"missing token", `[{"name": "a"}]`},
+		{"dup name", `[{"name": "a", "token": "t1"}, {"name": "a", "token": "t2"}]`},
+		{"dup token", `[{"name": "a", "token": "t"}, {"name": "b", "token": "t"}]`},
+		{"bad class", `[{"name": "a", "token": "t", "class": "turbo"}]`},
+		{"negative rate", `[{"name": "a", "token": "t", "rate": -1}]`},
+	} {
+		if _, err := LoadTenantsFile(write(bad.body)); err == nil {
+			t.Errorf("%s: accepted, want error", bad.name)
+		}
+	}
+	if _, err := LoadTenantsFile(filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("missing file: accepted, want error")
+	}
+}
+
+// TestRequestClassDemoteOnly: X-Verdict-Class can demote a request
+// below the tenant's class, never promote above it.
+func TestRequestClassDemoteOnly(t *testing.T) {
+	mk := func(hdr string) *http.Request {
+		r := httptest.NewRequest(http.MethodPost, "/v1/checks", nil)
+		if hdr != "" {
+			r.Header.Set(HeaderClass, hdr)
+		}
+		return r
+	}
+	interactive := &tenantState{class: classInteractive}
+	bulk := &tenantState{class: classBulk}
+	for _, tc := range []struct {
+		st   *tenantState
+		hdr  string
+		want int
+	}{
+		{interactive, "", classInteractive},
+		{interactive, "bulk", classBulk}, // self-demotion allowed
+		{interactive, "nonsense", classInteractive},
+		{bulk, "", classBulk},
+		{bulk, "interactive", classBulk}, // promotion refused
+		{bulk, "bulk", classBulk},
+	} {
+		if got := requestClass(mk(tc.hdr), tc.st); got != tc.want {
+			t.Errorf("tenant class %s, header %q: got %s", classLabel(tc.st.class), tc.hdr, classLabel(got))
+		}
+	}
+}
+
+// TestAuthRequired: with tenants configured, submissions without a
+// valid bearer token are 401; single-tenant mode keeps the historical
+// no-auth behavior.
+func TestAuthRequired(t *testing.T) {
+	_, ht := newTestServer(t, Config{Workers: 1, Tenants: []TenantConfig{{Name: "a", Token: "tok-a"}}})
+	resp, _, _ := submitAs(t, ht.URL, "", CheckRequest{Model: counterModel}, nil)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("no token: %d, want 401", resp.StatusCode)
+	}
+	if resp.Header.Get("WWW-Authenticate") == "" {
+		t.Error("401 without WWW-Authenticate")
+	}
+	resp, _, _ = submitAs(t, ht.URL, "wrong", CheckRequest{Model: counterModel}, nil)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("bad token: %d, want 401", resp.StatusCode)
+	}
+	resp, cr, _ := submitAs(t, ht.URL, "tok-a", CheckRequest{Model: counterModel}, nil)
+	if resp.StatusCode != http.StatusAccepted || cr.ID == "" {
+		t.Fatalf("valid token: %d %+v, want 202", resp.StatusCode, cr)
+	}
+	// Reads stay unauthenticated: ids are unguessable content
+	// addresses and results are the point of the shared cache.
+	waitDone(t, ht.URL, cr.ID)
+
+	// Single-tenant mode: no tenants file, no auth.
+	_, ht2 := newTestServer(t, Config{Workers: 1})
+	if resp, _, _ := submitAs(t, ht2.URL, "", CheckRequest{Model: counterModel}, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("single-tenant submit: %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestTenantRateLimit: an over-rate tenant gets a quota 429 naming the
+// rate limit; the headers make it distinguishable from queue pressure.
+func TestTenantRateLimit(t *testing.T) {
+	s, ht := newTestServer(t, Config{Workers: 2, Tenants: []TenantConfig{
+		{Name: "slow", Token: "tok-slow", Rate: 0.001, Burst: 1},
+		{Name: "free", Token: "tok-free"},
+	}})
+	resp, _, _ := submitAs(t, ht.URL, "tok-slow", CheckRequest{Model: distinctModel(0)}, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit inside burst: %d, want 202", resp.StatusCode)
+	}
+	resp, _, body := submitAs(t, ht.URL, "tok-slow", CheckRequest{Model: distinctModel(1)}, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate submit: %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(HeaderQuotaReason); got != "rate" {
+		t.Errorf("%s = %q, want rate", HeaderQuotaReason, got)
+	}
+	if got := resp.Header.Get(HeaderQuotaTenant); got != "slow" {
+		t.Errorf("%s = %q, want slow", HeaderQuotaTenant, got)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("rate 429 without Retry-After")
+	}
+	// The other tenant is untouched.
+	if resp, _, _ := submitAs(t, ht.URL, "tok-free", CheckRequest{Model: distinctModel(2)}, nil); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("unrelated tenant: %d, want 202", resp.StatusCode)
+	}
+	if got := s.mTenantRej.Value("slow", "rate"); got != 1 {
+		t.Errorf(`verdictd_tenant_rejections_total{tenant="slow",reason="rate"} = %v, want 1`, got)
+	}
+}
+
+// TestTenantQueuedQuotaVsQueueFull: the per-tenant queued cap and the
+// global queue cap produce 429s a client can tell apart on the wire.
+func TestTenantQueuedQuotaVsQueueFull(t *testing.T) {
+	g := newGate()
+	s, ht := newTestServer(t, Config{Workers: 1, QueueDepth: 4, Check: g.check, Tenants: []TenantConfig{
+		{Name: "capped", Token: "tok-c", MaxQueued: 1},
+		{Name: "open", Token: "tok-o", MaxQueued: -1},
+	}})
+	defer close(g.release)
+
+	// Wedge the worker so everything else stays queued.
+	if resp, _, _ := submitAs(t, ht.URL, "tok-o", CheckRequest{Model: distinctModel(0)}, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("wedge submit: %d", resp.StatusCode)
+	}
+	<-g.started
+
+	if resp, _, _ := submitAs(t, ht.URL, "tok-c", CheckRequest{Model: distinctModel(1)}, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("capped tenant's first queued job: %d, want 202", resp.StatusCode)
+	}
+	resp, _, body := submitAs(t, ht.URL, "tok-c", CheckRequest{Model: distinctModel(2)}, nil)
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get(HeaderQuotaReason) != "queued" {
+		t.Fatalf("over-quota: %d %q (%s), want 429/queued", resp.StatusCode, resp.Header.Get(HeaderQuotaReason), body)
+	}
+	if got := resp.Header.Get(HeaderQuotaLimit); got != "1" {
+		t.Errorf("%s = %q, want 1", HeaderQuotaLimit, got)
+	}
+	// The uncapped tenant can still fill the global queue...
+	for i := 3; i < 6; i++ {
+		if resp, _, _ := submitAs(t, ht.URL, "tok-o", CheckRequest{Model: distinctModel(i)}, nil); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("open tenant submit %d: %d", i, resp.StatusCode)
+		}
+	}
+	// ...and past it the rejection is the historical queue-full shape:
+	// 429 with Retry-After and no quota headers.
+	resp, _, body = submitAs(t, ht.URL, "tok-o", CheckRequest{Model: distinctModel(6)}, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("past global depth: %d (%s), want 429", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(HeaderQuotaReason); got != "" {
+		t.Errorf("queue-full 429 carries quota header %q", got)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("queue-full 429 without Retry-After")
+	}
+	if s.mRejections.Value() != 1 {
+		t.Errorf("verdictd_rejections_total = %v, want 1 (only the queue-full shed)", s.mRejections.Value())
+	}
+	if got := s.mTenantRej.Value("capped", "quota"); got != 1 {
+		t.Errorf("tenant quota rejections = %v, want 1", got)
+	}
+}
+
+// TestDeadlineCancelledAtPickup: a job whose propagated deadline
+// expires while queued is settled as failed at worker pickup — a real
+// settlement (retrievable, counted) — instead of burning a worker on
+// an answer nobody is waiting for.
+func TestDeadlineCancelledAtPickup(t *testing.T) {
+	g := newGate()
+	s, ht := newTestServer(t, Config{Workers: 1, QueueDepth: 8, Check: g.check})
+	// Wedge the worker.
+	resp, wedge, _ := submitAs(t, ht.URL, "", CheckRequest{Model: distinctModel(0)}, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("wedge: %d", resp.StatusCode)
+	}
+	<-g.started
+	// Queue a job with a 50ms budget, let it expire, then release.
+	resp, doomed, _ := submitAs(t, ht.URL, "", CheckRequest{Model: distinctModel(1)}, map[string]string{HeaderDeadline: "50"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("deadline submit: %d", resp.StatusCode)
+	}
+	time.Sleep(120 * time.Millisecond)
+	close(g.release)
+
+	if final := waitDone(t, ht.URL, wedge.ID); final.Status != StatusDone {
+		t.Fatalf("wedge job: %+v", final)
+	}
+	final := waitDone(t, ht.URL, doomed.ID)
+	if final.Status != StatusFailed || !strings.Contains(final.Error, "deadline expired") {
+		t.Fatalf("expired job: %+v, want failed with a deadline message", final)
+	}
+	if calls := g.calls.Load(); calls != 1 {
+		t.Errorf("underlying checks run: %d, want 1 (the expired job must not reach the engine)", calls)
+	}
+	if got := s.mExpired.Value(); got != 1 {
+		t.Errorf("verdictd_deadline_cancellations_total = %v, want 1", got)
+	}
+}
+
+// TestDeadlineClampsCheckTimeout (white box): an unexpired deadline
+// tighter than the check's own timeout bounds the engine budget.
+func TestDeadlineClampsCheckTimeout(t *testing.T) {
+	var got atomic.Int64
+	capture := func(_ *ts.System, _ *ltl.Formula, opts mc.Options, _ resilience.RetryPolicy) (*mc.Result, error) {
+		got.Store(int64(opts.Timeout))
+		return &mc.Result{Status: mc.Holds, Engine: "fake", Depth: 1}, nil
+	}
+	_, ht := newTestServer(t, Config{Workers: 1, Check: capture})
+	resp, cr, _ := submitAs(t, ht.URL, "", CheckRequest{Model: counterModel}, map[string]string{HeaderDeadline: "2000"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	waitDone(t, ht.URL, cr.ID)
+	if to := time.Duration(got.Load()); to <= 0 || to > 2*time.Second {
+		t.Errorf("engine timeout under a 2s deadline: %v, want (0, 2s]", to)
+	}
+}
+
+// TestBrownoutShedsUnderPressure: sustained queue pressure engages the
+// ladder; bulk traffic is shed with the brownout 429 while cached
+// answers keep being served.
+func TestBrownoutShedsUnderPressure(t *testing.T) {
+	g := newGate()
+	s, ht := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 32, Check: g.check,
+		BrownoutThreshold: 300 * time.Millisecond, BrownoutHold: time.Hour,
+	})
+	defer close(g.release)
+
+	// Wedge the one worker, then let a queued job age: the
+	// oldest-queued signal must drive the ladder up with no pickups
+	// feeding the EWMA at all.
+	if resp, _, _ := submitAs(t, ht.URL, "", CheckRequest{Model: distinctModel(0)}, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatal("wedge submit failed")
+	}
+	<-g.started
+	// Queue a job and let it age past 4T (1.2s) — the oldest-queued
+	// signal drives the ladder to level 3 with no pickups at all.
+	if resp, _, _ := submitAs(t, ht.URL, "", CheckRequest{Model: distinctModel(1)}, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatal("aging submit failed")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.brown.Level() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("ladder never reached level 3 under a 1.2s-old queue head")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	// Level 3: everything is shed, even interactive misses.
+	resp, _, _ := submitAs(t, ht.URL, "", CheckRequest{Model: distinctModel(2)}, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("interactive miss at level 3: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get(HeaderBrownout) != "3" {
+		t.Errorf("%s = %q, want 3", HeaderBrownout, resp.Header.Get(HeaderBrownout))
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("brownout 429 without Retry-After")
+	}
+	if got := s.mShed.Value("interactive"); got < 1 {
+		t.Errorf("verdictd_brownout_shed_total{class=interactive} = %v, want >= 1", got)
+	}
+	// The healthz endpoint reports the ladder level.
+	var hz struct {
+		Brownout struct {
+			Level int `json:"level"`
+		} `json:"brownout"`
+	}
+	getJSON(t, ht.URL+"/healthz", &hz)
+	if hz.Brownout.Level != 3 {
+		t.Errorf("healthz brownout level = %d, want 3", hz.Brownout.Level)
+	}
+}
+
+// TestBrownoutLevelOneShedsOnlyBulk drives the ladder to exactly level
+// 1 via the smoothed pickup-wait signal and checks the class split:
+// bulk shed, interactive admitted.
+func TestBrownoutLevelOneShedsOnlyBulk(t *testing.T) {
+	s, ht := newTestServer(t, Config{
+		Workers: 2, QueueDepth: 32,
+		BrownoutThreshold: 300 * time.Millisecond, BrownoutHold: time.Hour,
+	})
+	// Feed the EWMA directly — the integration point is the admission
+	// gate, not the measurement plumbing (covered elsewhere).
+	s.brown.Observe(4 * 350 * time.Millisecond)
+	if lvl := s.brown.Level(); lvl != 1 {
+		t.Fatalf("setup: level %d, want 1", lvl)
+	}
+	resp, _, _ := submitAs(t, ht.URL, "", CheckRequest{Model: distinctModel(0)}, map[string]string{HeaderClass: "bulk"})
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get(HeaderBrownout) != "1" {
+		t.Fatalf("bulk at level 1: %d (brownout %q), want 429/1", resp.StatusCode, resp.Header.Get(HeaderBrownout))
+	}
+	resp, cr, _ := submitAs(t, ht.URL, "", CheckRequest{Model: distinctModel(1)}, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("interactive at level 1: %d, want 202", resp.StatusCode)
+	}
+	waitDone(t, ht.URL, cr.ID)
+	if got := s.mShed.Value("bulk"); got != 1 {
+		t.Errorf("verdictd_brownout_shed_total{class=bulk} = %v, want 1", got)
+	}
+}
+
+// TestJournalReplayMixedTenantFormats: a journal holding both
+// pre-multi-tenancy accepted records (no tenant field) and new-format
+// records replays cleanly — old records land under the default
+// tenant, new ones under their named tenant's fair queue.
+func TestJournalReplayMixedTenantFormats(t *testing.T) {
+	dir := t.TempDir()
+
+	// Compute content addresses the same way the daemon does.
+	probe := New(Config{Check: newGate().check})
+	reqOld := CheckRequest{Model: distinctModel(0)}
+	reqNew := CheckRequest{Model: distinctModel(1)}
+	crOld, err := probe.compile(reqOld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crNew, err := probe.compile(reqNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pctx, pcancel := context.WithTimeout(context.Background(), time.Second)
+	probe.Drain(pctx)
+	pcancel()
+	probe.Close()
+
+	// Hand-write the journal: record 1 is byte-identical to what a
+	// pre-multi-tenancy daemon wrote (Tenant absent via omitempty);
+	// record 2 carries a tenant.
+	jn, err := journal.Open(filepath.Join(dir, "journal"), journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawOld, _ := json.Marshal(reqOld)
+	rawNew, _ := json.Marshal(reqNew)
+	if err := jn.Append(journal.Record{Type: journal.TypeAccepted, ID: crOld.id, Request: rawOld}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Append(journal.Record{Type: journal.TypeAccepted, ID: crNew.id, Request: rawNew, Tenant: "alpha"}); err != nil {
+		t.Fatal(err)
+	}
+	jn.Close()
+
+	var calls atomic.Int64
+	fast := func(*ts.System, *ltl.Formula, mc.Options, resilience.RetryPolicy) (*mc.Result, error) {
+		calls.Add(1)
+		return &mc.Result{Status: mc.Holds, Engine: "fake", Depth: 1}, nil
+	}
+	s, ht := newDurableServer(t, dir, Config{Workers: 2, Check: fast,
+		Tenants: []TenantConfig{{Name: "alpha", Token: "tok-alpha"}}})
+	defer shutdown(t, s, ht)
+
+	for _, id := range []string{crOld.id, crNew.id} {
+		if final := waitDone(t, ht.URL, id); final.Status != StatusDone {
+			t.Fatalf("replayed job %s: %+v", id, final)
+		}
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("replayed checks run: %d, want 2", got)
+	}
+	// Fair-queue attribution (white box): the old-format record ran as
+	// the default tenant, the new-format one as alpha.
+	s.sched.mu.Lock()
+	_, hasDefault := s.sched.tenants[defaultTenantName]
+	_, hasAlpha := s.sched.tenants["alpha"]
+	s.sched.mu.Unlock()
+	if !hasDefault || !hasAlpha {
+		t.Errorf("scheduler tenants after replay: default=%v alpha=%v, want both", hasDefault, hasAlpha)
+	}
+}
+
+// TestQueueWaitHistogram: accept→pickup latency lands in
+// verdictd_queue_wait_seconds with a class label.
+func TestQueueWaitHistogram(t *testing.T) {
+	_, ht := newTestServer(t, Config{Workers: 1})
+	_, cr := submit(t, ht.URL, CheckRequest{Model: counterModel})
+	waitDone(t, ht.URL, cr.ID)
+	resp, err := http.Get(ht.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text := readBody(t, resp)
+	for _, want := range []string{
+		`verdictd_queue_wait_seconds_bucket{class="interactive"`,
+		`verdictd_queue_wait_seconds_count{class="interactive"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, grepMetric(text, "verdictd_queue_wait"))
+		}
+	}
+}
+
+// TestOverloadSoak is the in-process saturation harness: a bulk
+// tenant floods the daemon well past capacity while an interactive
+// tenant keeps a steady trickle. The invariants:
+//
+//   - every job acknowledged with a 202 settles (no acked work lost),
+//   - the interactive tenant is never starved: all its accepted jobs
+//     complete even though bulk arrived first and in bulk,
+//   - rejected work was rejected legibly (quota/brownout/queue-full),
+//   - once the flood stops, the brownout ladder disengages.
+func TestOverloadSoak(t *testing.T) {
+	slow := func(*ts.System, *ltl.Formula, mc.Options, resilience.RetryPolicy) (*mc.Result, error) {
+		time.Sleep(3 * time.Millisecond)
+		return &mc.Result{Status: mc.Holds, Engine: "fake", Depth: 1}, nil
+	}
+	s, ht := newTestServer(t, Config{
+		Workers: 2, QueueDepth: 16, Check: slow,
+		BrownoutThreshold: 100 * time.Millisecond, BrownoutHold: 200 * time.Millisecond,
+		Tenants: []TenantConfig{
+			{Name: "bulk", Token: "tok-bulk", Class: "bulk", MaxQueued: -1},
+			{Name: "vip", Token: "tok-vip", Weight: 2, MaxQueued: -1},
+		},
+	})
+
+	var mu sync.Mutex
+	acked := make(map[string]bool) // id -> interactive?
+	var wg sync.WaitGroup
+	// Bulk flood: 2 writers × 60 distinct submissions, no pacing.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				resp, cr, _ := submitAs(t, ht.URL, "tok-bulk", CheckRequest{Model: distinctModel(w*60 + i)}, nil)
+				switch resp.StatusCode {
+				case http.StatusAccepted, http.StatusOK:
+					mu.Lock()
+					acked[cr.ID] = false
+					mu.Unlock()
+				case http.StatusTooManyRequests:
+					// Shed: must be one of the legible shapes.
+					if resp.Header.Get(HeaderQuotaReason) == "" &&
+						resp.Header.Get(HeaderBrownout) == "" &&
+						resp.Header.Get("Retry-After") == "" {
+						t.Errorf("illegible 429: headers %v", resp.Header)
+					}
+				default:
+					t.Errorf("bulk submit: unexpected status %d", resp.StatusCode)
+				}
+			}
+		}(w)
+	}
+	// Interactive trickle: 15 paced submissions.
+	wg.Add(1)
+	vipAccepted := 0
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			resp, cr, _ := submitAs(t, ht.URL, "tok-vip", CheckRequest{Model: distinctModel(1000 + i)}, nil)
+			if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+				mu.Lock()
+				acked[cr.ID] = true
+				vipAccepted++
+				mu.Unlock()
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+
+	// Invariant 1+2: every acked job settles, interactive included.
+	interactive := 0
+	for id, vip := range acked {
+		final := waitDone(t, ht.URL, id)
+		if final.Status != StatusDone {
+			t.Fatalf("acked job %s (vip=%v) did not settle done: %+v", id, vip, final)
+		}
+		if vip {
+			interactive++
+		}
+	}
+	if vipAccepted == 0 {
+		t.Fatal("interactive tenant had no accepted jobs at all: starved at admission")
+	}
+	if interactive != vipAccepted {
+		t.Fatalf("interactive settled %d of %d accepted", interactive, vipAccepted)
+	}
+	t.Logf("soak: %d acked (%d interactive) settled; ladder peak level not asserted", len(acked), interactive)
+
+	// Invariant 4: with the flood over and the queue drained, the
+	// ladder walks back to 0.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.brown.Level() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("brownout stuck at level %d after the flood", s.brown.Level())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestStolenJobKeepsTenantAndClass (white box): cluster stealing pops
+// bulk work first and the steal message carries tenant, class, and the
+// remaining deadline budget.
+func TestStolenJobKeepsTenantAndClass(t *testing.T) {
+	q := newSched(16)
+	j := schedJob("ci", classBulk)
+	j.deadline = time.Now().Add(30 * time.Second)
+	q.Force(j, 1)
+	got := q.Steal()
+	if got == nil || got.tenant != "ci" || got.class != classBulk {
+		t.Fatalf("stolen job: %+v", got)
+	}
+	if ms := remainingMS(got.deadline); ms <= 0 || ms > 30_000 {
+		t.Errorf("remainingMS = %d, want (0, 30000]", ms)
+	}
+	if remainingMS(time.Time{}) != 0 {
+		t.Error("zero deadline must encode as 0 (no deadline)")
+	}
+	// An already-expired deadline clamps to 1ms so the receiver
+	// cancels instead of treating it as unbounded.
+	if ms := remainingMS(time.Now().Add(-time.Second)); ms != 1 {
+		t.Errorf("expired deadline encodes as %d, want 1", ms)
+	}
+}

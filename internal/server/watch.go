@@ -66,6 +66,9 @@ type WatchCreateRequest struct {
 	ID string `json:"id,omitempty"`
 	// DebounceMS is the burst-coalescing window for verify passes.
 	DebounceMS int64 `json:"debounce_ms,omitempty"`
+	// IncidentLogMax bounds the session's retained incident log
+	// (0 = watch.DefaultMaxIncidentLog).
+	IncidentLogMax int `json:"incident_log_max,omitempty"`
 }
 
 // WatchEventsRequest is the POST /v1/events body.
@@ -127,12 +130,13 @@ func (s *Server) initWatch() {
 
 // watchConfig assembles the session config shared by creation and
 // journal recovery.
-func (s *Server) watchConfig(id string, debounce time.Duration) watch.Config {
+func (s *Server) watchConfig(id string, debounce time.Duration, incidentLogMax int) watch.Config {
 	return watch.Config{
-		ID:       id,
-		Verify:   s.watchVerify,
-		Debounce: debounce,
-		Persist:  s.persistWatch,
+		ID:             id,
+		Verify:         s.watchVerify,
+		Debounce:       debounce,
+		MaxIncidentLog: incidentLogMax,
+		Persist:        s.persistWatch,
 		Hooks: watch.Hooks{
 			Events:  func(n int) { s.mWatchEvents.Add(float64(n)) },
 			Recheck: func(ran bool) { s.mWatchRechecks.Inc(map[bool]string{true: "run", false: "skipped"}[ran]) },
@@ -184,8 +188,8 @@ func (s *Server) watchVerify(ctx context.Context, p extract.Property) watch.Outc
 	s.mu.Unlock()
 
 	if !cached {
-		s.persistAccepted(j.id, reqJSON, j.owner)
-		s.replicateAccept(j.id, reqJSON)
+		s.persistAccepted(j.id, reqJSON, j.owner, j.tenant)
+		s.replicateAccept(j)
 		s.runJob(j)
 	}
 	select {
@@ -248,6 +252,9 @@ func (s *Server) ownerURL() string {
 }
 
 func (s *Server) handleWatchCreate(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authorize(w, r); !ok {
+		return
+	}
 	var req WatchCreateRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
@@ -264,6 +271,10 @@ func (s *Server) handleWatchCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.DebounceMS < 0 {
 		writeError(w, http.StatusBadRequest, "debounce_ms must be >= 0")
+		return
+	}
+	if req.IncidentLogMax < 0 {
+		writeError(w, http.StatusBadRequest, "incident_log_max must be >= 0")
 		return
 	}
 
@@ -287,7 +298,7 @@ func (s *Server) handleWatchCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, "watch session limit reached")
 		return
 	}
-	sess := watch.New(s.watchConfig(id, time.Duration(req.DebounceMS)*time.Millisecond))
+	sess := watch.New(s.watchConfig(id, time.Duration(req.DebounceMS)*time.Millisecond, req.IncidentLogMax))
 	s.watches[id] = sess
 	s.watchMu.Unlock()
 	s.gWatchSessions.Add(1)
@@ -302,6 +313,9 @@ func (s *Server) watchSession(id string) (*watch.Session, bool) {
 }
 
 func (s *Server) handleWatchEvents(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authorize(w, r); !ok {
+		return
+	}
 	var req WatchEventsRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
@@ -361,6 +375,9 @@ func watchStatusBody(snap *watch.Snapshot) WatchStatusResponse {
 }
 
 func (s *Server) handleWatchDelete(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authorize(w, r); !ok {
+		return
+	}
 	id := r.PathValue("id")
 	s.watchMu.Lock()
 	sess, ok := s.watches[id]
@@ -443,7 +460,7 @@ func (s *Server) restoreWatches(snaps map[string]json.RawMessage) {
 			s.watchMu.Unlock()
 			continue
 		}
-		s.watches[id] = watch.Restore(&snap, s.watchConfig(id, time.Duration(snap.DebounceMS)*time.Millisecond))
+		s.watches[id] = watch.Restore(&snap, s.watchConfig(id, time.Duration(snap.DebounceMS)*time.Millisecond, snap.IncidentLogMax))
 		s.watchSnaps[id] = raw
 		s.watchMu.Unlock()
 		s.gWatchSessions.Add(1)

@@ -110,14 +110,15 @@ type Counters struct {
 	Incidents uint64 `json:"incidents"`
 }
 
-// maxIncidentLog bounds the in-session incident log. A session watching
-// a flapping configuration raises an incident on every flap; without a
-// bound the log — each entry carrying a full counterexample trace —
-// grows without limit, and every status response and journal snapshot
+// DefaultMaxIncidentLog bounds the in-session incident log when
+// Config.MaxIncidentLog is unset. A session watching a flapping
+// configuration raises an incident on every flap; without a bound the
+// log — each entry carrying a full counterexample trace — grows
+// without limit, and every status response and journal snapshot
 // serializes all of it. Older incidents were already delivered through
 // the Incident hook at the moment they fired; the log keeps the recent
 // window for status queries and restart recovery.
-const maxIncidentLog = 256
+const DefaultMaxIncidentLog = 256
 
 // PropState is the last settled verdict of one extracted property.
 type PropState struct {
@@ -153,6 +154,9 @@ type Snapshot struct {
 	// DebounceMS preserves the session's coalescing window across a
 	// restore.
 	DebounceMS int64 `json:"debounce_ms,omitempty"`
+	// IncidentLogMax preserves the session's incident-log bound across
+	// a restore (0 = DefaultMaxIncidentLog).
+	IncidentLogMax int `json:"incident_log_max,omitempty"`
 }
 
 // Config configures a session.
@@ -165,6 +169,11 @@ type Config struct {
 	// before verifying, so bursts coalesce into one pass. Zero means
 	// verify immediately.
 	Debounce time.Duration
+	// MaxIncidentLog bounds the retained incident log (0 =
+	// DefaultMaxIncidentLog). The lifetime Counters.Incidents total is
+	// unaffected; only the window of full reports kept for status
+	// queries and restart recovery shrinks or grows.
+	MaxIncidentLog int
 	// Hooks receive telemetry.
 	Hooks Hooks
 	// Persist, when set, receives the session snapshot after every
@@ -214,6 +223,14 @@ func Restore(snap *Snapshot, cfg Config) *Session {
 	return resume(cfg, snap)
 }
 
+// maxIncidentLog resolves the configured incident-log bound.
+func (s *Session) maxIncidentLog() int {
+	if s.cfg.MaxIncidentLog > 0 {
+		return s.cfg.MaxIncidentLog
+	}
+	return DefaultMaxIncidentLog
+}
+
 func resume(cfg Config, snap *Snapshot) *Session {
 	if cfg.Verify == nil {
 		panic("watch: Config.Verify is required")
@@ -237,6 +254,11 @@ func resume(cfg Config, snap *Snapshot) *Session {
 			s.props[p.Name] = &p
 		}
 		s.incidentLog = append(s.incidentLog, snap.Incidents...)
+		if limit := s.maxIncidentLog(); len(s.incidentLog) > limit {
+			// The bound may have shrunk between incarnations; keep the
+			// newest window, same as the live trim.
+			s.incidentLog = append([]incidents.Report(nil), s.incidentLog[len(s.incidentLog)-limit:]...)
+		}
 		s.counters = snap.Counters
 		s.seq = snap.Seq
 		s.verifiedSeq = snap.VerifiedSeq
@@ -373,6 +395,7 @@ func (s *Session) snapshotLocked() *Snapshot {
 		Incidents:   append([]incidents.Report(nil), s.incidentLog...),
 		DebounceMS:  s.cfg.Debounce.Milliseconds(),
 	}
+	snap.IncidentLogMax = s.cfg.MaxIncidentLog
 	names := make([]string, 0, len(s.props))
 	for n := range s.props {
 		names = append(names, n)
@@ -515,8 +538,8 @@ func (s *Session) verifyPass(ctx context.Context) bool {
 				reports = append(reports, rep)
 			}
 		}
-		if n := len(s.incidentLog); n > maxIncidentLog {
-			s.incidentLog = append([]incidents.Report(nil), s.incidentLog[n-maxIncidentLog:]...)
+		if limit := s.maxIncidentLog(); len(s.incidentLog) > limit {
+			s.incidentLog = append([]incidents.Report(nil), s.incidentLog[len(s.incidentLog)-limit:]...)
 		}
 		// Properties absent from the new extraction (deleted objects)
 		// drop out of the verified set.

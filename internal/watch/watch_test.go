@@ -174,7 +174,7 @@ func TestIncidentLogBounded(t *testing.T) {
 	defer s.Close(false)
 
 	ingestWait(t, s, node("w2", 5), deployment("web", 2, 50), descheduler(70))
-	flaps := maxIncidentLog + 10
+	flaps := DefaultMaxIncidentLog + 10
 	for i := 0; i < flaps; i++ {
 		ingestWait(t, s, descheduler(45))
 		ingestWait(t, s, descheduler(70))
@@ -183,8 +183,8 @@ func TestIncidentLogBounded(t *testing.T) {
 	if got := snap.Counters.Incidents; got != uint64(flaps) {
 		t.Fatalf("lifetime incidents = %d, want %d", got, flaps)
 	}
-	if got := len(snap.Incidents); got != maxIncidentLog {
-		t.Fatalf("incident log = %d entries, want cap %d", got, maxIncidentLog)
+	if got := len(snap.Incidents); got != DefaultMaxIncidentLog {
+		t.Fatalf("incident log = %d entries, want cap %d", got, DefaultMaxIncidentLog)
 	}
 	// The window keeps the newest entries: the last flap's break sits at
 	// the tail, and the oldest surviving entry is flap #11's.
@@ -194,6 +194,43 @@ func TestIncidentLogBounded(t *testing.T) {
 	}
 	if first := snap.Incidents[0]; first.Seq <= 1 {
 		t.Fatalf("oldest incident seq = %d, want trimmed window", first.Seq)
+	}
+}
+
+// TestIncidentLogConfigurable: Config.MaxIncidentLog overrides the
+// default window, and a restore under a smaller bound re-trims the
+// journaled log to the newest entries.
+func TestIncidentLogConfigurable(t *testing.T) {
+	var calls atomic.Int64
+	s := New(Config{ID: "w1", Verify: fakeVerify(&calls), MaxIncidentLog: 3})
+	defer s.Close(false)
+
+	ingestWait(t, s, node("w2", 5), deployment("web", 2, 50), descheduler(70))
+	const flaps = 8
+	for i := 0; i < flaps; i++ {
+		ingestWait(t, s, descheduler(45))
+		ingestWait(t, s, descheduler(70))
+	}
+	snap := s.Status()
+	if got := snap.Counters.Incidents; got != uint64(flaps) {
+		t.Fatalf("lifetime incidents = %d, want %d", got, flaps)
+	}
+	if got := len(snap.Incidents); got != 3 {
+		t.Fatalf("incident log = %d entries, want configured cap 3", got)
+	}
+	if got := snap.IncidentLogMax; got != 3 {
+		t.Fatalf("snapshot IncidentLogMax = %d, want 3", got)
+	}
+
+	// A restore under a *smaller* bound keeps the newest window.
+	s2 := Restore(snap, Config{ID: "w1", Verify: fakeVerify(&calls), MaxIncidentLog: 2})
+	defer s2.Close(false)
+	snap2 := s2.Status()
+	if got := len(snap2.Incidents); got != 2 {
+		t.Fatalf("restored incident log = %d entries, want re-trimmed cap 2", got)
+	}
+	if snap2.Incidents[1].Seq != snap.Incidents[2].Seq {
+		t.Fatalf("restore kept seq %d at tail, want newest %d", snap2.Incidents[1].Seq, snap.Incidents[2].Seq)
 	}
 }
 
